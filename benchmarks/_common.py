@@ -1,0 +1,30 @@
+"""Shared reporting for the experiment benches.
+
+Every bench renders its paper-style table through here: printed to
+stdout (visible with ``pytest -s`` or when run as a script) and written
+to ``benchmarks/results/<experiment>.txt`` so the table survives pytest's
+output capture.  EXPERIMENTS.md is assembled from these files.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.core.metrics import Table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def report(experiment: str, table: Table, title: str,
+           notes: str = "", figure: str = "") -> str:
+    """Render, print, and persist one experiment table (+ figure)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = table.render(title=title)
+    if notes:
+        text += "\n" + notes
+    if figure:
+        text += "\n\n" + figure
+    (RESULTS_DIR / f"{experiment}.txt").write_text(text + "\n")
+    print()
+    print(text)
+    return text

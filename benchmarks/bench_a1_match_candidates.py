@@ -1,0 +1,53 @@
+"""Ablation A1 — hash-table candidate depth (ways) vs ratio and rate.
+
+The design choice DESIGN.md calls out: the hardware evaluates a handful
+of candidates per position instead of software's long chains.  Sweeping
+the way count shows diminishing ratio returns — the basis for the
+product's small-ways choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.metrics import Table
+from repro.nx.compressor import NxCompressor
+from repro.nx.dht import DhtStrategy
+from repro.nx.params import POWER9
+from repro.workloads.generators import generate
+
+from _common import report
+
+WAYS = [1, 2, 4, 8, 16]
+SIZE = 65536
+
+
+def compute() -> tuple[Table, list]:
+    data = generate("markov_text", SIZE, seed=55)
+    table = Table(headers=["ways", "ratio", "GB/s", "probes/byte"])
+    ratios = []
+    for ways in WAYS:
+        params = replace(POWER9.engine, hash_ways=ways)
+        result = NxCompressor(params).compress(
+            data, strategy=DhtStrategy.DYNAMIC)
+        table.add(ways, result.ratio, result.throughput_gbps,
+                  result.stats.chain_probes / SIZE)
+        ratios.append(result.ratio)
+    return table, ratios
+
+
+def test_a1_match_candidates(benchmark):
+    table, ratios = benchmark.pedantic(compute, rounds=1, iterations=1)
+    report("a1_match_candidates", table,
+           "A1 (ablation): match-candidate depth vs compression ratio")
+    assert ratios == sorted(ratios)  # more candidates never hurt ratio
+    # Diminishing returns per added candidate: the 8->16 step adds 8
+    # candidates yet gains less per candidate than the 1->2 step.
+    per_cand_first = ratios[1] - ratios[0]
+    per_cand_last = (ratios[4] - ratios[3]) / 8.0
+    assert per_cand_last < 0.5 * max(per_cand_first, 1e-9) + 1e-9
+
+
+if __name__ == "__main__":
+    table, _ = compute()
+    print(table.render("A1: candidate depth"))

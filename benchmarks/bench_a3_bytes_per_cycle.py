@@ -1,0 +1,55 @@
+"""Ablation A3 — scan-pipeline width: the POWER9 -> z15 design walk.
+
+Sweeps bytes-per-cycle (with banks scaled to keep conflicts in check) to
+show throughput scaling and where bank conflicts erode the ideal slope —
+the engineering trade that separates the two product generations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.metrics import Table
+from repro.nx.compressor import NxCompressor
+from repro.nx.dht import DhtStrategy
+from repro.nx.params import POWER9
+from repro.workloads.generators import generate
+
+from _common import report
+
+WIDTHS = [2, 4, 8, 16]
+SIZE = 131072
+
+
+def compute() -> tuple[Table, list]:
+    data = generate("markov_text", SIZE, seed=77)
+    table = Table(headers=["bytes/cycle", "banks", "GB/s",
+                           "stall cycles %", "ratio"])
+    rates = []
+    for width in WIDTHS:
+        params = replace(POWER9.engine,
+                         scan_bytes_per_cycle=width,
+                         hash_banks=16 * width)
+        result = NxCompressor(params).compress(
+            data, strategy=DhtStrategy.DYNAMIC)
+        stall_pct = (100.0 * result.cycles.bank_stalls
+                     / max(1, result.cycles.scan))
+        table.add(width, params.hash_banks, result.throughput_gbps,
+                  stall_pct, result.ratio)
+        rates.append(result.throughput_gbps)
+    return table, rates
+
+
+def test_a3_bytes_per_cycle(benchmark):
+    table, rates = benchmark.pedantic(compute, rounds=1, iterations=1)
+    report("a3_bytes_per_cycle", table,
+           "A3 (ablation): scan width scaling (banks scaled with width)")
+    assert rates == sorted(rates)       # wider is faster...
+    # ...but sublinearly: 8x width gives < 8x rate.
+    assert rates[-1] < 8 * rates[0]
+    assert rates[-1] > 2.5 * rates[0]
+
+
+if __name__ == "__main__":
+    table, _ = compute()
+    print(table.render("A3: scan width"))

@@ -1,0 +1,65 @@
+"""E10 — DHT strategy trade-off: fixed vs canned vs dynamic vs auto.
+
+Ratio and throughput per strategy per data class, measured from real
+bitstreams and the engine cycle model.  The documented trade-off: FIXED
+is fastest/worst-ratio, DYNAMIC best-ratio with a generation bubble,
+CANNED nearly both.
+"""
+
+from __future__ import annotations
+
+from repro.core.metrics import Table
+from repro.nx.compressor import NxCompressor
+from repro.nx.dht import DhtStrategy
+from repro.nx.params import POWER9
+from repro.workloads.generators import generate
+
+from _common import report
+
+DATASETS = [
+    ("text", "markov_text"),
+    ("logs", "log_lines"),
+    ("json", "json_records"),
+    ("binary", "binary_executable"),
+]
+SIZE = 65536
+
+
+def compute() -> tuple[Table, dict]:
+    compressor = NxCompressor(POWER9.engine)
+    table = Table(headers=["data", "strategy", "ratio", "GB/s",
+                           "dht cycles"])
+    per_strategy: dict[str, list[float]] = {s.value: []
+                                            for s in DhtStrategy}
+    for name, generator in DATASETS:
+        data = generate(generator, SIZE, seed=33)
+        for strategy in DhtStrategy:
+            result = compressor.compress(data, strategy=strategy)
+            table.add(name, strategy.value, result.ratio,
+                      result.throughput_gbps,
+                      result.cycles.dht_generation)
+            per_strategy[strategy.value].append(
+                (result.ratio, result.throughput_gbps))
+    return table, per_strategy
+
+
+def test_e10_dht_strategies(benchmark):
+    table, per_strategy = benchmark.pedantic(compute, rounds=1,
+                                             iterations=1)
+    report("e10_dht_strategies", table,
+           "E10 (ablation): Huffman strategy trade-off per data class")
+    for idx in range(len(DATASETS)):
+        fixed_ratio, fixed_rate = per_strategy["fixed"][idx]
+        canned_ratio, canned_rate = per_strategy["canned"][idx]
+        dyn_ratio, dyn_rate = per_strategy["dynamic"][idx]
+        # Ratio ordering: fixed <= canned <= dynamic (small tolerance).
+        assert fixed_ratio <= canned_ratio * 1.03
+        assert canned_ratio <= dyn_ratio * 1.01
+        # Throughput ordering: dynamic pays the generation bubble.
+        assert dyn_rate <= canned_rate * 1.001
+        assert dyn_rate <= fixed_rate * 1.001
+
+
+if __name__ == "__main__":
+    table, _ = compute()
+    print(table.render("E10: DHT strategies"))

@@ -1,0 +1,51 @@
+"""E13 — decompression: engine throughput and speedup over software.
+
+Decompression is the more frequent operation in read-heavy systems; the
+engine model measures output-side rate on real bitstreams per corpus
+component, against the calibrated software inflate rate.
+"""
+
+from __future__ import annotations
+
+from repro.core.metrics import Table
+from repro.deflate.compress import deflate
+from repro.nx.decompressor import NxDecompressor
+from repro.nx.params import POWER9, Z15
+from repro.perf.cost import SoftwareCostModel
+from repro.workloads.corpus import build_corpus
+
+from _common import report
+
+
+def compute() -> tuple[Table, dict]:
+    corpus = build_corpus("quick")
+    p9 = NxDecompressor(POWER9.engine)
+    z15 = NxDecompressor(Z15.engine)
+    sw = SoftwareCostModel(POWER9)
+    table = Table(headers=["component", "P9 GB/s", "z15 GB/s",
+                           "sw MB/s", "P9 speedup"])
+    speedups = []
+    for name, data in corpus.items():
+        payload = deflate(data, level=6).data
+        r_p9 = p9.decompress(payload)
+        r_z15 = z15.decompress(payload)
+        sw_rate = sw.decompress_rate_mbps()
+        gain = r_p9.throughput_gbps * 1000 / sw_rate
+        table.add(name, r_p9.throughput_gbps, r_z15.throughput_gbps,
+                  sw_rate, gain)
+        speedups.append(gain)
+    return table, {"speedups": speedups}
+
+
+def test_e13_decompression(benchmark):
+    table, extra = benchmark.pedantic(compute, rounds=1, iterations=1)
+    report("e13_decompression", table,
+           "E13: decompression throughput (output-side) per component")
+    # Decompression offload gains are large but smaller than compression
+    # (software inflate is ~10x faster than deflate).
+    assert all(40 < gain < 130 for gain in extra["speedups"])
+
+
+if __name__ == "__main__":
+    table, _ = compute()
+    print(table.render("E13: decompression"))

@@ -1,0 +1,55 @@
+"""E17 — completion notification: poll vs interrupt vs wait.
+
+For each request size: observed latency and CPU cycles burned per mode,
+plus the policy crossover.  This is the 'how does software find out'
+half of the invocation-overhead story (E4 covers 'how does software
+ask').
+"""
+
+from __future__ import annotations
+
+from repro.core.metrics import Table, human_bytes
+from repro.nx.params import POWER9
+from repro.perf.completion import CompletionMode, CompletionModel
+
+from _common import report
+
+SIZES = [4 << 10, 64 << 10, 1 << 20, 16 << 20]
+
+
+def compute() -> tuple[Table, dict]:
+    model = CompletionModel(POWER9)
+    table = Table(headers=["buffer", "mode", "latency us", "cpu burn us",
+                           "best"])
+    bests = {}
+    for size in SIZES:
+        costs = model.costs(size)
+        best = model.best_mode(size)
+        bests[size] = best
+        for mode in CompletionMode:
+            cost = costs[mode]
+            table.add(human_bytes(size), mode.value,
+                      cost.latency_seconds * 1e6,
+                      cost.cpu_burn_seconds * 1e6,
+                      "*" if mode is best else "")
+    return table, {"bests": bests,
+                   "crossover": model.crossover_bytes()}
+
+
+def test_e17_completion_modes(benchmark):
+    table, extra = benchmark.pedantic(compute, rounds=3, iterations=1)
+    report("e17_completion_modes", table,
+           "E17: completion notification trade-off (latency + CPU burn, "
+           "equal weight)",
+           notes=f"wait-to-interrupt crossover (equal weight): "
+                 f"{human_bytes(extra['crossover'])}")
+    bests = extra["bests"]
+    # Small/medium: the wait facility wins; large: interrupt wins.
+    assert bests[4 << 10] is CompletionMode.WAIT
+    assert bests[16 << 20] is CompletionMode.INTERRUPT
+    assert 4096 < extra["crossover"] < (64 << 20)
+
+
+if __name__ == "__main__":
+    table, _ = compute()
+    print(table.render("E17: completion modes"))

@@ -1,0 +1,59 @@
+"""E1 — single-accelerator speedup over one-core zlib (abstract: 388x).
+
+Regenerates the table behind the abstract's headline: one NX engine
+versus one POWER9 core running zlib at levels 1/6/9, across buffer
+sizes.  The 388x figure is the level-6, large-buffer cell.
+"""
+
+from __future__ import annotations
+
+from repro.core.metrics import Table, human_bytes
+from repro.core.plot import line_chart
+from repro.nx.params import POWER9
+from repro.perf.timing import OffloadTimingModel
+
+from _common import report
+
+SIZES = [64 << 10, 256 << 10, 1 << 20, 8 << 20, 64 << 20]
+LEVELS = [1, 6, 9]
+
+
+def compute() -> tuple[Table, float, str]:
+    timing = OffloadTimingModel(POWER9)
+    table = Table(headers=["buffer", "vs zlib -1", "vs zlib -6",
+                           "vs zlib -9"])
+    headline = 0.0
+    series = {f"vs -{level}": [] for level in LEVELS}
+    for size in SIZES:
+        speedups = [timing.speedup(size, level) for level in LEVELS]
+        table.add(human_bytes(size), *speedups)
+        for level, value in zip(LEVELS, speedups):
+            series[f"vs -{level}"].append((size, value))
+        if size == 8 << 20:
+            headline = speedups[1]
+    figure = line_chart(series, log_x=True,
+                        title="Figure E1: speedup vs one core",
+                        y_label="speedup", x_label="buffer bytes")
+    return table, headline, figure
+
+
+def test_e1_single_core_speedup(benchmark):
+    (table, headline, figure) = benchmark.pedantic(compute, rounds=3,
+                                                    iterations=1)
+    report("e1_single_core_speedup", table,
+           "E1: one NX accelerator vs one POWER9 core (speedup factor)",
+           notes=f"headline (8 MB, zlib -6): {headline:.0f}x "
+                 "(paper: 388x)",
+           figure=figure)
+    assert 350 < headline < 420
+    # Speedup grows with buffer size (overhead amortization).
+    first = float(table.rows[0][2])
+    last = float(table.rows[-1][2])
+    assert last > first
+
+
+if __name__ == "__main__":
+    table, headline, figure = compute()
+    print(table.render("E1: single-core speedup"))
+    print(figure)
+    print(f"headline: {headline:.0f}x")

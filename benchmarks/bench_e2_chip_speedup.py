@@ -1,0 +1,48 @@
+"""E2 — one accelerator vs the entire chip of cores (abstract: 13x).
+
+Sweeps the number of software threads compressing independent streams on
+the POWER9 chip and compares aggregate software throughput against a
+single NX engine.
+"""
+
+from __future__ import annotations
+
+from repro.core.metrics import Table
+from repro.nx.params import POWER9
+from repro.perf.cost import SoftwareCostModel, accelerator_effective_gbps
+
+from _common import report
+
+
+def compute() -> tuple[Table, float]:
+    cost = SoftwareCostModel(POWER9)
+    accel = accelerator_effective_gbps(POWER9)
+    single = cost.compress_rate_mbps(6) / 1000.0
+    table = Table(headers=["software threads", "software GB/s",
+                           "NX GB/s", "NX speedup"])
+    chip_speedup = 0.0
+    cores = POWER9.cores.cores
+    for threads in (1, 4, 8, 16, cores, cores * POWER9.cores.smt):
+        if threads <= cores:
+            sw = single * threads
+        else:  # SMT threads add the calibrated aggregate factor
+            sw = single * cores * POWER9.cores.smt_scaling
+        table.add(threads, sw, accel, accel / sw)
+        chip_speedup = accel / sw
+    return table, chip_speedup
+
+
+def test_e2_chip_speedup(benchmark):
+    table, chip_speedup = benchmark.pedantic(compute, rounds=3,
+                                             iterations=1)
+    report("e2_chip_speedup", table,
+           "E2: one NX accelerator vs the whole POWER9 chip running zlib -6",
+           notes=f"headline (all cores + SMT): {chip_speedup:.1f}x "
+                 "(paper: 13x)")
+    assert 11.5 < chip_speedup < 14.5
+
+
+if __name__ == "__main__":
+    table, headline = compute()
+    print(table.render("E2: chip speedup"))
+    print(f"headline: {headline:.1f}x")

@@ -1,0 +1,56 @@
+"""E8 — aggregate system scaling (abstract: 280 GB/s on maximal z15).
+
+Aggregate compression rate as the topology grows from one chip to the
+maximally configured z15 (5 CPC drawers x 4 CP chips), alongside the
+all-core software alternative at every point.
+"""
+
+from __future__ import annotations
+
+from repro.core.metrics import Table
+from repro.core.plot import line_chart
+from repro.nx.params import Z15, z15_max_config
+from repro.perf.system import SystemModel, scaling_series
+
+from _common import report
+
+
+def compute() -> tuple[Table, float]:
+    series = scaling_series(Z15, max_chips=20, chips_per_drawer=4)
+    table = Table(headers=["chips", "accelerators GB/s",
+                           "all-core software GB/s", "speedup"])
+    for step in (1, 2, 4, 8, 12, 16, 20):
+        rates = series[step - 1]
+        table.add(step, rates.accelerator_gbps, rates.software_gbps,
+                  rates.speedup)
+    max_rate = SystemModel(z15_max_config()).rates().accelerator_gbps
+    figure = line_chart(
+        {"accelerators": [(r.chips, r.accelerator_gbps)
+                          for r in series],
+         "software": [(r.chips, r.software_gbps) for r in series]},
+        title="Figure E8: aggregate rate vs chips",
+        y_label="GB/s", x_label="CP chips")
+    return table, max_rate, figure
+
+
+def test_e8_system_scaling(benchmark):
+    table, max_rate, figure = benchmark.pedantic(compute, rounds=3,
+                                                 iterations=1)
+    report("e8_system_scaling", table,
+           "E8: z15 aggregate compression rate vs topology size",
+           notes=f"maximal configuration: {max_rate:.0f} GB/s "
+                 "(paper: up to 280 GB/s)",
+           figure=figure)
+    assert 260 < max_rate < 300
+    # Scaling is linear in chips.
+    rates = [float(row[1]) for row in table.rows]
+    chips = [int(row[0]) for row in table.rows]
+    per_chip = [rate / n for rate, n in zip(rates, chips)]
+    assert max(per_chip) - min(per_chip) < 0.02 * per_chip[0]
+
+
+if __name__ == "__main__":
+    table, headline, figure = compute()
+    print(table.render("E8: system scaling"))
+    print(figure)
+    print(f"max config: {headline:.0f} GB/s")

@@ -1,0 +1,54 @@
+"""E9 — area and energy efficiency (abstract: <0.5% chip area).
+
+The accelerator-vs-cores efficiency table: area fraction, throughput per
+mm^2, energy per byte, and CPU cycles returned to applications.
+"""
+
+from __future__ import annotations
+
+from repro.core.metrics import Table
+from repro.nx.params import POWER9, Z15
+from repro.perf.energy import EnergyModel
+
+from _common import report
+
+
+def compute() -> tuple[Table, dict]:
+    table = Table(headers=["machine", "area %", "accel GB/s/mm2",
+                           "cores GB/s/mm2", "area gain",
+                           "accel nJ/B", "sw nJ/B", "energy gain"])
+    headline = {}
+    for machine in (POWER9, Z15):
+        model = EnergyModel(machine)
+        area = model.area_comparison()
+        energy = model.energy_comparison()
+        table.add(machine.name, 100 * machine.area_fraction,
+                  area.accelerator_gbps_per_mm2,
+                  area.cores_gbps_per_mm2,
+                  area.efficiency_gain,
+                  energy.accelerator_nj_per_byte,
+                  energy.software_nj_per_byte,
+                  energy.efficiency_gain)
+        headline[machine.name] = {
+            "area_fraction": machine.area_fraction,
+            "energy_gain": energy.efficiency_gain,
+            "area_gain": area.efficiency_gain,
+        }
+    return table, headline
+
+
+def test_e9_area_power(benchmark):
+    table, headline = benchmark.pedantic(compute, rounds=3, iterations=1)
+    report("e9_area_power", table,
+           "E9: area and energy efficiency, accelerator vs core complex",
+           notes="paper: accelerator uses <0.5% of chip area yet replaces "
+                 "the whole chip's compression throughput")
+    for machine in ("POWER9", "z15"):
+        assert headline[machine]["area_fraction"] < 0.005
+        assert headline[machine]["energy_gain"] > 100
+        assert headline[machine]["area_gain"] > 100
+
+
+if __name__ == "__main__":
+    table, _ = compute()
+    print(table.render("E9: area/power"))

@@ -1,0 +1,81 @@
+"""Page-fault handling: the touch-and-resubmit protocol, observable.
+
+The accelerator translates user addresses through the nest MMU; pages
+can be non-resident at any time.  This example injects translation
+faults and walks through exactly what the driver does about them —
+the CSB condition codes, the page touches, the resubmissions, and the
+last-resort software fallback.
+
+Run:  python examples/fault_handling.py
+"""
+
+from __future__ import annotations
+
+from repro.core.metrics import Table
+from repro.nx.accelerator import NxAccelerator
+from repro.nx.params import POWER9
+from repro.sysstack.crb import CcCode, Op
+from repro.sysstack.driver import NxDriver
+from repro.sysstack.mmu import AddressSpace, FaultInjector
+from repro.workloads.generators import generate
+
+
+def single_fault_walkthrough() -> None:
+    """Manually inject one fault and watch the protocol steps."""
+    space = AddressSpace()
+    accel = NxAccelerator(POWER9)
+    driver = NxDriver(accel, space)
+    driver.open()
+    data = generate("markov_text", 32768, seed=2)
+
+    # Build the job, then page out the source before the engine runs.
+    source, target, csb_va = driver.prepare_buffers(data)
+    space.page_out(source.address)
+
+    from repro.sysstack.crb import Crb, FunctionCode
+
+    crb = Crb(function=FunctionCode(op=Op.COMPRESS),
+              source=source, target=target, csb_address=csb_va)
+    outcome = accel.execute(crb, space)
+    print(f"1. engine hits the fault:  CC={outcome.csb.cc.name} "
+          f"addr=0x{outcome.csb.fault_address:x}")
+
+    space.touch(outcome.csb.fault_address)
+    print("2. driver touches the page (OS makes it resident)")
+
+    outcome = accel.execute(crb, space)
+    print(f"3. resubmitted job:        CC={outcome.csb.cc.name} "
+          f"wrote {outcome.csb.target_written} bytes\n")
+    assert outcome.csb.cc is CcCode.SUCCESS
+
+
+def fault_rate_sweep() -> None:
+    data = generate("json_records", 262144, seed=4)
+    table = Table(headers=["fault prob", "submissions", "faults",
+                           "time us", "fallback"])
+    seeds = {0.0: 0, 0.05: 6, 0.25: 9, 1.0: 0}
+    for prob in (0.0, 0.05, 0.25, 1.0):
+        space = AddressSpace(
+            fault_injector=FaultInjector(prob, seed=seeds[prob]))
+        driver = NxDriver(NxAccelerator(POWER9), space, max_retries=20)
+        driver.open()
+        result = driver.run(Op.COMPRESS, data)
+        table.add(prob, result.stats.submissions,
+                  result.stats.translation_faults,
+                  result.stats.elapsed_seconds * 1e6,
+                  str(result.stats.fallback_to_software))
+        # Output is correct no matter which path produced it.
+        import zlib
+
+        assert zlib.decompress(result.output, -15) == data
+    print(table.render("driver behaviour vs injected fault rate"))
+    print("(prob=1.0 exhausts retries -> software fallback, as in libnxz)")
+
+
+def main() -> None:
+    single_fault_walkthrough()
+    fault_rate_sweep()
+
+
+if __name__ == "__main__":
+    main()

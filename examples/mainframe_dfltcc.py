@@ -1,0 +1,86 @@
+"""z15 DFLTCC: driving the accelerator with a synchronous instruction.
+
+On z15 there is no driver, no queue and no interrupt: software issues
+DFLTCC in a loop, re-issuing on CC=3 (CPU-determined completion).  This
+example walks the instruction-level protocol — QAF, GDHT, chunked CMPR
+with the parameter-block continuation state, and XPND — and compares
+the invocation cost against the POWER9 paste/poll path.
+
+Run:  python examples/mainframe_dfltcc.py
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.core.metrics import Table, human_bytes
+from repro.nx.params import POWER9
+from repro.nx.z15 import (
+    ConditionCode,
+    Dfltcc,
+    ParameterBlock,
+    dfltcc_compress,
+    dfltcc_expand,
+)
+from repro.perf.timing import OffloadTimingModel
+from repro.workloads.generators import generate
+
+
+def instruction_walkthrough() -> None:
+    data = generate("log_lines", 300000, seed=12)
+    facility = Dfltcc(processing_quantum=65536)
+
+    print("QAF ->", sorted(f.name for f
+                           in facility.query_available_functions()))
+
+    block = ParameterBlock()
+    facility.generate_dht(block, data[:4096])
+    print(f"GDHT -> strategy={block.dht_strategy.value}")
+
+    out = bytearray()
+    offset = 0
+    issue = 0
+    while True:
+        result = facility.compress(block, data[offset:])
+        out += result.produced
+        offset += result.consumed
+        issue += 1
+        print(f"CMPR #{issue}: CC={result.cc.name} consumed="
+              f"{human_bytes(result.consumed)} "
+              f"produced={human_bytes(len(result.produced))} "
+              f"(continuation={block.continuation})")
+        if result.cc is ConditionCode.DONE:
+            break
+
+    assert zlib.decompress(bytes(out), -15) == data
+    assert block.check_value == zlib.crc32(data)
+    print(f"stream valid; CRC in parameter block matches "
+          f"({block.check_value:#010x})\n")
+
+    restored, _seconds = dfltcc_expand(bytes(out))
+    assert restored == data
+    print(f"XPND restored {human_bytes(len(restored))}\n")
+
+
+def invocation_cost_comparison() -> None:
+    p9 = OffloadTimingModel(POWER9)
+    table = Table(headers=["buffer", "P9 paste/poll us", "z15 DFLTCC us",
+                           "gain"])
+    for size in (4096, 65536, 1 << 20):
+        data = generate("json_records", size, seed=13)
+        _stream, z15_seconds, _i = dfltcc_compress(data)
+        p9_seconds = p9.offload_latency(size).total
+        table.add(human_bytes(size), p9_seconds * 1e6, z15_seconds * 1e6,
+                  p9_seconds / z15_seconds)
+    print(table.render("invocation path: async window vs sync instruction"))
+    print("(small buffers: the sync path wins far beyond the 2x "
+          "engine-rate ratio)")
+
+
+def main() -> None:
+    instruction_walkthrough()
+    invocation_cost_comparison()
+
+
+if __name__ == "__main__":
+    main()

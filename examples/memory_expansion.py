@@ -1,0 +1,94 @@
+"""Active Memory Expansion: the 842 engines' original job.
+
+Before the gzip engines, the NX unit's 842 pipes compressed cold memory
+pages so an LPAR could be configured with less physical DRAM (AIX AME).
+This example runs a pool of synthetic memory pages through the 842 path
+via the real CRB interface, sizes the expansion factor, and then shows
+why the paper's gzip engines changed the game: same pages, better
+ratio, at a throughput that is still far beyond software.
+
+Run:  python examples/memory_expansion.py
+"""
+
+from __future__ import annotations
+
+from repro.core.metrics import Table, human_bytes
+from repro.nx.accelerator import NxAccelerator
+from repro.nx.params import POWER9
+from repro.sysstack.crb import Op
+from repro.sysstack.driver import NxDriver
+from repro.sysstack.mmu import AddressSpace
+from repro.workloads.generators import generate
+
+PAGE = 65536
+POOL_PAGES = 24
+
+_PAGE_KINDS = [
+    ("heap (json)", "json_records"),
+    ("page cache (text)", "markov_text"),
+    ("db buffer pool", "database_pages"),
+    ("code", "binary_executable"),
+    ("zeroed", "zero_bytes"),
+    ("encrypted", "random_bytes"),
+]
+
+
+def build_pool() -> list[tuple[str, bytes]]:
+    pool = []
+    for idx in range(POOL_PAGES):
+        kind, generator = _PAGE_KINDS[idx % len(_PAGE_KINDS)]
+        pool.append((kind, generate(generator, PAGE, seed=100 + idx)))
+    return pool
+
+
+def main() -> None:
+    pool = build_pool()
+    space = AddressSpace()
+    driver = NxDriver(NxAccelerator(POWER9), space)
+    driver.open()
+
+    table = Table(headers=["page kind", "pages", "842 ratio",
+                           "gzip ratio"])
+    totals = {"in": 0, "e842": 0, "gzip": 0}
+    per_kind: dict[str, list[tuple[int, int, int]]] = {}
+    seconds_842 = 0.0
+
+    for kind, page in pool:
+        r842 = driver.run(Op.COMPRESS_842, page)
+        rgz = driver.run(Op.COMPRESS, page, strategy="dynamic")
+        seconds_842 += r842.stats.elapsed_seconds
+        back = driver.run(Op.DECOMPRESS_842, r842.output)
+        assert back.output == page
+        per_kind.setdefault(kind, []).append(
+            (len(page), len(r842.output), len(rgz.output)))
+        totals["in"] += len(page)
+        totals["e842"] += len(r842.output)
+        totals["gzip"] += len(rgz.output)
+
+    for kind, rows in per_kind.items():
+        n_in = sum(r[0] for r in rows)
+        n_842 = sum(r[1] for r in rows)
+        n_gz = sum(r[2] for r in rows)
+        table.add(kind, len(rows), n_in / n_842, n_in / n_gz)
+    table.add("POOL", POOL_PAGES, totals["in"] / totals["e842"],
+              totals["in"] / totals["gzip"])
+    print(table.render("memory page pool through the NX 842 vs gzip pipes"))
+
+    expansion_842 = totals["in"] / totals["e842"]
+    expansion_gzip = totals["in"] / totals["gzip"]
+    print(f"\npool: {human_bytes(totals['in'])} of pages")
+    print(f"  842 expansion factor:  {expansion_842:.2f}x "
+          f"(the AME story)")
+    print(f"  gzip expansion factor: {expansion_gzip:.2f}x "
+          f"(+{100 * (expansion_gzip / expansion_842 - 1):.0f}% more "
+          "memory from the same DRAM)")
+    print(f"  modelled 842 compress time for the pool: "
+          f"{seconds_842 * 1e6:.0f} us")
+
+    counters = driver.accelerator.e842_engine.counters
+    print(f"  842 engine served {counters.jobs} jobs, "
+          f"{human_bytes(counters.bytes_in)} in")
+
+
+if __name__ == "__main__":
+    main()

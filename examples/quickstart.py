@@ -1,0 +1,48 @@
+"""Quickstart: compress and decompress through the accelerator model.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import gzip
+
+from repro import NxGzip
+from repro.core.metrics import human_bytes
+from repro.workloads.generators import generate
+
+
+def main() -> None:
+    # Something realistic to compress: 256 KB of JSON event records.
+    data = generate("json_records", 256 * 1024, seed=1)
+
+    # Open a session on a modelled POWER9 chip.  This allocates a VAS
+    # send window, exactly like the production user-space library.
+    with NxGzip("POWER9") as session:
+        compressed = session.compress(data, strategy="auto", fmt="gzip")
+        restored = session.decompress(compressed.data, fmt="gzip")
+
+        assert restored.data == data
+        # The output is a standard gzip member: any consumer works.
+        assert gzip.decompress(compressed.data) == data
+
+        ratio = len(data) / compressed.nbytes
+        gbps = (len(data) / 1e9) / compressed.modelled_seconds
+        print(f"input:            {human_bytes(len(data))}")
+        print(f"compressed:       {human_bytes(compressed.nbytes)} "
+              f"(ratio {ratio:.2f})")
+        print(f"modelled time:    {compressed.modelled_seconds * 1e6:.1f} us"
+              f"  ({gbps:.2f} GB/s end-to-end)")
+        print(f"requests issued:  {session.stats.requests}")
+        print(f"faults handled:   {session.stats.faults}")
+
+    # The same API runs the z15 machine model (synchronous DFLTCC).
+    with NxGzip("z15") as session:
+        compressed = session.compress(data)
+        gbps = (len(data) / 1e9) / compressed.modelled_seconds
+        print(f"z15 modelled:     {compressed.modelled_seconds * 1e6:.1f} us"
+              f"  ({gbps:.2f} GB/s end-to-end)")
+
+
+if __name__ == "__main__":
+    main()

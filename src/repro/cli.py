@@ -1,0 +1,199 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``compress``   — compress a file through the accelerator model
+* ``decompress`` — decompress a file (gzip/zlib/raw)
+* ``machines``   — list modelled machines and their calibrated rates
+* ``advise``     — offload advice for a request size
+* ``ratio``      — compare codec ratios on a file or named generator
+
+The CLI exists so the model is usable without writing Python; every
+command prints the modelled timing next to the functional result.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from .core.api import NxGzip
+from .core.metrics import Table, human_bytes
+from .core.offload import OffloadAdvisor
+from .nx.params import MACHINES, get_machine
+
+
+def _add_machine_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--machine", default="POWER9",
+                        choices=sorted(MACHINES),
+                        help="machine model to run on")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="IBM POWER9/z15 compression accelerator model")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_comp = sub.add_parser("compress", help="compress a file")
+    p_comp.add_argument("input", type=pathlib.Path)
+    p_comp.add_argument("-o", "--output", type=pathlib.Path)
+    p_comp.add_argument("--fmt", default="gzip",
+                        choices=["gzip", "zlib", "raw"])
+    p_comp.add_argument("--strategy", default="auto",
+                        choices=["auto", "fixed", "dynamic", "canned"])
+    _add_machine_arg(p_comp)
+
+    p_dec = sub.add_parser("decompress", help="decompress a file")
+    p_dec.add_argument("input", type=pathlib.Path)
+    p_dec.add_argument("-o", "--output", type=pathlib.Path)
+    p_dec.add_argument("--fmt", default="gzip",
+                       choices=["gzip", "zlib", "raw"])
+    _add_machine_arg(p_dec)
+
+    sub.add_parser("machines", help="list machine models")
+
+    p_adv = sub.add_parser("advise", help="offload advice for a size")
+    p_adv.add_argument("size", type=int, help="request size in bytes")
+    p_adv.add_argument("--level", type=int, default=6)
+    _add_machine_arg(p_adv)
+
+    p_ratio = sub.add_parser("ratio", help="codec ratio comparison")
+    p_ratio.add_argument("source",
+                         help="a file path or generator:<name>[:size]")
+    _add_machine_arg(p_ratio)
+
+    p_self = sub.add_parser("selftest",
+                            help="known-answer vectors through both pipes")
+    _add_machine_arg(p_self)
+    return parser
+
+
+def _load_source(source: str) -> tuple[str, bytes]:
+    if source.startswith("generator:"):
+        from .workloads.generators import generate
+
+        parts = source.split(":")
+        name = parts[1]
+        size = int(parts[2]) if len(parts) > 2 else 65536
+        return f"{name}({human_bytes(size)})", generate(name, size, seed=1)
+    path = pathlib.Path(source)
+    return path.name, path.read_bytes()
+
+
+def cmd_compress(args: argparse.Namespace) -> int:
+    data = args.input.read_bytes()
+    with NxGzip(args.machine) as session:
+        result = session.compress(data, strategy=args.strategy,
+                                  fmt=args.fmt)
+    suffix = {"gzip": ".gz", "zlib": ".zz", "raw": ".deflate"}[args.fmt]
+    output = args.output or args.input.with_name(args.input.name + suffix)
+    output.write_bytes(result.data)
+    ratio = len(data) / len(result.data) if result.data else 0.0
+    print(f"{args.input} -> {output}")
+    print(f"  {human_bytes(len(data))} -> {human_bytes(len(result.data))} "
+          f"(ratio {ratio:.2f})")
+    print(f"  modelled time on {args.machine}: "
+          f"{result.modelled_seconds * 1e6:.1f} us "
+          f"({len(data) / 1e9 / result.modelled_seconds:.2f} GB/s)")
+    return 0
+
+
+def cmd_decompress(args: argparse.Namespace) -> int:
+    payload = args.input.read_bytes()
+    with NxGzip(args.machine) as session:
+        result = session.decompress(payload, fmt=args.fmt)
+    output = args.output or args.input.with_suffix(".out")
+    output.write_bytes(result.data)
+    print(f"{args.input} -> {output}")
+    print(f"  {human_bytes(len(payload))} -> "
+          f"{human_bytes(len(result.data))}")
+    print(f"  modelled time on {args.machine}: "
+          f"{result.modelled_seconds * 1e6:.1f} us")
+    return 0
+
+
+def cmd_machines(_args: argparse.Namespace) -> int:
+    from .perf.cost import SoftwareCostModel, accelerator_effective_gbps
+
+    table = Table(headers=["machine", "cores", "accel GB/s",
+                           "sw zlib-6 MB/s", "area %", "interface"])
+    for name in sorted(MACHINES):
+        machine = get_machine(name)
+        cost = SoftwareCostModel(machine)
+        table.add(name, machine.cores.cores,
+                  accelerator_effective_gbps(machine),
+                  cost.compress_rate_mbps(6),
+                  100 * machine.area_fraction,
+                  "sync DFLTCC" if machine.synchronous else "async VAS")
+    print(table.render("modelled machines"))
+    return 0
+
+
+def cmd_advise(args: argparse.Namespace) -> int:
+    advisor = OffloadAdvisor(get_machine(args.machine), level=args.level)
+    rec = advisor.recommend(args.size)
+    print(f"request: {human_bytes(args.size)} on {args.machine} "
+          f"(vs zlib -{args.level})")
+    print(f"  route: {rec.route.value}  (gain {rec.gain:.1f}x)")
+    print(f"  hardware latency: {rec.hw_latency_s * 1e6:.1f} us; "
+          f"software: {rec.sw_latency_s * 1e6:.1f} us")
+    print(f"  break-even size: {human_bytes(rec.break_even_bytes)}")
+    return 0
+
+
+def cmd_ratio(args: argparse.Namespace) -> int:
+    from .deflate.compress import deflate
+    from .e842 import compress as e842_compress
+    from .nx.compressor import NxCompressor
+    from .nx.dht import DhtStrategy
+
+    name, data = _load_source(args.source)
+    machine = get_machine(args.machine)
+    nx = NxCompressor(machine.engine)
+    table = Table(headers=["codec", "bytes", "ratio"])
+    table.add("input", len(data), 1.0)
+    for label, size in (
+            ("zlib -1", len(deflate(data, 1).data)),
+            ("zlib -6", len(deflate(data, 6).data)),
+            ("zlib -9", len(deflate(data, 9).data)),
+            ("NX fixed", len(nx.compress(data, DhtStrategy.FIXED).data)),
+            ("NX canned", len(nx.compress(data, DhtStrategy.CANNED).data)),
+            ("NX dht", len(nx.compress(data, DhtStrategy.DYNAMIC).data)),
+            ("842", len(e842_compress(data).data)),
+    ):
+        table.add(label, size, len(data) / size if size else 0.0)
+    print(table.render(f"codec comparison: {name}"))
+    return 0
+
+
+def cmd_selftest(args: argparse.Namespace) -> int:
+    from .nx.selftest import run_selftest
+
+    report = run_selftest(get_machine(args.machine),
+                          raise_on_failure=False)
+    status = "PASS" if report.passed else "FAIL"
+    print(f"{report.machine}: {status} "
+          f"({report.vectors_run} vectors x "
+          f"{report.strategies_run} strategies)")
+    return 0 if report.passed else 1
+
+
+_COMMANDS = {
+    "compress": cmd_compress,
+    "decompress": cmd_decompress,
+    "machines": cmd_machines,
+    "advise": cmd_advise,
+    "ratio": cmd_ratio,
+    "selftest": cmd_selftest,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

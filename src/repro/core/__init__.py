@@ -1,0 +1,32 @@
+"""Public API: accelerator sessions, offload policy, reporting."""
+
+from .analyze import Analysis, StrategyEstimate, analyze
+from .api import CompressedBuffer, NxGzip, SessionStats, software_decompress
+from .metrics import Table, gbps, human_bytes, mbps, ratio, speedup
+from .offload import OffloadAdvisor, Recommendation, Route
+from .plot import bar_chart, line_chart
+from .stream import NxCompressStream, NxDecompressStream, StreamStats
+
+__all__ = [
+    "analyze",
+    "Analysis",
+    "StrategyEstimate",
+    "NxCompressStream",
+    "NxDecompressStream",
+    "StreamStats",
+    "NxGzip",
+    "CompressedBuffer",
+    "SessionStats",
+    "software_decompress",
+    "OffloadAdvisor",
+    "Recommendation",
+    "Route",
+    "Table",
+    "line_chart",
+    "bar_chart",
+    "gbps",
+    "mbps",
+    "ratio",
+    "speedup",
+    "human_bytes",
+]

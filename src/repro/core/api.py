@@ -1,0 +1,148 @@
+"""High-level public API: the library a downstream user actually calls.
+
+:class:`NxGzip` mirrors the shape of the production user-space library
+(libnxz / zlib-compatible wrappers): open a session against a machine,
+then ``compress``/``decompress`` buffers.  Each call runs the full
+modelled stack — CRB build, VAS paste, engine execution, fault handling —
+and returns both the bytes and the modelled timing, so applications and
+experiments share one code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..deflate import gzip_decompress, inflate, zlib_decompress
+from ..nx.accelerator import NxAccelerator
+from ..nx.params import POWER9, MachineParams, get_machine
+from ..sysstack.crb import Op
+from ..sysstack.driver import DriverResult, NxDriver
+from ..sysstack.mmu import AddressSpace, FaultInjector
+
+
+@dataclass
+class SessionStats:
+    """Running totals across one session's requests."""
+
+    requests: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    modelled_seconds: float = 0.0
+    faults: int = 0
+    fallbacks: int = 0
+
+
+@dataclass
+class CompressedBuffer:
+    """The result of one API call."""
+
+    data: bytes
+    modelled_seconds: float
+    driver: DriverResult
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.data)
+
+
+class NxGzip:
+    """A user session on the on-chip compression accelerator model.
+
+    Parameters
+    ----------
+    machine:
+        A :class:`MachineParams` or machine name ("POWER9", "z15").
+    fault_probability:
+        Probability that any accelerator-side page translation faults
+        (exercises the touch-and-resubmit path).
+    """
+
+    def __init__(self, machine: MachineParams | str = POWER9,
+                 fault_probability: float = 0.0, seed: int = 0) -> None:
+        if isinstance(machine, str):
+            machine = get_machine(machine)
+        self.machine = machine
+        self.space = AddressSpace(
+            fault_injector=FaultInjector(fault_probability, seed=seed))
+        self.accelerator = NxAccelerator(machine)
+        self.driver = NxDriver(self.accelerator, self.space)
+        self.driver.open()
+        self.stats = SessionStats()
+
+    # -- public operations ---------------------------------------------------
+
+    def compress(self, data: bytes, strategy: str = "auto",
+                 fmt: str = "gzip") -> CompressedBuffer:
+        """Compress ``data``; ``fmt`` is raw | zlib | gzip."""
+        result = self.driver.run(Op.COMPRESS, data, strategy=strategy,
+                                 fmt=fmt)
+        self._account(len(data), len(result.output), result)
+        return CompressedBuffer(data=result.output,
+                                modelled_seconds=result.stats.elapsed_seconds,
+                                driver=result)
+
+    def decompress(self, payload: bytes,
+                   fmt: str = "gzip") -> CompressedBuffer:
+        """Decompress ``payload`` produced in the same wire format."""
+        result = self.driver.run(Op.DECOMPRESS, payload, fmt=fmt)
+        self._account(len(payload), len(result.output), result)
+        return CompressedBuffer(data=result.output,
+                                modelled_seconds=result.stats.elapsed_seconds,
+                                driver=result)
+
+    def compress_842(self, data: bytes) -> CompressedBuffer:
+        """Compress through the 842 pipes (memory-compression format)."""
+        result = self.driver.run(Op.COMPRESS_842, data)
+        self._account(len(data), len(result.output), result)
+        return CompressedBuffer(data=result.output,
+                                modelled_seconds=result.stats.elapsed_seconds,
+                                driver=result)
+
+    def decompress_842(self, payload: bytes) -> CompressedBuffer:
+        """Decompress an 842 stream produced by :meth:`compress_842`."""
+        result = self.driver.run(Op.DECOMPRESS_842, payload)
+        self._account(len(payload), len(result.output), result)
+        return CompressedBuffer(data=result.output,
+                                modelled_seconds=result.stats.elapsed_seconds,
+                                driver=result)
+
+    def compress_stream(self, strategy: str = "auto",
+                        fmt: str = "gzip") -> "NxCompressStream":
+        """Open a chunk-at-a-time compression stream on this session."""
+        from .stream import NxCompressStream
+
+        return NxCompressStream(session=self, strategy=strategy, fmt=fmt)
+
+    def decompress_stream(self) -> "NxDecompressStream":
+        """Open a continuation-unit decompression stream."""
+        from .stream import NxDecompressStream
+
+        return NxDecompressStream(session=self)
+
+    def close(self) -> None:
+        self.driver.close()
+
+    def __enter__(self) -> "NxGzip":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- helpers -----------------------------------------------------------
+
+    def _account(self, nin: int, nout: int, result: DriverResult) -> None:
+        self.stats.requests += 1
+        self.stats.bytes_in += nin
+        self.stats.bytes_out += nout
+        self.stats.modelled_seconds += result.stats.elapsed_seconds
+        self.stats.faults += result.stats.translation_faults
+        self.stats.fallbacks += int(result.stats.fallback_to_software)
+
+
+def software_decompress(payload: bytes, fmt: str = "gzip") -> bytes:
+    """Reference software decode of any wire format (for verification)."""
+    if fmt == "gzip":
+        return gzip_decompress(payload)
+    if fmt == "zlib":
+        return zlib_decompress(payload)
+    return inflate(payload)

@@ -1,0 +1,64 @@
+"""Offload policy: when hardware beats software for a given request.
+
+The paper's system integration point: the user-space library decides per
+call whether the accelerator's invocation overhead is worth paying.  The
+advisor exposes the break-even curve and a simple recommend() that the
+examples and benches use.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..nx.params import MachineParams
+from ..perf.timing import OffloadTimingModel
+
+
+class Route(enum.Enum):
+    HARDWARE = "hardware"
+    SOFTWARE = "software"
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """Advice for one request."""
+
+    route: Route
+    hw_latency_s: float
+    sw_latency_s: float
+    break_even_bytes: float
+
+    @property
+    def gain(self) -> float:
+        """Latency ratio of the rejected path over the chosen one."""
+        if self.route is Route.HARDWARE:
+            return self.sw_latency_s / self.hw_latency_s
+        return self.hw_latency_s / self.sw_latency_s
+
+
+@dataclass
+class OffloadAdvisor:
+    """Per-machine offload decisions with a configurable safety margin."""
+
+    machine: MachineParams
+    op: str = "compress"
+    level: int = 6
+    margin: float = 1.0  # require hw to win by this factor
+
+    def __post_init__(self) -> None:
+        self._timing = OffloadTimingModel(self.machine, op=self.op)
+
+    def break_even_bytes(self) -> float:
+        return self._timing.break_even_bytes(self.level)
+
+    def recommend(self, nbytes: int,
+                  queue_wait_s: float = 0.0) -> Recommendation:
+        hw = self._timing.offload_latency(nbytes, queue_wait_s).total
+        sw = self._timing.software_latency(nbytes, self.level)
+        route = Route.HARDWARE if sw > hw * self.margin else Route.SOFTWARE
+        return Recommendation(route=route, hw_latency_s=hw, sw_latency_s=sw,
+                              break_even_bytes=self.break_even_bytes())
+
+    def curve(self, sizes: list[int]) -> list[Recommendation]:
+        return [self.recommend(size) for size in sizes]

@@ -1,0 +1,41 @@
+"""From-scratch DEFLATE/zlib/gzip codec — the software baseline substrate.
+
+This package is the pure-software analogue of the zlib library the paper
+measures against: an LZ77 hash-chain matcher with zlib's per-level tuning,
+canonical Huffman coding with optimal length-limited code construction,
+all three RFC 1951 block types, and the RFC 1950/1952 containers.
+"""
+
+from .checksums import adler32, crc32
+from .compress import CompressResult, deflate
+from .containers import (
+    gzip_compress,
+    gzip_decompress,
+    zlib_compress,
+    zlib_decompress,
+)
+from .inflate import InflateStats, inflate, inflate_with_stats
+from .gzip_stream import GzipReader
+from .inflate_stream import InflateStream, inflate_incremental
+from .matcher import LEVEL_CONFIGS, MatcherConfig, MatchStats, tokenize
+
+__all__ = [
+    "adler32",
+    "crc32",
+    "deflate",
+    "inflate",
+    "inflate_with_stats",
+    "InflateStream",
+    "inflate_incremental",
+    "GzipReader",
+    "CompressResult",
+    "InflateStats",
+    "MatchStats",
+    "MatcherConfig",
+    "LEVEL_CONFIGS",
+    "tokenize",
+    "zlib_compress",
+    "zlib_decompress",
+    "gzip_compress",
+    "gzip_decompress",
+]

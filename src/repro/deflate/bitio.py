@@ -1,0 +1,136 @@
+"""LSB-first bit stream reader/writer used by the DEFLATE codec.
+
+DEFLATE (RFC 1951 section 3.1.1) packs data elements starting at the least
+significant bit of each byte.  Huffman codes are packed most-significant-
+bit-first *of the code*, which the Huffman layer handles by pre-reversing
+code bit patterns; this module only ever deals in LSB-first integers.
+"""
+
+from __future__ import annotations
+
+from ..errors import DeflateError
+
+
+class BitWriter:
+    """Accumulates an LSB-first bit stream into a growing byte buffer."""
+
+    def __init__(self) -> None:
+        self._out = bytearray()
+        self._bitbuf = 0
+        self._bitcount = 0
+
+    def write_bits(self, value: int, nbits: int) -> None:
+        """Append the low ``nbits`` bits of ``value``, LSB first."""
+        if nbits < 0 or nbits > 64:
+            raise DeflateError(f"write_bits supports 0..64 bits, got {nbits}")
+        self._bitbuf |= (value & ((1 << nbits) - 1)) << self._bitcount
+        self._bitcount += nbits
+        while self._bitcount >= 8:
+            self._out.append(self._bitbuf & 0xFF)
+            self._bitbuf >>= 8
+            self._bitcount -= 8
+
+    def align_to_byte(self) -> None:
+        """Pad with zero bits up to the next byte boundary."""
+        if self._bitcount:
+            self._out.append(self._bitbuf & 0xFF)
+            self._bitbuf = 0
+            self._bitcount = 0
+
+    def write_bytes(self, data: bytes) -> None:
+        """Append raw bytes; the stream must be byte-aligned."""
+        if self._bitcount:
+            raise DeflateError("write_bytes requires byte alignment")
+        self._out.extend(data)
+
+    @property
+    def bit_length(self) -> int:
+        """Total number of bits written so far."""
+        return len(self._out) * 8 + self._bitcount
+
+    def getvalue(self) -> bytes:
+        """Return the byte-aligned stream (flushes a partial final byte)."""
+        self.align_to_byte()
+        return bytes(self._out)
+
+
+class BitReader:
+    """Reads an LSB-first bit stream from a bytes-like object."""
+
+    def __init__(self, data: bytes, start: int = 0) -> None:
+        self._data = data
+        self._pos = start  # next byte index
+        self._bitbuf = 0
+        self._bitcount = 0
+
+    def _fill(self, need: int) -> None:
+        while self._bitcount < need:
+            if self._pos >= len(self._data):
+                raise DeflateError("unexpected end of DEFLATE stream")
+            self._bitbuf |= self._data[self._pos] << self._bitcount
+            self._pos += 1
+            self._bitcount += 8
+
+    def read_bits(self, nbits: int) -> int:
+        """Consume and return ``nbits`` bits as an LSB-first integer."""
+        if nbits == 0:
+            return 0
+        self._fill(nbits)
+        value = self._bitbuf & ((1 << nbits) - 1)
+        self._bitbuf >>= nbits
+        self._bitcount -= nbits
+        return value
+
+    def peek_bits(self, nbits: int) -> int:
+        """Return up to ``nbits`` upcoming bits without consuming them.
+
+        Near the end of the stream fewer bits may be available; missing
+        high bits read as zero, which suits canonical Huffman peeking.
+        """
+        while self._bitcount < nbits and self._pos < len(self._data):
+            self._bitbuf |= self._data[self._pos] << self._bitcount
+            self._pos += 1
+            self._bitcount += 8
+        return self._bitbuf & ((1 << nbits) - 1)
+
+    def skip_bits(self, nbits: int) -> None:
+        """Consume ``nbits`` previously peeked bits."""
+        if nbits > self._bitcount:
+            raise DeflateError("skip past end of DEFLATE stream")
+        self._bitbuf >>= nbits
+        self._bitcount -= nbits
+
+    def align_to_byte(self) -> None:
+        """Drop bits up to the next byte boundary."""
+        drop = self._bitcount & 7
+        self._bitbuf >>= drop
+        self._bitcount -= drop
+
+    def read_bytes(self, n: int) -> bytes:
+        """Read ``n`` raw bytes; the stream must be byte-aligned."""
+        if self._bitcount & 7:
+            raise DeflateError("read_bytes requires byte alignment")
+        out = bytearray()
+        while self._bitcount >= 8 and n > 0:
+            out.append(self._bitbuf & 0xFF)
+            self._bitbuf >>= 8
+            self._bitcount -= 8
+            n -= 1
+        if n > 0:
+            if self._pos + n > len(self._data):
+                raise DeflateError("unexpected end of stream in stored data")
+            out.extend(self._data[self._pos:self._pos + n])
+            self._pos += n
+        return bytes(out)
+
+    @property
+    def bits_consumed(self) -> int:
+        """Number of bits consumed from the underlying buffer so far."""
+        return self._pos * 8 - self._bitcount
+
+    @property
+    def byte_position(self) -> int:
+        """Byte offset of the next unread byte (after alignment)."""
+        if self._bitcount & 7:
+            raise DeflateError("byte_position requires byte alignment")
+        return self._pos - self._bitcount // 8

@@ -1,0 +1,53 @@
+"""CRC-32 and Adler-32 implemented from scratch.
+
+These mirror the checksums the gzip (RFC 1952) and zlib (RFC 1950)
+containers carry, and the ones the NX accelerator computes inline with the
+data pipe.  Both are incremental: ``crc32(b, crc32(a))`` equals
+``crc32(a + b)``, matching the stdlib ``zlib`` calling convention.
+"""
+
+from __future__ import annotations
+
+_CRC_POLY = 0xEDB88320  # reflected IEEE 802.3 polynomial
+_ADLER_MOD = 65521  # largest prime below 2**16
+_ADLER_NMAX = 5552  # max bytes before the sums can overflow 32 bits
+
+
+def _build_crc_table() -> tuple[int, ...]:
+    table = []
+    for n in range(256):
+        c = n
+        for _ in range(8):
+            c = (c >> 1) ^ _CRC_POLY if c & 1 else c >> 1
+        table.append(c)
+    return tuple(table)
+
+
+_CRC_TABLE = _build_crc_table()
+
+
+def crc32(data: bytes, value: int = 0) -> int:
+    """Update a CRC-32 with ``data`` and return the new checksum."""
+    crc = (value & 0xFFFFFFFF) ^ 0xFFFFFFFF
+    table = _CRC_TABLE
+    for byte in data:
+        crc = table[(crc ^ byte) & 0xFF] ^ (crc >> 8)
+    return crc ^ 0xFFFFFFFF
+
+
+def adler32(data: bytes, value: int = 1) -> int:
+    """Update an Adler-32 with ``data`` and return the new checksum."""
+    s1 = value & 0xFFFF
+    s2 = (value >> 16) & 0xFFFF
+    pos = 0
+    remaining = len(data)
+    while remaining:
+        chunk = min(remaining, _ADLER_NMAX)
+        for byte in data[pos:pos + chunk]:
+            s1 += byte
+            s2 += s1
+        s1 %= _ADLER_MOD
+        s2 %= _ADLER_MOD
+        pos += chunk
+        remaining -= chunk
+    return (s2 << 16) | s1

@@ -1,0 +1,173 @@
+"""zlib (RFC 1950) and gzip (RFC 1952) container formats.
+
+The NX accelerator supports all three wire formats (raw DEFLATE, zlib,
+gzip) selected by the CRB function code; these helpers implement the
+container framing and checksum verification for both the software baseline
+and the accelerator model.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..errors import ChecksumError, DeflateError
+from .checksums import adler32, crc32
+from .compress import CompressResult, deflate
+from .inflate import inflate_with_stats
+
+ZLIB_CM_DEFLATE = 8
+ZLIB_WINDOW_32K = 7
+GZIP_MAGIC = b"\x1f\x8b"
+GZIP_METHOD_DEFLATE = 8
+GZIP_OS_UNKNOWN = 255
+
+_LEVEL_TO_FLEVEL = {0: 0, 1: 0, 2: 0, 3: 0, 4: 1, 5: 1, 6: 2, 7: 2, 8: 3, 9: 3}
+
+
+def zlib_compress(data: bytes, level: int = 6,
+                  zdict: bytes = b"") -> bytes:
+    """Compress into an RFC 1950 (zlib) stream.
+
+    ``zdict`` is a preset dictionary; the header then carries FDICT and
+    the dictionary's Adler-32 (DICTID), matching zlib's ``compressobj``.
+    """
+    result = deflate(data, level=level, history=zdict)
+    cmf = (ZLIB_WINDOW_32K << 4) | ZLIB_CM_DEFLATE
+    flevel = _LEVEL_TO_FLEVEL.get(level, 2)
+    flg = (flevel << 6) | (0x20 if zdict else 0)
+    header = (cmf << 8) | flg
+    header += 31 - header % 31  # FCHECK makes the 16-bit header % 31 == 0
+    out = struct.pack(">H", header)
+    if zdict:
+        out += struct.pack(">I", adler32(zdict))
+    return out + result.data + struct.pack(">I", adler32(data))
+
+
+def zlib_decompress(data: bytes, zdict: bytes = b"") -> bytes:
+    """Decompress an RFC 1950 (zlib) stream, verifying Adler-32."""
+    if len(data) < 6:
+        raise DeflateError("zlib stream too short")
+    cmf, flg = data[0], data[1]
+    if (cmf & 0x0F) != ZLIB_CM_DEFLATE:
+        raise DeflateError(f"unsupported zlib method {cmf & 0x0F}")
+    if ((cmf << 8) | flg) % 31 != 0:
+        raise DeflateError("zlib header check failed")
+    start = 2
+    if flg & 0x20:
+        if not zdict:
+            raise DeflateError("stream needs a preset dictionary")
+        dictid = struct.unpack(">I", data[2:6])[0]
+        if dictid != adler32(zdict):
+            raise ChecksumError("DICTID does not match the dictionary")
+        start = 6
+    out, _stats, bits = inflate_with_stats(data, start=start,
+                                           history=zdict if flg & 0x20
+                                           else b"")
+    tail = (bits + 7) // 8  # bits_consumed is absolute in the buffer
+    if tail + 4 > len(data):
+        raise DeflateError("zlib stream truncated before Adler-32")
+    expected = struct.unpack(">I", data[tail:tail + 4])[0]
+    if adler32(out) != expected:
+        raise ChecksumError("Adler-32 mismatch")
+    return out
+
+
+def gzip_compress(data: bytes, level: int = 6,
+                  mtime: int = 0) -> bytes:
+    """Compress into an RFC 1952 (gzip) member."""
+    result = deflate(data, level=level)
+    xfl = 2 if level >= 8 else (4 if level <= 2 else 0)
+    header = GZIP_MAGIC + bytes([GZIP_METHOD_DEFLATE, 0]) + struct.pack(
+        "<I", mtime) + bytes([xfl, GZIP_OS_UNKNOWN])
+    trailer = struct.pack("<II", crc32(data), len(data) & 0xFFFFFFFF)
+    return header + result.data + trailer
+
+
+def gzip_decompress(data: bytes) -> bytes:
+    """Decompress one RFC 1952 (gzip) member, verifying CRC-32 and ISIZE."""
+    if len(data) < 18:
+        raise DeflateError("gzip stream too short")
+    if data[:2] != GZIP_MAGIC:
+        raise DeflateError("bad gzip magic")
+    if data[2] != GZIP_METHOD_DEFLATE:
+        raise DeflateError(f"unsupported gzip method {data[2]}")
+    flg = data[3]
+    pos = 10
+    if flg & 0x04:  # FEXTRA
+        if pos + 2 > len(data):
+            raise DeflateError("gzip FEXTRA truncated")
+        xlen = struct.unpack_from("<H", data, pos)[0]
+        pos += 2 + xlen
+    if flg & 0x08:  # FNAME
+        pos = data.index(b"\x00", pos) + 1
+    if flg & 0x10:  # FCOMMENT
+        pos = data.index(b"\x00", pos) + 1
+    if flg & 0x02:  # FHCRC
+        pos += 2
+    out, _stats, bits = inflate_with_stats(data, start=pos)
+    tail = (bits + 7) // 8
+    if tail + 8 > len(data):
+        raise DeflateError("gzip stream truncated before trailer")
+    expected_crc, isize = struct.unpack_from("<II", data, tail)
+    if crc32(out) != expected_crc:
+        raise ChecksumError("gzip CRC-32 mismatch")
+    if (len(out) & 0xFFFFFFFF) != isize:
+        raise ChecksumError("gzip ISIZE mismatch")
+    return out
+
+
+def deflate_result(data: bytes, level: int = 6) -> CompressResult:
+    """Raw-DEFLATE compression returning full statistics."""
+    return deflate(data, level=level)
+
+
+def gzip_member_length(data: bytes, start: int = 0) -> int:
+    """Length in bytes of the gzip member starting at ``start``."""
+    if data[start:start + 2] != GZIP_MAGIC:
+        raise DeflateError("bad gzip magic")
+    flg = data[start + 3]
+    pos = start + 10
+    if flg & 0x04:
+        xlen = struct.unpack_from("<H", data, pos)[0]
+        pos += 2 + xlen
+    if flg & 0x08:
+        pos = data.index(b"\x00", pos) + 1
+    if flg & 0x10:
+        pos = data.index(b"\x00", pos) + 1
+    if flg & 0x02:
+        pos += 2
+    _out, _stats, bits = inflate_with_stats(data, start=pos)
+    return (bits + 7) // 8 + 8 - start
+
+
+def gzip_decompress_members(data: bytes) -> bytes:
+    """Decompress a concatenation of gzip members (RFC 1952 section 2.2).
+
+    ``tar``-less archives and per-request accelerator outputs are often
+    shipped this way; stdlib ``gzip.decompress`` accepts the same input.
+    """
+    out = bytearray()
+    pos = 0
+    while pos < len(data):
+        length = gzip_member_length(data, pos)
+        out += gzip_decompress(data[pos:pos + length])
+        pos += length
+    return bytes(out)
+
+
+def wrap_zlib(deflate_body: bytes, original: bytes) -> bytes:
+    """Frame an existing raw-DEFLATE body as an RFC 1950 stream."""
+    cmf = (ZLIB_WINDOW_32K << 4) | ZLIB_CM_DEFLATE
+    header = (cmf << 8) | (2 << 6)
+    header += 31 - header % 31
+    return struct.pack(">H", header) + deflate_body + struct.pack(
+        ">I", adler32(original))
+
+
+def wrap_gzip(deflate_body: bytes, original: bytes, mtime: int = 0) -> bytes:
+    """Frame an existing raw-DEFLATE body as an RFC 1952 member."""
+    header = GZIP_MAGIC + bytes([GZIP_METHOD_DEFLATE, 0]) + struct.pack(
+        "<I", mtime) + bytes([0, GZIP_OS_UNKNOWN])
+    trailer = struct.pack("<II", crc32(original),
+                          len(original) & 0xFFFFFFFF)
+    return header + deflate_body + trailer

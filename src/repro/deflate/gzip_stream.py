@@ -1,0 +1,162 @@
+"""Incremental gzip reading: arbitrary chunks in, verified plaintext out.
+
+Builds on :class:`~repro.deflate.inflate_stream.InflateStream`: parses
+the member header as bytes arrive, streams the DEFLATE body, verifies
+CRC-32 and ISIZE at the trailer, and rolls straight into the next
+member for multi-member archives — the decompression path a restore
+pipeline actually needs.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field
+
+from ..errors import ChecksumError, DeflateError
+from .checksums import crc32
+from .containers import GZIP_MAGIC, GZIP_METHOD_DEFLATE
+from .inflate_stream import InflateStream
+
+
+class _Phase(enum.Enum):
+    HEADER = "header"
+    BODY = "body"
+    TRAILER = "trailer"
+    DONE = "done"
+
+
+def _header_length(buf: bytes) -> int | None:
+    """Bytes of the member header, or None if more input is needed."""
+    if len(buf) < 10:
+        return None
+    if buf[:2] != GZIP_MAGIC:
+        raise DeflateError("bad gzip magic")
+    if buf[2] != GZIP_METHOD_DEFLATE:
+        raise DeflateError(f"unsupported gzip method {buf[2]}")
+    flg = buf[3]
+    pos = 10
+    if flg & 0x04:  # FEXTRA
+        if len(buf) < pos + 2:
+            return None
+        xlen = struct.unpack_from("<H", buf, pos)[0]
+        pos += 2 + xlen
+        if len(buf) < pos:
+            return None
+    for bit in (0x08, 0x10):  # FNAME, FCOMMENT
+        if flg & bit:
+            end = buf.find(b"\x00", pos)
+            if end < 0:
+                return None
+            pos = end + 1
+    if flg & 0x02:  # FHCRC
+        pos += 2
+        if len(buf) < pos:
+            return None
+    return pos
+
+
+@dataclass
+class GzipReader:
+    """Feed gzip bytes in any chunking; emits verified plaintext."""
+
+    allow_multiple_members: bool = True
+    members_read: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        self._phase = _Phase.HEADER
+        self._buf = bytearray()
+        self._inflater: InflateStream | None = None
+        self._crc = 0
+        self._size = 0
+
+    @property
+    def finished(self) -> bool:
+        return self._phase is _Phase.DONE
+
+    def feed(self, chunk: bytes) -> bytes:
+        """Consume ``chunk``; return any newly decoded plaintext."""
+        self._buf.extend(chunk)
+        return self._advance(final=False)
+
+    def finish(self) -> bytes:
+        """Declare end of input; the stream must be complete."""
+        out = self._advance(final=True)
+        if self._phase is _Phase.HEADER and self.members_read > 0 \
+                and not self._buf:
+            self._phase = _Phase.DONE
+        if self._phase is not _Phase.DONE:
+            raise DeflateError("truncated gzip stream")
+        return out
+
+    def _advance(self, final: bool) -> bytes:
+        out = bytearray()
+        progress = True
+        while progress:
+            progress = False
+            if self._phase is _Phase.HEADER:
+                progress = self._try_header()
+            elif self._phase is _Phase.BODY:
+                produced, progress = self._pump_body(final)
+                out += produced
+            elif self._phase is _Phase.TRAILER:
+                progress = self._try_trailer()
+            else:
+                if self._buf:
+                    raise DeflateError("data after final gzip member")
+                break
+        return bytes(out)
+
+    # -- phases -----------------------------------------------------------
+
+    def _try_header(self) -> bool:
+        if not self._buf and self.members_read > 0:
+            return False
+        length = _header_length(bytes(self._buf))
+        if length is None:
+            return False
+        del self._buf[:length]
+        self._inflater = InflateStream()
+        self._crc = 0
+        self._size = 0
+        self._phase = _Phase.BODY
+        return True
+
+    def _pump_body(self, final: bool) -> tuple[bytes, bool]:
+        chunk = bytes(self._buf)
+        self._buf.clear()
+        produced = self._inflater.feed(chunk)
+        if not self._inflater.finished:
+            if not final:
+                # The 8-byte trailer always follows the body, so the
+                # conservative decoder completes once those bytes pad
+                # the buffer; until then, wait for more input.
+                self._account(produced)
+                return produced, False
+            produced += self._inflater.finish()
+        self._account(produced)
+        self._buf[:0] = self._inflater.unused_bytes()
+        self._phase = _Phase.TRAILER
+        return produced, True
+
+    def _account(self, produced: bytes) -> None:
+        self._crc = crc32(produced, self._crc)
+        self._size += len(produced)
+
+    def _try_trailer(self) -> bool:
+        if len(self._buf) < 8:
+            return False
+        expected_crc, isize = struct.unpack_from("<II", self._buf, 0)
+        del self._buf[:8]
+        if expected_crc != self._crc:
+            raise ChecksumError("gzip CRC-32 mismatch")
+        if isize != (self._size & 0xFFFFFFFF):
+            raise ChecksumError("gzip ISIZE mismatch")
+        self.members_read += 1
+        if self.allow_multiple_members:
+            self._phase = _Phase.HEADER
+            if not self._buf:
+                self._phase = _Phase.HEADER
+        else:
+            self._phase = _Phase.DONE
+        return True

@@ -1,0 +1,200 @@
+"""Canonical Huffman coding for DEFLATE.
+
+Three pieces live here:
+
+* :func:`limited_code_lengths` — optimal length-limited code construction
+  via the package-merge algorithm (the hardware DHT generator and the
+  software baseline both build on it);
+* :func:`canonical_codes` — RFC 1951 canonical code assignment from a list
+  of code lengths;
+* :class:`HuffmanEncoder` / :class:`HuffmanDecoder` — bit-level symbol
+  encode/decode against a canonical code, with a small root lookup table
+  for fast decoding of short (common) codes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..errors import HuffmanError
+from .bitio import BitReader, BitWriter
+
+_ROOT_BITS = 9  # fast decode table covers codes up to this many bits
+
+
+def limited_code_lengths(freqs: Sequence[int], max_length: int) -> list[int]:
+    """Return optimal code lengths bounded by ``max_length``.
+
+    Implements package-merge.  Symbols with zero frequency get length 0.
+    A single-symbol alphabet gets length 1 (DEFLATE cannot express a
+    zero-bit code).
+    """
+    used = [i for i, f in enumerate(freqs) if f > 0]
+    lengths = [0] * len(freqs)
+    if not used:
+        return lengths
+    if len(used) == 1:
+        lengths[used[0]] = 1
+        return lengths
+    if len(used) > (1 << max_length):
+        raise HuffmanError(
+            f"{len(used)} symbols cannot fit in {max_length}-bit codes")
+
+    # Items are (weight, serial, leaf_symbols).  The serial breaks weight
+    # ties deterministically so output is stable across runs.
+    serial = 0
+    leaves = []
+    for sym in used:
+        leaves.append((freqs[sym], serial, (sym,)))
+        serial += 1
+    leaves.sort()
+
+    current = list(leaves)
+    for _ in range(max_length - 1):
+        packages = []
+        for k in range(0, len(current) - 1, 2):
+            a, b = current[k], current[k + 1]
+            packages.append((a[0] + b[0], serial, a[2] + b[2]))
+            serial += 1
+        current = sorted(leaves + packages)
+
+    for item in current[:2 * len(used) - 2]:
+        for sym in item[2]:
+            lengths[sym] += 1
+    return lengths
+
+
+def canonical_codes(lengths: Sequence[int]) -> list[int]:
+    """Assign canonical code values per RFC 1951 section 3.2.2.
+
+    Returned codes are in natural (MSB-first) order; callers that write
+    them LSB-first must bit-reverse (see :class:`HuffmanEncoder`).
+    """
+    max_length = max(lengths, default=0)
+    bl_count = [0] * (max_length + 1)
+    for length in lengths:
+        if length:
+            bl_count[length] += 1
+
+    code = 0
+    next_code = [0] * (max_length + 1)
+    for bits in range(1, max_length + 1):
+        code = (code + bl_count[bits - 1]) << 1
+        next_code[bits] = code
+        if next_code[bits] + bl_count[bits] > (1 << bits):
+            raise HuffmanError(f"over-subscribed code at length {bits}")
+
+    codes = [0] * len(lengths)
+    for sym, length in enumerate(lengths):
+        if length:
+            codes[sym] = next_code[length]
+            next_code[length] += 1
+    return codes
+
+
+def _reverse_bits(value: int, nbits: int) -> int:
+    result = 0
+    for _ in range(nbits):
+        result = (result << 1) | (value & 1)
+        value >>= 1
+    return result
+
+
+def kraft_sum(lengths: Sequence[int]) -> float:
+    """Kraft inequality sum; exactly 1.0 for a complete prefix code."""
+    return sum(2.0 ** -length for length in lengths if length)
+
+
+class HuffmanEncoder:
+    """Encodes symbols of one canonical code into a :class:`BitWriter`."""
+
+    def __init__(self, lengths: Sequence[int]) -> None:
+        self.lengths = list(lengths)
+        natural = canonical_codes(lengths)
+        self.codes = [
+            _reverse_bits(code, length) if length else 0
+            for code, length in zip(natural, lengths)
+        ]
+
+    def encode(self, writer: BitWriter, symbol: int) -> None:
+        length = self.lengths[symbol]
+        if not length:
+            raise HuffmanError(f"symbol {symbol} has no code")
+        writer.write_bits(self.codes[symbol], length)
+
+    def cost(self, symbol: int) -> int:
+        """Bit cost of ``symbol`` (0 means the symbol is not in the code)."""
+        return self.lengths[symbol]
+
+
+class HuffmanDecoder:
+    """Decodes one canonical code from a :class:`BitReader`.
+
+    Uses the counting method of Mark Adler's *puff*, fronted by a
+    ``2**_ROOT_BITS`` lookup table for codes short enough to fit.
+    An *incomplete* code is accepted only in the single-code case, which
+    RFC 1951 tolerates for distance codes.
+    """
+
+    def __init__(self, lengths: Sequence[int]) -> None:
+        self.max_length = max(lengths, default=0)
+        if self.max_length == 0:
+            raise HuffmanError("decoder built from an empty code")
+        self.count = [0] * (self.max_length + 1)
+        ncodes = 0
+        for length in lengths:
+            if length:
+                self.count[length] += 1
+                ncodes += 1
+
+        left = 1  # spare code space while walking lengths
+        for bits in range(1, self.max_length + 1):
+            left = (left << 1) - self.count[bits]
+            if left < 0:
+                raise HuffmanError("over-subscribed Huffman code")
+        if left > 0 and ncodes > 1:
+            raise HuffmanError("incomplete Huffman code")
+
+        # Symbols sorted by (length, symbol), as canonical order demands.
+        offsets = [0] * (self.max_length + 2)
+        for bits in range(1, self.max_length + 1):
+            offsets[bits + 1] = offsets[bits] + self.count[bits]
+        self.symbols = [0] * ncodes
+        for sym, length in enumerate(lengths):
+            if length:
+                self.symbols[offsets[length]] = sym
+                offsets[length] += 1
+
+        self._build_fast_table(lengths)
+
+    def _build_fast_table(self, lengths: Sequence[int]) -> None:
+        natural = canonical_codes(lengths)
+        self._fast: list[tuple[int, int] | None] = [None] * (1 << _ROOT_BITS)
+        for sym, length in enumerate(lengths):
+            if not length or length > _ROOT_BITS:
+                continue
+            prefix = _reverse_bits(natural[sym], length)
+            step = 1 << length
+            for fill in range(prefix, 1 << _ROOT_BITS, step):
+                self._fast[fill] = (sym, length)
+
+    def decode(self, reader: BitReader) -> int:
+        entry = self._fast[reader.peek_bits(_ROOT_BITS)]
+        if entry is not None:
+            reader.skip_bits(entry[1])
+            return entry[0]
+        return self._decode_slow(reader)
+
+    def _decode_slow(self, reader: BitReader) -> int:
+        code = 0
+        first = 0
+        index = 0
+        for length in range(1, self.max_length + 1):
+            code |= reader.read_bits(1)
+            count = self.count[length]
+            if code - first < count:
+                return self.symbols[index + (code - first)]
+            index += count
+            first = (first + count) << 1
+            code <<= 1
+        raise HuffmanError("ran out of codes while decoding")

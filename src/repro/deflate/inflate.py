@@ -1,0 +1,170 @@
+"""Raw DEFLATE decompression (RFC 1951), from scratch.
+
+``inflate`` handles all three block types and validates stream structure
+strictly; it is used both as the software baseline decompressor and as the
+functional core of the NX decompress engine model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import DeflateError
+from .bitio import BitReader
+from .constants import (
+    BTYPE_DYNAMIC,
+    BTYPE_FIXED,
+    BTYPE_STORED,
+    CODELEN_ORDER,
+    DIST_BASE,
+    DIST_EXTRA_BITS,
+    END_OF_BLOCK,
+    LENGTH_BASE,
+    LENGTH_EXTRA_BITS,
+    NUM_CODELEN_SYMBOLS,
+    fixed_dist_lengths,
+    fixed_litlen_lengths,
+)
+from .huffman import HuffmanDecoder
+
+
+@dataclass
+class InflateStats:
+    """Decode-side statistics fed to the NX decompressor timing model."""
+
+    literals: int = 0
+    matches: int = 0
+    match_bytes: int = 0
+    blocks: list[int] = field(default_factory=list)
+
+    @property
+    def output_bytes(self) -> int:
+        return self.literals + self.match_bytes
+
+
+_FIXED_LIT_DECODER: HuffmanDecoder | None = None
+_FIXED_DIST_DECODER: HuffmanDecoder | None = None
+
+
+def _fixed_decoders() -> tuple[HuffmanDecoder, HuffmanDecoder]:
+    global _FIXED_LIT_DECODER, _FIXED_DIST_DECODER
+    if _FIXED_LIT_DECODER is None:
+        _FIXED_LIT_DECODER = HuffmanDecoder(fixed_litlen_lengths())
+        _FIXED_DIST_DECODER = HuffmanDecoder(fixed_dist_lengths())
+    return _FIXED_LIT_DECODER, _FIXED_DIST_DECODER
+
+
+def _read_dynamic_header(
+        reader: BitReader) -> tuple[HuffmanDecoder, HuffmanDecoder]:
+    hlit = reader.read_bits(5) + 257
+    hdist = reader.read_bits(5) + 1
+    hclen = reader.read_bits(4) + 4
+    cl_lengths = [0] * NUM_CODELEN_SYMBOLS
+    for idx in range(hclen):
+        cl_lengths[CODELEN_ORDER[idx]] = reader.read_bits(3)
+    cl_decoder = HuffmanDecoder(cl_lengths)
+
+    lengths: list[int] = []
+    while len(lengths) < hlit + hdist:
+        sym = cl_decoder.decode(reader)
+        if sym < 16:
+            lengths.append(sym)
+        elif sym == 16:
+            if not lengths:
+                raise DeflateError("repeat code with no previous length")
+            lengths.extend([lengths[-1]] * (3 + reader.read_bits(2)))
+        elif sym == 17:
+            lengths.extend([0] * (3 + reader.read_bits(3)))
+        else:
+            lengths.extend([0] * (11 + reader.read_bits(7)))
+    if len(lengths) != hlit + hdist:
+        raise DeflateError("code length repeat overflows header")
+
+    lit_lengths = lengths[:hlit]
+    dist_lengths = lengths[hlit:]
+    if lit_lengths[END_OF_BLOCK] == 0:
+        raise DeflateError("dynamic block has no end-of-block code")
+    return HuffmanDecoder(lit_lengths), HuffmanDecoder(dist_lengths)
+
+
+def _inflate_huffman_block(reader: BitReader, out: bytearray,
+                           lit_dec: HuffmanDecoder, dist_dec: HuffmanDecoder,
+                           stats: InflateStats, max_output: int) -> None:
+    while True:
+        sym = lit_dec.decode(reader)
+        if sym < 256:
+            out.append(sym)
+            stats.literals += 1
+        elif sym == END_OF_BLOCK:
+            return
+        else:
+            if sym > 285:
+                raise DeflateError(f"invalid length symbol {sym}")
+            idx = sym - 257
+            length = LENGTH_BASE[idx] + reader.read_bits(LENGTH_EXTRA_BITS[idx])
+            dsym = dist_dec.decode(reader)
+            if dsym > 29:
+                raise DeflateError(f"invalid distance symbol {dsym}")
+            dist = DIST_BASE[dsym] + reader.read_bits(DIST_EXTRA_BITS[dsym])
+            if dist > len(out):
+                raise DeflateError("back-reference before start of output")
+            start = len(out) - dist
+            for k in range(length):
+                out.append(out[start + k])
+            stats.matches += 1
+            stats.match_bytes += length
+        if len(out) > max_output:
+            raise DeflateError("output exceeds allowed size")
+
+
+def inflate_with_stats(data: bytes, start: int = 0,
+                       max_output: int = 1 << 31,
+                       history: bytes = b"") -> tuple[
+                           bytes, InflateStats, int]:
+    """Decode a raw DEFLATE stream.
+
+    ``history`` is the preset dictionary the stream was compressed
+    against; it seeds the back-reference window but is not returned.
+    Returns ``(output, stats, bits_consumed)`` so container layers can
+    find the trailing checksum.
+    """
+    reader = BitReader(data, start=start)
+    from .constants import WINDOW_SIZE as _W
+
+    history = history[-_W:]
+    out = bytearray(history)
+    base = len(history)
+    stats = InflateStats()
+    while True:
+        final = reader.read_bits(1)
+        btype = reader.read_bits(2)
+        stats.blocks.append(btype)
+        if btype == BTYPE_STORED:
+            reader.align_to_byte()
+            header = reader.read_bytes(4)
+            size = header[0] | (header[1] << 8)
+            nsize = header[2] | (header[3] << 8)
+            if size != (~nsize & 0xFFFF):
+                raise DeflateError("stored block LEN/NLEN mismatch")
+            chunk = reader.read_bytes(size)
+            out.extend(chunk)
+            stats.literals += size
+        elif btype == BTYPE_FIXED:
+            lit_dec, dist_dec = _fixed_decoders()
+            _inflate_huffman_block(reader, out, lit_dec, dist_dec,
+                                   stats, max_output + base)
+        elif btype == BTYPE_DYNAMIC:
+            lit_dec, dist_dec = _read_dynamic_header(reader)
+            _inflate_huffman_block(reader, out, lit_dec, dist_dec,
+                                   stats, max_output + base)
+        else:
+            raise DeflateError("reserved block type 3")
+        if final:
+            break
+    return bytes(out[base:]), stats, reader.bits_consumed
+
+
+def inflate(data: bytes) -> bytes:
+    """Decode a raw DEFLATE stream and return the output bytes."""
+    out, _stats, _bits = inflate_with_stats(data)
+    return out

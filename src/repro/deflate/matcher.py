@@ -1,0 +1,283 @@
+"""Hash-chain LZ77 matching for the software (zlib-style) baseline.
+
+This mirrors zlib's ``deflate_fast`` (levels 1-3) and ``deflate_slow``
+(levels 4-9, with one-symbol lazy evaluation) strategies, including the
+per-level ``good``/``lazy``/``nice``/``chain`` tuning knobs, so that the
+software baseline's ratio-vs-effort curve has the same shape as zlib's.
+
+Tokens are produced as plain ints for literals (0..255) and
+``(length, distance)`` tuples for back-references.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .constants import MAX_MATCH, MIN_MATCH, WINDOW_SIZE
+
+Token = int | tuple[int, int]
+
+_TOO_FAR = 4096  # zlib: a length-3 match farther than this is not worth it
+_WMASK = WINDOW_SIZE - 1
+
+
+@dataclass(frozen=True)
+class MatcherConfig:
+    """Tuning of one compression level (zlib's configuration_table)."""
+
+    good_length: int  # reduce chain effort above this current match length
+    max_lazy: int     # do not lazy-defer matches at least this long
+    nice_length: int  # stop searching once a match this long is found
+    max_chain: int    # hash-chain positions examined per search
+    lazy: bool        # deflate_slow (True) vs deflate_fast (False)
+
+
+LEVEL_CONFIGS: dict[int, MatcherConfig] = {
+    1: MatcherConfig(4, 4, 8, 4, lazy=False),
+    2: MatcherConfig(4, 5, 16, 8, lazy=False),
+    3: MatcherConfig(4, 6, 32, 32, lazy=False),
+    4: MatcherConfig(4, 4, 16, 16, lazy=True),
+    5: MatcherConfig(8, 16, 32, 32, lazy=True),
+    6: MatcherConfig(8, 16, 128, 128, lazy=True),
+    7: MatcherConfig(8, 32, 128, 256, lazy=True),
+    8: MatcherConfig(32, 128, 258, 1024, lazy=True),
+    9: MatcherConfig(32, 258, 258, 4096, lazy=True),
+}
+
+
+@dataclass
+class MatchStats:
+    """Aggregate statistics of one tokenization pass.
+
+    The NX timing model consumes the same structure, so software and
+    hardware runs are directly comparable.
+    """
+
+    literals: int = 0
+    matches: int = 0
+    match_bytes: int = 0
+    chain_probes: int = 0
+
+    @property
+    def tokens(self) -> int:
+        return self.literals + self.matches
+
+    @property
+    def input_bytes(self) -> int:
+        return self.literals + self.match_bytes
+
+
+class HashChainMatcher:
+    """Greedy/lazy LZ77 tokenizer over a 32 KB sliding window."""
+
+    def __init__(self, config: MatcherConfig) -> None:
+        self.config = config
+        self.stats = MatchStats()
+        self._head: dict[int, int] = {}
+        self._prev = [-1] * WINDOW_SIZE
+
+    def tokenize(self, data: bytes, history: bytes = b"") -> list[Token]:
+        """Produce the token stream for ``data`` in one pass.
+
+        ``history`` is a preset dictionary (at most one window): matches
+        may reach back into it, exactly like zlib's ``zdict`` and the NX
+        history DDE.  Tokens are emitted for ``data`` only.
+        """
+        if history:
+            history = history[-WINDOW_SIZE:]
+            combined = history + data
+            self._prime(combined, len(history))
+            if self.config.lazy:
+                tokens = self._tokenize_lazy(combined, start=len(history))
+            else:
+                tokens = self._tokenize_fast(combined, start=len(history))
+            return tokens
+        if self.config.lazy:
+            return self._tokenize_lazy(data)
+        return self._tokenize_fast(data)
+
+    def _prime(self, combined: bytes, start: int) -> None:
+        """Insert every history position into the hash chains."""
+        last = min(start, len(combined) - MIN_MATCH + 1)
+        for pos in range(last):
+            self._insert(combined, pos)
+
+    # -- hash chain ----------------------------------------------------
+
+    @staticmethod
+    def _hash(data: bytes, i: int) -> int:
+        return data[i] | (data[i + 1] << 8) | (data[i + 2] << 16)
+
+    def _insert(self, data: bytes, i: int) -> int:
+        """Add position ``i`` to its chain; return the previous head."""
+        h = self._hash(data, i)
+        old = self._head.get(h, -1)
+        self._head[h] = i
+        self._prev[i & _WMASK] = old
+        return old
+
+    def _longest_match(self, data: bytes, i: int, n: int,
+                       current_best: int) -> tuple[int, int]:
+        """Search the chain at ``i``; returns (length, distance)."""
+        limit = i - WINDOW_SIZE
+        max_len = min(MAX_MATCH, n - i)
+        if max_len < MIN_MATCH:
+            return 0, 0
+        nice = min(self.config.nice_length, max_len)
+        chain = self.config.max_chain
+        if current_best >= self.config.good_length:
+            chain >>= 2
+
+        candidate = self._insert(data, i)
+        best_len = current_best
+        best_dist = 0
+        probes = 0
+        while candidate >= 0 and candidate > limit and chain > 0:
+            probes += 1
+            chain -= 1
+            length = self._match_length(data, candidate, i, max_len)
+            if length > best_len:
+                best_len = length
+                best_dist = i - candidate
+                if length >= nice:
+                    break
+            candidate = self._prev[candidate & _WMASK]
+            if candidate >= i:
+                break  # wrapped chain entry from an older epoch
+        self.stats.chain_probes += probes
+        if best_dist == 0:
+            return 0, 0
+        if best_len == MIN_MATCH and best_dist > _TOO_FAR:
+            return 0, 0
+        return best_len, best_dist
+
+    @staticmethod
+    def _match_length(data: bytes, cand: int, pos: int, max_len: int) -> int:
+        length = 0
+        while length < max_len and data[cand + length] == data[pos + length]:
+            length += 1
+        return length
+
+    def _insert_span(self, data: bytes, start: int, end: int, n: int) -> None:
+        last = min(end, n - MIN_MATCH + 1)
+        for j in range(start, last):
+            self._insert(data, j)
+
+    # -- strategies ----------------------------------------------------
+
+    def _tokenize_fast(self, data: bytes, start: int = 0) -> list[Token]:
+        tokens: list[Token] = []
+        stats = self.stats
+        n = len(data)
+        i = start
+        while i < n:
+            if n - i >= MIN_MATCH:
+                length, dist = self._longest_match(data, i, n, MIN_MATCH - 1)
+            else:
+                length, dist = 0, 0
+            if length >= MIN_MATCH:
+                tokens.append((length, dist))
+                stats.matches += 1
+                stats.match_bytes += length
+                self._insert_span(data, i + 1, i + length, n)
+                i += length
+            else:
+                tokens.append(data[i])
+                stats.literals += 1
+                i += 1
+        return tokens
+
+    def _tokenize_lazy(self, data: bytes, start: int = 0) -> list[Token]:
+        tokens: list[Token] = []
+        stats = self.stats
+        n = len(data)
+        i = start
+        have_prev = False
+        prev_len = 0
+        prev_dist = 0
+        while i < n:
+            if n - i >= MIN_MATCH:
+                floor = prev_len if have_prev else MIN_MATCH - 1
+                cur_len, cur_dist = self._longest_match(data, i, n, floor)
+            else:
+                cur_len, cur_dist = 0, 0
+
+            if have_prev:
+                if cur_len > prev_len:
+                    # Defer again: previous position degrades to a literal.
+                    tokens.append(data[i - 1])
+                    stats.literals += 1
+                    prev_len, prev_dist = cur_len, cur_dist
+                    i += 1
+                else:
+                    tokens.append((prev_len, prev_dist))
+                    stats.matches += 1
+                    stats.match_bytes += prev_len
+                    end = i - 1 + prev_len
+                    self._insert_span(data, i + 1, end, n)
+                    i = end
+                    have_prev = False
+            elif cur_len >= MIN_MATCH and cur_len < self.config.max_lazy:
+                have_prev = True
+                prev_len, prev_dist = cur_len, cur_dist
+                i += 1
+            elif cur_len >= MIN_MATCH:
+                tokens.append((cur_len, cur_dist))
+                stats.matches += 1
+                stats.match_bytes += cur_len
+                self._insert_span(data, i + 1, i + cur_len, n)
+                i += cur_len
+            else:
+                tokens.append(data[i])
+                stats.literals += 1
+                i += 1
+        if have_prev:
+            tokens.append((prev_len, prev_dist))
+            stats.matches += 1
+            stats.match_bytes += prev_len
+        return tokens
+
+
+def tokenize(data: bytes, level: int,
+             history: bytes = b"") -> tuple[list[Token], MatchStats]:
+    """Tokenize ``data`` at a zlib-style compression ``level`` (1..9)."""
+    if level not in LEVEL_CONFIGS:
+        raise ValueError(f"level must be 1..9, got {level}")
+    matcher = HashChainMatcher(LEVEL_CONFIGS[level])
+    tokens = matcher.tokenize(data, history=history)
+    return tokens, matcher.stats
+
+
+def tokenize_huffman_only(data: bytes) -> tuple[list[Token], MatchStats]:
+    """zlib Z_HUFFMAN_ONLY: no matching at all, entropy coding only."""
+    stats = MatchStats(literals=len(data))
+    return list(data), stats
+
+
+def tokenize_rle(data: bytes) -> tuple[list[Token], MatchStats]:
+    """zlib Z_RLE: distance-1 matches only (run-length encoding).
+
+    Matches PNG-style filtering use cases: one-byte lookback keeps the
+    decoder's window tiny while still collapsing runs.
+    """
+    tokens: list[Token] = []
+    stats = MatchStats()
+    n = len(data)
+    i = 0
+    while i < n:
+        run = 1
+        if i > 0:
+            while (run < MAX_MATCH + 1 and i + run - 1 < n
+                   and data[i + run - 1] == data[i - 1]):
+                run += 1
+            run -= 1
+        if run >= MIN_MATCH:
+            tokens.append((run, 1))
+            stats.matches += 1
+            stats.match_bytes += run
+            i += run
+        else:
+            tokens.append(data[i])
+            stats.literals += 1
+            i += 1
+    return tokens, stats

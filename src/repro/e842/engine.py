@@ -1,0 +1,83 @@
+"""Timing model for the NX 842 engines.
+
+The 842 design is exactly what makes it hardware-cheap: one template per
+8-byte chunk, no Huffman stage, no table generation — so the engine
+streams at its full scan width with only ring lookups in the loop.  The
+POWER9 NX carries two such engines (a heritage of Active Memory
+Expansion); they are faster than the gzip side but compress noticeably
+worse, which is the trade the paper's gzip engines were built to win.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .codec import CHUNK, E842Result, E842Stats, compress, decompress
+
+
+@dataclass(frozen=True)
+class Engine842Params:
+    """One 842 engine."""
+
+    name: str = "nx-842-p9"
+    clock_ghz: float = 2.0
+    bytes_per_cycle: int = 8
+    pipeline_fill_cycles: int = 32
+    engines_per_nx: int = 2
+
+
+@dataclass(frozen=True)
+class E842JobResult:
+    """Functional + timing outcome of one 842 job."""
+
+    data: bytes
+    input_bytes: int
+    output_bytes: int
+    cycles: int
+    clock_ghz: float
+    stats: E842Stats | None = None
+
+    @property
+    def ratio(self) -> float:
+        """Compression ratio (meaningful on the compress direction)."""
+        if not self.data:
+            return 0.0
+        return self.input_bytes / len(self.data)
+
+    @property
+    def seconds(self) -> float:
+        return self.cycles / (self.clock_ghz * 1e9)
+
+    @property
+    def throughput_gbps(self) -> float:
+        seconds = self.seconds
+        return (self.input_bytes / 1e9) / seconds if seconds else 0.0
+
+
+@dataclass
+class Engine842:
+    """Compression/decompression through one modelled 842 engine."""
+
+    params: Engine842Params = Engine842Params()
+
+    def compress(self, data: bytes) -> E842JobResult:
+        result: E842Result = compress(data)
+        cycles = self._cycles(len(data))
+        return E842JobResult(data=result.data, input_bytes=len(data),
+                             output_bytes=len(result.data), cycles=cycles,
+                             clock_ghz=self.params.clock_ghz,
+                             stats=result.stats)
+
+    def decompress(self, payload: bytes,
+                   max_output: int = 1 << 31) -> E842JobResult:
+        out = decompress(payload, max_output=max_output)
+        cycles = self._cycles(len(out))
+        return E842JobResult(data=out, input_bytes=len(payload),
+                             output_bytes=len(out), cycles=cycles,
+                             clock_ghz=self.params.clock_ghz)
+
+    def _cycles(self, nbytes: int) -> int:
+        chunks = -(-max(nbytes, 1) // CHUNK)
+        per_cycle_chunks = max(1, self.params.bytes_per_cycle // CHUNK)
+        return (self.params.pipeline_fill_cycles
+                + -(-chunks // per_cycle_chunks))

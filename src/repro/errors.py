@@ -1,0 +1,51 @@
+"""Exception hierarchy shared across the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without catching unrelated bugs.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class DeflateError(ReproError):
+    """A malformed DEFLATE/zlib/gzip stream or an encoding failure."""
+
+
+class ChecksumError(DeflateError):
+    """A container checksum (CRC-32 / Adler-32) did not verify."""
+
+
+class HuffmanError(DeflateError):
+    """An invalid Huffman code description (over/under-subscribed, etc.)."""
+
+
+class AcceleratorError(ReproError):
+    """The accelerator model rejected or failed a job."""
+
+
+class JobError(AcceleratorError):
+    """A coprocessor job completed with a non-success condition code."""
+
+    def __init__(self, message: str, cc: int | None = None) -> None:
+        super().__init__(message)
+        self.cc = cc
+
+
+class TranslationFault(AcceleratorError):
+    """Address translation failed inside the accelerator's address pipe."""
+
+    def __init__(self, address: int, is_write: bool) -> None:
+        kind = "write" if is_write else "read"
+        super().__init__(f"translation fault on {kind} at 0x{address:x}")
+        self.address = address
+        self.is_write = is_write
+
+
+class VasError(ReproError):
+    """Virtual Accelerator Switchboard misuse (no credits, bad window...)."""
+
+
+class ConfigError(ReproError):
+    """An invalid machine/topology/parameter configuration."""

@@ -1,0 +1,82 @@
+"""Chip-level accelerator: VAS receive side + engines.
+
+One :class:`NxAccelerator` owns the switchboard receive FIFO and a small
+number of engines (the POWER9 NX has separate compress and decompress
+pipes that operate concurrently).  ``drain`` processes pasted requests in
+FIFO order, which is also the service discipline the queueing experiments
+assume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sysstack.crb import Crb, Op
+from ..sysstack.mmu import AddressSpace
+from ..sysstack.vas import Vas
+from .engine import JobOutcome, NxEngine
+from .params import MachineParams
+
+
+@dataclass
+class CompletedJob:
+    """A drained job: who submitted it, the request, and how it ended."""
+
+    window_id: int
+    outcome: JobOutcome
+    crb: Crb | None = None
+
+
+@dataclass
+class NxAccelerator:
+    """One on-chip accelerator instance: VAS + compress/decompress pipes."""
+
+    machine: MachineParams
+    vas: Vas = field(default_factory=Vas)
+
+    def __post_init__(self) -> None:
+        self.compress_engine = NxEngine(self.machine)
+        self.decompress_engine = NxEngine(self.machine)
+        self.e842_engine = NxEngine(self.machine)  # the 842 pipes
+
+    def engine_for(self, crb: Crb) -> NxEngine:
+        if crb.function.op in (Op.COMPRESS_842, Op.DECOMPRESS_842):
+            return self.e842_engine
+        if crb.function.op is Op.COMPRESS:
+            return self.compress_engine
+        return self.decompress_engine
+
+    def execute(self, crb: Crb, space: AddressSpace) -> JobOutcome:
+        """Execute one request directly (bypassing the paste FIFO)."""
+        return self.engine_for(crb).execute(crb, space)
+
+    def drain(self, space: AddressSpace) -> list[CompletedJob]:
+        """Process every pasted request in FIFO order."""
+        completed: list[CompletedJob] = []
+        while True:
+            record = self.vas.pop_request()
+            if record is None:
+                break
+            crb = record.crb()
+            # Indirect DDE entry arrays live in memory: hydrate them.
+            self._hydrate(crb, space)
+            outcome = self.execute(crb, space)
+            self.vas.return_credit(record.window_id)
+            completed.append(CompletedJob(window_id=record.window_id,
+                                          outcome=outcome, crb=crb))
+        return completed
+
+    def _hydrate(self, crb: Crb, space: AddressSpace) -> None:
+        from ..sysstack.dde import DDE_BYTES, Dde
+
+        for dde in (crb.source, crb.target):
+            if dde.indirect and not dde.entries:
+                count = getattr(dde, "_entry_count", 0)
+                raw = space.read(dde.address, count * DDE_BYTES)
+                dde.entries = Dde.unpack_entries(raw, count)
+
+    @property
+    def total_busy_seconds(self) -> float:
+        return (self.compress_engine.counters.busy_seconds
+                + self.decompress_engine.counters.busy_seconds
+                + self.e842_engine.counters.busy_seconds)

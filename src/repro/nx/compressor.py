@@ -1,0 +1,277 @@
+"""The NX compression engine: functional bitstream + cycle-level timing.
+
+One :class:`NxCompressor` models the compression side of the accelerator:
+the scan pipeline produces real DEFLATE tokens, the DHT stage picks
+Huffman tables per the requested strategy, and the encoder emits an
+RFC-compliant bitstream.  Timing composes the documented pipeline
+structure: the Huffman encoder runs concurrently with the scanner, but a
+DYNAMIC table generation inserts a serialization bubble per block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..deflate.bitio import BitWriter
+from ..deflate.compress import (
+    BlockPlan,
+    emit_block,
+    payload_cost_bits,
+    token_frequencies,
+)
+from ..deflate.constants import BTYPE_DYNAMIC, BTYPE_FIXED, BTYPE_STORED
+from ..deflate.containers import wrap_gzip, wrap_zlib
+from ..deflate.matcher import MatchStats, Token
+from ..errors import AcceleratorError
+from .dht import (
+    DhtResult,
+    DhtStrategy,
+    canned_dht,
+    dynamic_generation_cycles,
+    fixed_dht,
+    generate_dynamic,
+    select_canned,
+)
+from .params import EngineParams
+
+DEFAULT_BLOCK_BYTES = 65536
+
+
+@dataclass(frozen=True)
+class CycleBreakdown:
+    """Where the compression cycles went."""
+
+    pipeline_fill: int
+    scan: int
+    bank_stalls: int
+    dht_generation: int
+    encode_exposed: int  # encoder cycles not hidden behind the scan
+    history_load: int = 0  # streaming a preset history through the pipe
+
+    @property
+    def total(self) -> int:
+        return (self.pipeline_fill + self.scan + self.bank_stalls
+                + self.dht_generation + self.encode_exposed
+                + self.history_load)
+
+
+@dataclass
+class NxCompressResult:
+    """Output of one accelerator compression request."""
+
+    data: bytes
+    input_bytes: int
+    cycles: CycleBreakdown
+    stats: MatchStats
+    block_types: list[int]
+    dht_sources: list[str]
+    strategy: DhtStrategy
+    clock_ghz: float
+
+    @property
+    def compressed_bytes(self) -> int:
+        return len(self.data)
+
+    @property
+    def ratio(self) -> float:
+        if not self.data:
+            return 0.0
+        return self.input_bytes / len(self.data)
+
+    @property
+    def seconds(self) -> float:
+        return self.cycles.total / (self.clock_ghz * 1e9)
+
+    @property
+    def throughput_gbps(self) -> float:
+        seconds = self.seconds
+        return (self.input_bytes / 1e9) / seconds if seconds else 0.0
+
+
+@dataclass
+class NxCompressor:
+    """Compression half of one NX/zEDC engine."""
+
+    params: EngineParams
+    block_bytes: int = DEFAULT_BLOCK_BYTES
+    _pipeline: object = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        from .pipeline import NxMatchPipeline
+
+        self._pipeline = NxMatchPipeline(self.params)
+
+    def compress(self, data: bytes,
+                 strategy: DhtStrategy = DhtStrategy.AUTO,
+                 fmt: str = "raw", history: bytes = b"",
+                 final: bool = True) -> NxCompressResult:
+        """Run one compression request through the engine model.
+
+        ``history`` primes the match window with prior plaintext (the NX
+        history DDE).  ``final=False`` produces a *continuable* stream:
+        no final block bit, terminated by an empty stored block that
+        byte-aligns the output (zlib's Z_FULL_FLUSH), so per-request
+        outputs concatenate into one valid DEFLATE stream.
+        """
+        if fmt not in ("raw", "gzip", "zlib"):
+            raise AcceleratorError(f"unsupported wire format {fmt!r}")
+        if not final and fmt != "raw":
+            raise AcceleratorError(
+                "container formats require a final (complete) stream")
+
+        scan = self._pipeline.scan(data, history=history)
+        blocks = _split_by_input_bytes(scan.tokens, data, self.block_bytes)
+
+        writer = BitWriter()
+        block_types: list[int] = []
+        dht_sources: list[str] = []
+        dht_cycles = 0
+        canned_name = None
+        if strategy in (DhtStrategy.CANNED, DhtStrategy.AUTO):
+            canned_name = select_canned(data)
+
+        for idx, (tokens, raw) in enumerate(blocks):
+            plan, dht = self._plan_block(tokens, raw, strategy, canned_name)
+            last = idx == len(blocks) - 1
+            emit_block(writer, plan, final=final and last)
+            block_types.append(plan.btype)
+            dht_sources.append(dht.source if dht else "stored")
+            dht_cycles += dht.generation_cycles if dht else 0
+        if not final:
+            # Z_FULL_FLUSH: empty stored block byte-aligns the stream.
+            writer.write_bits(0, 1)
+            writer.write_bits(0, 2)
+            writer.align_to_byte()
+            writer.write_bytes(b"\x00\x00\xff\xff")
+
+        body = writer.getvalue()
+        if fmt == "gzip":
+            payload = wrap_gzip(body, data)
+        elif fmt == "zlib":
+            payload = wrap_zlib(body, data)
+        else:
+            payload = body
+
+        encode_cycles = -(-len(body) * 8
+                          // self.params.huffman_encode_bits_per_cycle)
+        scan_total = scan.scan_cycles + scan.conflict_stalls
+        encode_exposed = max(0, encode_cycles - scan_total)
+        cycles = CycleBreakdown(
+            pipeline_fill=self.params.pipeline_fill_cycles,
+            scan=scan.scan_cycles,
+            bank_stalls=scan.conflict_stalls,
+            dht_generation=dht_cycles,
+            encode_exposed=encode_exposed,
+            history_load=scan.history_cycles,
+        )
+        return NxCompressResult(
+            data=payload,
+            input_bytes=len(data),
+            cycles=cycles,
+            stats=scan.stats,
+            block_types=block_types,
+            dht_sources=dht_sources,
+            strategy=strategy,
+            clock_ghz=self.params.clock_ghz,
+        )
+
+    # -- block planning -------------------------------------------------
+
+    def _plan_block(self, tokens: list[Token], raw: bytes,
+                    strategy: DhtStrategy,
+                    canned_name: str | None) -> tuple[BlockPlan,
+                                                      DhtResult | None]:
+        lit_freq, dist_freq = token_frequencies(tokens)
+
+        if strategy is DhtStrategy.FIXED:
+            return BlockPlan(tokens=tokens, raw=raw,
+                             btype=BTYPE_FIXED), fixed_dht()
+
+        if strategy is DhtStrategy.DYNAMIC:
+            dht = generate_dynamic(lit_freq, dist_freq, self.params)
+            return self._dynamic_plan(tokens, raw, dht), dht
+
+        if strategy is DhtStrategy.CANNED:
+            dht = canned_dht(canned_name or select_canned(raw))
+            return self._dynamic_plan(tokens, raw, dht), dht
+
+        # AUTO: evaluate all options by real bit cost, preferring cheaper
+        # generation on near-ties (within 1 %).
+        fixed = fixed_dht()
+        canned = canned_dht(canned_name or select_canned(raw))
+        dynamic = generate_dynamic(lit_freq, dist_freq, self.params)
+
+        fixed_bits = payload_cost_bits(lit_freq, dist_freq,
+                                       list(fixed.litlen_lengths),
+                                       list(fixed.dist_lengths))
+        canned_bits = (payload_cost_bits(lit_freq, dist_freq,
+                                         list(canned.litlen_lengths),
+                                         list(canned.dist_lengths))
+                       + _header_bits(canned))
+        dyn_bits = (payload_cost_bits(lit_freq, dist_freq,
+                                      list(dynamic.litlen_lengths),
+                                      list(dynamic.dist_lengths))
+                    + _header_bits(dynamic))
+        stored_bits = len(raw) * 8 + 40
+
+        best = min(stored_bits, fixed_bits, canned_bits, dyn_bits)
+        if stored_bits == best and stored_bits < fixed_bits:
+            return BlockPlan(tokens=tokens, raw=raw,
+                             btype=BTYPE_STORED), None
+        if fixed_bits <= best * 1.01:
+            return BlockPlan(tokens=tokens, raw=raw,
+                             btype=BTYPE_FIXED), fixed
+        if canned_bits <= best * 1.01:
+            return self._dynamic_plan(tokens, raw, canned), canned
+        return self._dynamic_plan(tokens, raw, dynamic), dynamic
+
+    @staticmethod
+    def _dynamic_plan(tokens: list[Token], raw: bytes,
+                      dht: DhtResult) -> BlockPlan:
+        return BlockPlan(tokens=tokens, raw=raw, btype=BTYPE_DYNAMIC,
+                         litlen_lengths=list(dht.litlen_lengths),
+                         dist_lengths=list(dht.dist_lengths))
+
+    def dynamic_cycles(self, tokens: list[Token]) -> int:
+        """Expose the DHT cost model for ablation benches."""
+        lit_freq, dist_freq = token_frequencies(tokens)
+        return dynamic_generation_cycles(lit_freq, dist_freq, self.params)
+
+
+def _header_bits(dht: DhtResult) -> int:
+    """Approximate dynamic-header bit cost for a DHT (for AUTO choice)."""
+    from ..deflate.compress import (
+        _codelen_frequencies,
+        _ensure_decodable,
+        dynamic_header_cost_bits,
+        encode_code_lengths,
+    )
+    from ..deflate.constants import MAX_CODELEN_CODE_LENGTH
+    from ..deflate.huffman import limited_code_lengths
+
+    ops, _hlit, _hdist = encode_code_lengths(list(dht.litlen_lengths),
+                                             list(dht.dist_lengths))
+    cl_freq = _codelen_frequencies(ops)
+    cl_lengths = limited_code_lengths(cl_freq, MAX_CODELEN_CODE_LENGTH)
+    cl_lengths = _ensure_decodable(cl_freq, cl_lengths, (0, 18))
+    return dynamic_header_cost_bits(ops, cl_lengths)
+
+
+def _split_by_input_bytes(tokens: list[Token], raw: bytes,
+                          block_bytes: int) -> list[tuple[list[Token],
+                                                          bytes]]:
+    """Split the token stream into blocks covering ~block_bytes input."""
+    blocks: list[tuple[list[Token], bytes]] = []
+    current: list[Token] = []
+    start = 0
+    pos = 0
+    for tok in tokens:
+        current.append(tok)
+        pos += 1 if isinstance(tok, int) else tok[0]
+        if pos - start >= block_bytes:
+            blocks.append((current, raw[start:pos]))
+            current = []
+            start = pos
+    if current or not blocks:
+        blocks.append((current, raw[start:pos]))
+    return blocks

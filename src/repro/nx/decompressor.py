@@ -1,0 +1,89 @@
+"""The NX decompression engine: functional inflate + cycle-level timing.
+
+The decompressor's functional core is the from-scratch inflate; the cycle
+model reflects the documented structure: a serial Huffman decode front
+end (symbol-at-a-time, but multiple bits per cycle), a copy engine that
+writes ``decomp_bytes_per_cycle`` output bytes per cycle, and a decode
+table build at each dynamic block header.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..deflate.constants import BTYPE_DYNAMIC
+from ..deflate.containers import gzip_decompress, zlib_decompress
+from ..deflate.inflate import InflateStats, inflate_with_stats
+from ..errors import AcceleratorError
+from .params import EngineParams
+
+
+@dataclass(frozen=True)
+class NxDecompressResult:
+    """Output of one accelerator decompression request."""
+
+    data: bytes
+    input_bytes: int
+    cycles: int
+    stats: InflateStats
+    clock_ghz: float
+
+    @property
+    def output_bytes(self) -> int:
+        return len(self.data)
+
+    @property
+    def seconds(self) -> float:
+        return self.cycles / (self.clock_ghz * 1e9)
+
+    @property
+    def throughput_gbps(self) -> float:
+        """Output-side throughput, the figure of merit for decompression."""
+        seconds = self.seconds
+        return (len(self.data) / 1e9) / seconds if seconds else 0.0
+
+
+@dataclass
+class NxDecompressor:
+    """Decompression half of one NX/zEDC engine."""
+
+    params: EngineParams
+    decode_bits_per_cycle: int = 32  # front-end input consumption rate
+
+    def decompress(self, payload: bytes, fmt: str = "raw",
+                   max_output: int = 1 << 31,
+                   history: bytes = b"") -> NxDecompressResult:
+        """Run one decompression request through the engine model.
+
+        ``history`` is the preset dictionary / carried window for raw
+        streams (the containers never use one here).
+        """
+        if fmt == "gzip":
+            data = gzip_decompress(payload)
+            stats = self._restat(payload[10:])
+        elif fmt == "zlib":
+            data = zlib_decompress(payload)
+            stats = self._restat(payload[2:])
+        elif fmt == "raw":
+            data, stats, _bits = inflate_with_stats(
+                payload, max_output=max_output, history=history)
+        else:
+            raise AcceleratorError(f"unsupported wire format {fmt!r}")
+
+        cycles = self._cycle_model(len(payload), len(data), stats)
+        return NxDecompressResult(data=data, input_bytes=len(payload),
+                                  cycles=cycles, stats=stats,
+                                  clock_ghz=self.params.clock_ghz)
+
+    def _restat(self, body: bytes) -> InflateStats:
+        _data, stats, _bits = inflate_with_stats(body)
+        return stats
+
+    def _cycle_model(self, in_bytes: int, out_bytes: int,
+                     stats: InflateStats) -> int:
+        """Compose front-end, copy-engine and table-build cycle costs."""
+        front_end = -(-in_bytes * 8 // self.decode_bits_per_cycle)
+        copy = -(-out_bytes // self.params.decomp_bytes_per_cycle)
+        tables = (self.params.decomp_dht_setup_cycles
+                  * sum(1 for b in stats.blocks if b == BTYPE_DYNAMIC))
+        return self.params.pipeline_fill_cycles + max(front_end, copy) + tables

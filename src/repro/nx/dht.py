@@ -1,0 +1,214 @@
+"""Dynamic Huffman Table (DHT) generation model.
+
+The NX compressor supports three Huffman strategies, selected per request
+by the CRB function code:
+
+* **FIXED** — RFC 1951 fixed codes; zero table-generation latency, worst
+  ratio.
+* **DYNAMIC** — the hardware DHT generator sorts the LZ symbol statistics
+  and builds length-limited canonical codes; best ratio, but the LZ pass
+  and the encode pass are decoupled by a table-generation bubble.
+* **CANNED** — a pre-computed DHT appropriate for the data class is
+  fetched from a small on-chip cache keyed by a quick sample of the
+  source; near-DYNAMIC ratio at near-FIXED latency.
+
+The cycle model charges ``dht_base_cycles + dht_cycles_per_symbol x
+(used litlen + dist symbols)`` for DYNAMIC generation, reflecting the
+sorting-network implementation the product documentation describes.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..deflate.constants import (
+    MAX_CODE_LENGTH,
+    NUM_DIST_SYMBOLS,
+    NUM_LITLEN_SYMBOLS,
+    fixed_dist_lengths,
+    fixed_litlen_lengths,
+)
+from ..deflate.huffman import limited_code_lengths
+from .params import EngineParams
+
+
+class DhtStrategy(enum.Enum):
+    """Huffman table policy for one compression request."""
+
+    FIXED = "fixed"
+    DYNAMIC = "dynamic"
+    CANNED = "canned"
+    AUTO = "auto"
+
+
+@dataclass(frozen=True)
+class DhtResult:
+    """A chosen pair of code-length vectors plus its generation cost."""
+
+    litlen_lengths: tuple[int, ...]
+    dist_lengths: tuple[int, ...]
+    generation_cycles: int
+    source: str  # "fixed", "dynamic" or canned template name
+
+
+def generate_dynamic(lit_freq: list[int], dist_freq: list[int],
+                     params: EngineParams) -> DhtResult:
+    """Model the hardware DHT generator on real block statistics."""
+    from ..deflate.compress import build_dynamic_code
+
+    lit_lengths, dist_lengths = build_dynamic_code(lit_freq, dist_freq)
+    cycles = dynamic_generation_cycles(lit_freq, dist_freq, params)
+    return DhtResult(tuple(lit_lengths), tuple(dist_lengths), cycles,
+                     source="dynamic")
+
+
+def dynamic_generation_cycles(lit_freq: list[int], dist_freq: list[int],
+                              params: EngineParams) -> int:
+    """Cycle cost of one hardware DHT generation pass."""
+    used = (sum(1 for f in lit_freq if f)
+            + sum(1 for f in dist_freq if f))
+    return params.dht_base_cycles + params.dht_cycles_per_symbol * used
+
+
+def fixed_dht() -> DhtResult:
+    """The RFC 1951 fixed code as a zero-cost DHT."""
+    return DhtResult(tuple(fixed_litlen_lengths()),
+                     tuple(fixed_dist_lengths()), 0, source="fixed")
+
+
+# -- canned DHT library ------------------------------------------------
+#
+# Each template is a synthetic frequency profile for a broad data class.
+# Codes built from it cover *every* symbol (a floor frequency of 1), so a
+# canned table can encode any input, merely sub-optimally.
+
+def _text_profile() -> tuple[list[int], list[int]]:
+    lit = [1] * NUM_LITLEN_SYMBOLS
+    common = b"etaoinshrdlucmfwypvbgkjqxz ETAOINSHRDLU.,;:'\"!?-\n\t0123456789"
+    for rank, byte in enumerate(common):
+        lit[byte] += 4000 // (rank + 4)
+    for sym in range(257, 286):  # moderate lengths, biased short
+        lit[sym] += max(1, 500 - 20 * (sym - 257))
+    dist = [1] * NUM_DIST_SYMBOLS
+    for sym in range(NUM_DIST_SYMBOLS):
+        dist[sym] += max(1, 400 - 14 * abs(sym - 16))
+    return lit, dist
+
+
+def _binary_profile() -> tuple[list[int], list[int]]:
+    """Object code: zero runs + opcode clusters over a flat-ish base.
+
+    The base floor is high because instruction immediates/addresses are
+    near-uniform; only the genuinely common bytes get shorter codes.
+    """
+    lit = [48] * NUM_LITLEN_SYMBOLS
+    lit[0] += 1200  # zero bytes dominate binaries
+    lit[255] += 150
+    for byte in range(1, 32):
+        lit[byte] += 60
+    for sym in range(257, 286):
+        lit[sym] = 40
+    dist = [4] * NUM_DIST_SYMBOLS
+    for sym in range(NUM_DIST_SYMBOLS):
+        dist[sym] += 2 + sym  # binaries favour far distances
+    return lit, dist
+
+
+def _structured_profile() -> tuple[list[int], list[int]]:
+    lit = [2] * NUM_LITLEN_SYMBOLS
+    for byte in b'{}[]",:0123456789abcdefghijklmnopqrstuvwxyz_ ':
+        lit[byte] += 600
+    for sym in range(257, 286):  # long matches: repeated schemas
+        lit[sym] += 80 + 15 * (sym - 257)
+    dist = [1] * NUM_DIST_SYMBOLS
+    for sym in range(NUM_DIST_SYMBOLS):
+        dist[sym] += 30 + 12 * min(sym, 20)
+    return lit, dist
+
+
+def _flat_profile() -> tuple[list[int], list[int]]:
+    """Near-uniform code: the conservative template for high-entropy data.
+
+    Worst-case expansion on incompressible input stays tiny (~an extra
+    fraction of a bit per literal), which is why a production canned
+    library always includes a flat member.
+    """
+    lit = [64] * NUM_LITLEN_SYMBOLS
+    lit[256] = 8  # EOB is rare
+    for sym in range(257, 286):
+        lit[sym] = 8
+    dist = [8] * NUM_DIST_SYMBOLS
+    return lit, dist
+
+
+def _legalize(profile: tuple[list[int], list[int]]) -> tuple[
+        list[int], list[int]]:
+    """Zero the reserved litlen symbols 286/287 (illegal in headers)."""
+    lit, dist = profile
+    lit[286] = 0
+    lit[287] = 0
+    return lit, dist
+
+
+_CANNED_PROFILES = {
+    "text": _text_profile,
+    "binary": _binary_profile,
+    "structured": _structured_profile,
+    "flat": _flat_profile,
+}
+
+CANNED_LOOKUP_CYCLES = 24  # cache index + table load
+
+
+@lru_cache(maxsize=None)
+def canned_dht(name: str) -> DhtResult:
+    """Fetch (and lazily build) one canned DHT by template name."""
+    lit_freq, dist_freq = _legalize(_CANNED_PROFILES[name]())
+    lit_lengths = limited_code_lengths(lit_freq, MAX_CODE_LENGTH)
+    dist_lengths = limited_code_lengths(dist_freq, MAX_CODE_LENGTH)
+    return DhtResult(tuple(lit_lengths), tuple(dist_lengths),
+                     CANNED_LOOKUP_CYCLES, source=name)
+
+
+def canned_names() -> list[str]:
+    return sorted(_CANNED_PROFILES)
+
+
+def _byte_class_vector(sample: bytes) -> list[float]:
+    """Coarse 4-bin literal distribution used to pick a canned table."""
+    bins = [0, 0, 0, 0]  # control, digits/punct, letters, high
+    for byte in sample:
+        if byte < 0x20:
+            bins[0] += 1
+        elif byte < 0x41:
+            bins[1] += 1
+        elif byte < 0x7F:
+            bins[2] += 1
+        else:
+            bins[3] += 1
+    total = max(1, len(sample))
+    return [b / total for b in bins]
+
+
+_CLASS_CENTROIDS = {
+    "text": [0.03, 0.17, 0.78, 0.02],
+    "binary": [0.45, 0.12, 0.18, 0.25],   # zero/opcode heavy
+    "structured": [0.02, 0.48, 0.48, 0.02],
+    "flat": [0.125, 0.129, 0.242, 0.504],  # uniform byte distribution
+}
+
+
+def select_canned(sample: bytes) -> str:
+    """Classify a source sample onto the nearest canned template."""
+    vec = _byte_class_vector(sample[:4096])
+    best_name = "text"
+    best_dist = math.inf
+    for name, centroid in _CLASS_CENTROIDS.items():
+        dist = sum((a - b) ** 2 for a, b in zip(vec, centroid))
+        if dist < best_dist:
+            best_dist = dist
+            best_name = name
+    return best_name

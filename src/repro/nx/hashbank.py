@@ -1,0 +1,91 @@
+"""Banked, set-associative hash table model for the NX match pipeline.
+
+The hardware scans W bytes per cycle and must perform W hash lookups and
+W insertions in that cycle.  The table is therefore split into B banks;
+positions whose hashes collide on a bank in the same cycle serialize,
+costing stall cycles.  Capacity is limited: each set keeps the most
+recent ``ways`` positions (FIFO), which is what bounds match-candidate
+quality versus software's unbounded hash chains.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from .params import EngineParams
+
+_HASH_MULT = 0x9E3779B1  # Fibonacci hashing of the 3-byte prefix
+
+
+class BankedHashTable:
+    """Functional + conflict-accounting model of the match hash table."""
+
+    def __init__(self, params: EngineParams) -> None:
+        self.banks = params.hash_banks
+        self.ports = params.hash_ports
+        self.ways = params.hash_ways
+        self.sets = 1 << params.hash_sets_log2
+        self.window = params.window_bytes
+        self._table: list[list[int]] = [
+            [] for _ in range(self.banks * self.sets)
+        ]
+        self.lookups = 0
+        self.insertions = 0
+        self.conflict_stalls = 0
+
+    def reset(self) -> None:
+        """Clear table contents and statistics (new job, new history)."""
+        for entry in self._table:
+            entry.clear()
+        self.lookups = 0
+        self.insertions = 0
+        self.conflict_stalls = 0
+
+    @staticmethod
+    def hash3(data: bytes, i: int) -> int:
+        """Hash the 3-byte prefix at ``i`` into a 32-bit value."""
+        prefix = data[i] | (data[i + 1] << 8) | (data[i + 2] << 16)
+        return (prefix * _HASH_MULT) & 0xFFFFFFFF
+
+    def _index(self, h: int) -> tuple[int, int]:
+        bank = h % self.banks
+        set_idx = (h // self.banks) % self.sets
+        return bank, bank * self.sets + set_idx
+
+    def lookup_insert(self, data: bytes, i: int) -> tuple[list[int], int]:
+        """Return (candidate positions, bank id) and insert position ``i``.
+
+        Candidates are returned most-recent first and filtered to the
+        sliding window; the caller still validates the actual bytes (hash
+        aliasing is allowed, exactly as in hardware).
+        """
+        h = self.hash3(data, i)
+        bank, idx = self._index(h)
+        entry = self._table[idx]
+        low_limit = i - self.window
+        candidates = [pos for pos in reversed(entry) if pos > low_limit]
+        entry.append(i)
+        if len(entry) > self.ways:
+            entry.pop(0)
+        self.lookups += 1
+        self.insertions += 1
+        return candidates, (bank, h)
+
+    def charge_group_conflicts(self, accesses: list[tuple[int, int]]) -> int:
+        """Account bank-conflict stalls for one scan group.
+
+        ``accesses`` holds (bank, hash) pairs for the group.  Each bank
+        serves ``ports`` accesses per cycle; accesses with the same hash
+        hit the same set and are merged by the combining network, so only
+        *distinct* hashes contend.  The group stalls until the worst bank
+        has drained all its distinct accesses.
+        """
+        if not accesses:
+            return 0
+        per_bank: Counter[int] = Counter()
+        for bank, _h in set(accesses):
+            per_bank[bank] += 1
+        worst = max(per_bank.values())
+        stalls = max(0, -(-worst // self.ports) - 1)
+        self.conflict_stalls += stalls
+        return stalls

@@ -1,0 +1,125 @@
+"""The NX compression scan pipeline: hardware-policy LZ77 + cycle model.
+
+Differences from the software matcher that shape the accelerator's
+ratio/throughput trade-off (all documented properties of the product):
+
+* the pipeline scans ``scan_bytes_per_cycle`` input positions per cycle
+  and hashes *every* position into a banked table (bank conflicts stall);
+* match candidates come from a small set-associative table
+  (``hash_ways`` most-recent positions), not an unbounded chain;
+* match selection is greedy — there is no lazy one-byte deferral;
+* candidate comparison is ``compare_window`` bytes wide per cycle, which
+  is at least twice the scan width, so match extension never becomes the
+  bottleneck and costs no extra cycles.
+
+The functional output is a real DEFLATE token stream; the timing output
+is a cycle count for the scan phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..deflate.constants import MAX_MATCH, MIN_MATCH
+from ..deflate.matcher import MatchStats, Token
+from .hashbank import BankedHashTable
+from .params import EngineParams
+
+
+@dataclass
+class ScanResult:
+    """Functional and timing outcome of one scan pass."""
+
+    tokens: list[Token]
+    stats: MatchStats
+    scan_cycles: int
+    conflict_stalls: int
+    candidate_probes: int
+    history_cycles: int = 0  # loading a preset history through the pipe
+
+    @property
+    def total_cycles(self) -> int:
+        return self.scan_cycles + self.conflict_stalls + self.history_cycles
+
+
+@dataclass
+class NxMatchPipeline:
+    """Greedy, candidate-limited LZ77 scanner with cycle accounting."""
+
+    params: EngineParams
+    table: BankedHashTable = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.table = BankedHashTable(self.params)
+
+    def scan(self, data: bytes, history: bytes = b"") -> ScanResult:
+        """Tokenize ``data`` with the hardware match policy.
+
+        ``history`` models the NX history DDE: up to one window of prior
+        plaintext is streamed through the hash pipe before the source so
+        back-references can reach into it.  The load is charged at scan
+        width, which is how the hardware brings history in.
+        """
+        self.table.reset()
+        width = self.params.scan_bytes_per_cycle
+        history = history[-self.params.window_bytes:]
+        start = len(history)
+        combined = history + data if history else data
+        n = len(combined)
+        tokens: list[Token] = []
+        stats = MatchStats()
+        conflict_stalls = 0
+        candidate_probes = 0
+        next_emit = start
+        hash_limit = n - MIN_MATCH + 1
+        data = combined
+
+        for group_start in range(0, n, width):
+            group_end = min(group_start + width, n)
+            accesses: list[tuple[int, int]] = []
+            for i in range(group_start, group_end):
+                if i >= hash_limit:
+                    if i >= next_emit:
+                        tokens.append(data[i])
+                        stats.literals += 1
+                        next_emit = i + 1
+                    continue
+                candidates, access = self.table.lookup_insert(data, i)
+                accesses.append(access)
+                if i < next_emit:
+                    continue  # inside a committed match: hash only
+                best_len = 0
+                best_dist = 0
+                max_len = min(MAX_MATCH, n - i)
+                for cand in candidates:
+                    candidate_probes += 1
+                    length = self._match_length(data, cand, i, max_len)
+                    if length > best_len:
+                        best_len = length
+                        best_dist = i - cand
+                if best_len >= MIN_MATCH:
+                    tokens.append((best_len, best_dist))
+                    stats.matches += 1
+                    stats.match_bytes += best_len
+                    next_emit = i + best_len
+                else:
+                    tokens.append(data[i])
+                    stats.literals += 1
+                    next_emit = i + 1
+            conflict_stalls += self.table.charge_group_conflicts(accesses)
+
+        history_cycles = (start + width - 1) // width
+        scan_cycles = (n - start + width - 1) // width
+        stats.chain_probes = candidate_probes
+        return ScanResult(tokens=tokens, stats=stats,
+                          scan_cycles=scan_cycles,
+                          conflict_stalls=conflict_stalls,
+                          candidate_probes=candidate_probes,
+                          history_cycles=history_cycles)
+
+    @staticmethod
+    def _match_length(data: bytes, cand: int, pos: int, max_len: int) -> int:
+        length = 0
+        while length < max_len and data[cand + length] == data[pos + length]:
+            length += 1
+        return length

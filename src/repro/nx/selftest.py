@@ -1,0 +1,63 @@
+"""Accelerator self-test: known-answer vectors through both pipes.
+
+Production firmware runs a power-on self-test and the driver sanity-
+checks the engine at window-open: canned vectors go through compress and
+decompress, and checksums must match.  This module provides that
+routine for the model — it doubles as the quickest possible "is the
+whole stack wired correctly" check for users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..deflate.checksums import crc32
+from ..errors import AcceleratorError
+from .compressor import NxCompressor
+from .decompressor import NxDecompressor
+from .dht import DhtStrategy
+from .params import MachineParams
+
+# Known-answer vectors: (name, plaintext, expected CRC-32).
+_VECTORS: list[tuple[str, bytes]] = [
+    ("ascii", b"IBM POWER9 and z15 on-chip compression accelerator"),
+    ("runs", b"\x00" * 300 + b"\xff" * 300 + b"ab" * 150),
+    ("binary", bytes(range(256)) * 4),
+    ("single", b"x"),
+    ("empty", b""),
+]
+
+
+@dataclass(frozen=True)
+class SelfTestReport:
+    """Outcome of one self-test run."""
+
+    machine: str
+    vectors_run: int
+    strategies_run: int
+    passed: bool
+
+
+def run_selftest(machine: MachineParams,
+                 raise_on_failure: bool = True) -> SelfTestReport:
+    """Push every vector through every strategy and verify roundtrips."""
+    compressor = NxCompressor(machine.engine)
+    decompressor = NxDecompressor(machine.engine)
+    strategies = list(DhtStrategy)
+    failures = []
+    for name, plaintext in _VECTORS:
+        expected_crc = crc32(plaintext)
+        for strategy in strategies:
+            payload = compressor.compress(plaintext,
+                                          strategy=strategy).data
+            restored = decompressor.decompress(payload).data
+            if restored != plaintext or crc32(restored) != expected_crc:
+                failures.append((name, strategy))
+    passed = not failures
+    if not passed and raise_on_failure:
+        raise AcceleratorError(
+            f"self-test failed on {machine.name}: {failures}")
+    return SelfTestReport(machine=machine.name,
+                          vectors_run=len(_VECTORS),
+                          strategies_run=len(strategies),
+                          passed=passed)

@@ -1,0 +1,55 @@
+"""Performance models: cost calibration, timing, queueing, system roll-up."""
+
+from .cost import (
+    COMPRESS_CYCLES_PER_BYTE,
+    EFFECTIVE_COMPRESS_GBPS,
+    SoftwareCostModel,
+    accelerator_effective_gbps,
+    measure_effective_gbps,
+)
+from .des import Simulator
+from .energy import AreaComparison, EnergyComparison, EnergyModel
+from .io_adapter import (
+    PcieAdapterModel,
+    PcieAdapterParams,
+    compare_onchip_vs_adapter,
+)
+from .completion import CompletionMode, CompletionModel
+from .priority import PriorityQueueSim
+from .queueing import AcceleratorQueueSim, QueueingResult, load_sweep
+from .routing import MultiChipRouter, RoutingResult, policy_comparison
+from .system import SystemModel, SystemRates, scaling_series
+from .tco import FleetAssumptions, TcoModel, TcoReport
+from .timing import LatencyBreakdown, OffloadTimingModel
+
+__all__ = [
+    "SoftwareCostModel",
+    "COMPRESS_CYCLES_PER_BYTE",
+    "EFFECTIVE_COMPRESS_GBPS",
+    "accelerator_effective_gbps",
+    "measure_effective_gbps",
+    "Simulator",
+    "OffloadTimingModel",
+    "LatencyBreakdown",
+    "AcceleratorQueueSim",
+    "QueueingResult",
+    "load_sweep",
+    "SystemModel",
+    "SystemRates",
+    "scaling_series",
+    "EnergyModel",
+    "EnergyComparison",
+    "AreaComparison",
+    "PcieAdapterModel",
+    "PcieAdapterParams",
+    "compare_onchip_vs_adapter",
+    "CompletionModel",
+    "CompletionMode",
+    "PriorityQueueSim",
+    "MultiChipRouter",
+    "RoutingResult",
+    "policy_comparison",
+    "TcoModel",
+    "TcoReport",
+    "FleetAssumptions",
+]

@@ -1,0 +1,75 @@
+"""PCIe-attached compression adapter baseline (the design the paper beats).
+
+Before on-chip integration, the alternative was an FPGA/ASIC adapter in a
+PCIe slot: same class of engine, but every job pays driver + doorbell +
+interrupt overheads and two PCIe traversals, and the card consumes a slot
+and watts.  The on-chip accelerator's win at small and medium buffer
+sizes comes almost entirely from this overhead gap, which is the
+comparison E12 regenerates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..nx.params import MachineParams
+from .timing import LatencyBreakdown, OffloadTimingModel
+
+
+@dataclass(frozen=True)
+class PcieAdapterParams:
+    """An I/O-attached accelerator card."""
+
+    name: str = "pcie-fpga-adapter"
+    engine_rate_gbps: float = 8.0     # engine itself is competitive
+    pcie_gbps: float = 12.0           # PCIe Gen4 x8 effective
+    driver_overhead_us: float = 18.0  # syscall + ring doorbell
+    interrupt_overhead_us: float = 12.0
+    dma_setup_us: float = 4.0
+    slot_power_w: float = 25.0
+    card_cost_usd: float = 2500.0
+
+
+@dataclass
+class PcieAdapterModel:
+    """Latency model of the adapter path, comparable to OffloadTimingModel."""
+
+    params: PcieAdapterParams = PcieAdapterParams()
+
+    def offload_latency(self, nbytes: int, ratio: float = 2.5,
+                        queue_wait: float = 0.0) -> LatencyBreakdown:
+        """One compression job: host -> card -> host.
+
+        Input crosses PCIe at full size; output returns at
+        ``nbytes / ratio``.  Engine compute overlaps neither transfer
+        (store-and-forward DMA), which is the common adapter design.
+        """
+        p = self.params
+        transfer_in = nbytes / (p.pcie_gbps * 1e9)
+        transfer_out = (nbytes / ratio) / (p.pcie_gbps * 1e9)
+        compute = nbytes / (p.engine_rate_gbps * 1e9)
+        return LatencyBreakdown(
+            submit=(p.driver_overhead_us + p.dma_setup_us) * 1e-6,
+            dispatch=transfer_in,
+            queue_wait=queue_wait,
+            service=compute + transfer_out,
+            completion=p.interrupt_overhead_us * 1e-6,
+        )
+
+    def effective_throughput_gbps(self, nbytes: int) -> float:
+        latency = self.offload_latency(nbytes).total
+        return (nbytes / 1e9) / latency if latency else 0.0
+
+
+def compare_onchip_vs_adapter(machine: MachineParams, sizes: list[int],
+                              adapter: PcieAdapterModel | None = None
+                              ) -> list[tuple[int, float, float]]:
+    """(size, on-chip GB/s, adapter GB/s) series across buffer sizes."""
+    adapter = adapter or PcieAdapterModel()
+    onchip = OffloadTimingModel(machine)
+    return [
+        (size,
+         onchip.effective_throughput_gbps(size),
+         adapter.effective_throughput_gbps(size))
+        for size in sizes
+    ]

@@ -1,0 +1,227 @@
+"""Queueing simulation of cores sharing the on-chip accelerator.
+
+The paper's sharing story: one accelerator serves every core on the chip
+through VAS windows, so request latency grows with offered load and the
+interesting questions are (a) where the knee is and (b) what the tail
+looks like for small, latency-sensitive requests mixed with bulk jobs.
+
+Two drive modes:
+
+* **open** — each client emits jobs as a Poisson process (offered load
+  independent of completions);
+* **closed** — each client keeps one job in flight with exponential
+  think time between completions (offered load self-throttles).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..nx.params import MachineParams
+from .des import Simulator
+from .timing import OffloadTimingModel
+
+
+@dataclass
+class JobRecord:
+    """One simulated request's life cycle."""
+
+    client: int
+    size_bytes: int
+    submit_time: float
+    start_time: float = 0.0
+    finish_time: float = 0.0
+
+    @property
+    def sojourn(self) -> float:
+        return self.finish_time - self.submit_time
+
+    @property
+    def wait(self) -> float:
+        return self.start_time - self.submit_time
+
+
+@dataclass
+class QueueingResult:
+    """Aggregate outcome of one simulation run."""
+
+    jobs: list[JobRecord]
+    sim_seconds: float
+    engines: int
+
+    @property
+    def completed(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def throughput_gbps(self) -> float:
+        total = sum(job.size_bytes for job in self.jobs)
+        return (total / 1e9) / self.sim_seconds if self.sim_seconds else 0.0
+
+    def latency_percentile(self, pct: float) -> float:
+        if not self.jobs:
+            return 0.0
+        ordered = sorted(job.sojourn for job in self.jobs)
+        idx = min(len(ordered) - 1, int(pct / 100.0 * len(ordered)))
+        return ordered[idx]
+
+    @property
+    def mean_latency(self) -> float:
+        if not self.jobs:
+            return 0.0
+        return sum(job.sojourn for job in self.jobs) / len(self.jobs)
+
+    @property
+    def mean_wait(self) -> float:
+        if not self.jobs:
+            return 0.0
+        return sum(job.wait for job in self.jobs) / len(self.jobs)
+
+
+@dataclass
+class AcceleratorQueueSim:
+    """FIFO multi-engine queue fed by Poisson or closed-loop clients."""
+
+    machine: MachineParams
+    engines: int = 1
+    op: str = "compress"
+    seed: int = 42
+    size_sampler: Callable[[random.Random], int] | None = None
+
+    def __post_init__(self) -> None:
+        self.timing = OffloadTimingModel(self.machine, op=self.op)
+
+    def _sample_size(self, rng: random.Random) -> int:
+        if self.size_sampler is not None:
+            return self.size_sampler(rng)
+        return 65536
+
+    def service_seconds(self, size_bytes: int) -> float:
+        return (self.timing.service_seconds(size_bytes)
+                + self.machine.dispatch_overhead_us * 1e-6)
+
+    # -- open (Poisson) drive ------------------------------------------------
+
+    def run_open(self, arrival_rate_per_s: float, clients: int,
+                 duration_s: float) -> QueueingResult:
+        """Each client is a Poisson source of rate ``arrival_rate_per_s``."""
+        sim = Simulator()
+        rng = random.Random(self.seed)
+        queue: list[JobRecord] = []
+        busy = [False] * self.engines
+        done: list[JobRecord] = []
+
+        def try_dispatch() -> None:
+            while queue:
+                try:
+                    engine = busy.index(False)
+                except ValueError:
+                    return
+                job = queue.pop(0)
+                busy[engine] = True
+                job.start_time = sim.now
+                service = self.service_seconds(job.size_bytes)
+
+                def finish(job: JobRecord = job, engine: int = engine) -> None:
+                    busy[engine] = False
+                    job.finish_time = sim.now
+                    done.append(job)
+                    try_dispatch()
+
+                sim.schedule(service, finish)
+
+        def arrival(client: int) -> None:
+            if sim.now >= duration_s:
+                return
+            job = JobRecord(client=client,
+                            size_bytes=self._sample_size(rng),
+                            submit_time=sim.now)
+            job.submit_time += self.machine.submit_overhead_us * 1e-6
+            queue.append(job)
+            try_dispatch()
+            gap = rng.expovariate(arrival_rate_per_s)
+            sim.schedule(gap, lambda: arrival(client))
+
+        for client in range(clients):
+            sim.schedule(rng.expovariate(arrival_rate_per_s),
+                         lambda client=client: arrival(client))
+        sim.run()
+        return QueueingResult(jobs=done, sim_seconds=max(sim.now, duration_s),
+                              engines=self.engines)
+
+    # -- closed (think-time) drive ---------------------------------------------
+
+    def run_closed(self, clients: int, think_seconds: float,
+                   duration_s: float) -> QueueingResult:
+        """Each client resubmits after an exponential think time."""
+        sim = Simulator()
+        rng = random.Random(self.seed)
+        queue: list[JobRecord] = []
+        busy = [False] * self.engines
+        done: list[JobRecord] = []
+
+        def try_dispatch() -> None:
+            while queue:
+                try:
+                    engine = busy.index(False)
+                except ValueError:
+                    return
+                job = queue.pop(0)
+                busy[engine] = True
+                job.start_time = sim.now
+                service = self.service_seconds(job.size_bytes)
+
+                def finish(job: JobRecord = job, engine: int = engine) -> None:
+                    busy[engine] = False
+                    job.finish_time = sim.now
+                    done.append(job)
+                    think = rng.expovariate(1.0 / think_seconds) \
+                        if think_seconds > 0 else 0.0
+                    if sim.now + think < duration_s:
+                        sim.schedule(think,
+                                     lambda c=job.client: submit(c))
+                    try_dispatch()
+
+                sim.schedule(service, finish)
+
+        def submit(client: int) -> None:
+            job = JobRecord(client=client,
+                            size_bytes=self._sample_size(rng),
+                            submit_time=sim.now)
+            queue.append(job)
+            try_dispatch()
+
+        for client in range(clients):
+            sim.schedule(rng.random() * 1e-6,
+                         lambda client=client: submit(client))
+        sim.run(until=duration_s * 1.5)
+        # Account over the active window, not the idle drain tail.
+        last_finish = max((job.finish_time for job in done),
+                          default=duration_s)
+        return QueueingResult(jobs=done,
+                              sim_seconds=max(last_finish, duration_s * 0.5),
+                              engines=self.engines)
+
+
+def load_sweep(machine: MachineParams, loads: list[float],
+               size_bytes: int = 65536, clients: int = 16,
+               duration_s: float = 0.2, engines: int = 1,
+               seed: int = 42) -> list[tuple[float, QueueingResult]]:
+    """Sweep offered load as a fraction of engine capacity.
+
+    ``loads`` are utilization targets (0..1+); arrival rates are derived
+    from the per-job service time so the sweep brackets the knee.
+    """
+    results = []
+    for load in loads:
+        sim = AcceleratorQueueSim(
+            machine, engines=engines, seed=seed,
+            size_sampler=lambda rng: size_bytes)
+        service = sim.service_seconds(size_bytes)
+        total_rate = load * engines / service
+        per_client = total_rate / clients
+        results.append(
+            (load, sim.run_open(per_client, clients, duration_s)))
+    return results

@@ -1,0 +1,106 @@
+"""Total-cost-of-ownership model: what on-chip compression is worth.
+
+The abstract's economic claims: compression saves storage/memory/IO
+cost, the on-chip engine adds "practically zero hardware cost", and it
+"eliminates the cost and I/O slots that would have been necessary with
+FPGA/ASIC based compression adapters".  This module turns those claims
+into a small, explicit fleet-level model:
+
+* storage saved = data volume x (1 - 1/ratio) x $/TB-month;
+* core-hours returned = software codec core-seconds the engine absorbs;
+* adapter cost avoided = cards + slots + watts the PCIe alternative
+  would need for the same offered load.
+
+Every input has a visible default and can be overridden, so the output
+is an auditable estimate, not an oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..nx.params import MachineParams
+from .cost import SoftwareCostModel, accelerator_effective_gbps
+from .io_adapter import PcieAdapterParams
+
+
+@dataclass(frozen=True)
+class FleetAssumptions:
+    """Fleet-level workload and price inputs."""
+
+    compressed_tb_per_day: float = 100.0   # data volume through the codec
+    compression_ratio: float = 3.0
+    storage_usd_per_tb_month: float = 20.0
+    core_hour_usd: float = 0.04            # amortized server core-hour
+    power_usd_per_kwh: float = 0.12
+    adapter: PcieAdapterParams = PcieAdapterParams()
+
+
+@dataclass(frozen=True)
+class TcoReport:
+    """Monthly savings attributable to the on-chip accelerator."""
+
+    storage_usd_per_month: float
+    core_hours_per_month: float
+    core_usd_per_month: float
+    adapters_avoided: int
+    adapter_capex_usd: float
+    adapter_power_usd_per_month: float
+
+    @property
+    def recurring_usd_per_month(self) -> float:
+        return (self.storage_usd_per_month + self.core_usd_per_month
+                + self.adapter_power_usd_per_month)
+
+
+@dataclass
+class TcoModel:
+    """Composes the savings for one machine + fleet assumption set."""
+
+    machine: MachineParams
+    assumptions: FleetAssumptions = FleetAssumptions()
+    level: int = 6
+
+    def storage_savings_usd_per_month(self) -> float:
+        a = self.assumptions
+        stored_tb = a.compressed_tb_per_day * 30.0
+        saved_tb = stored_tb * (1.0 - 1.0 / a.compression_ratio)
+        return saved_tb * a.storage_usd_per_tb_month
+
+    def core_hours_returned_per_month(self) -> float:
+        """Core time the software codec would have burned."""
+        a = self.assumptions
+        cost = SoftwareCostModel(self.machine)
+        seconds_per_byte = cost.compress_seconds(1, self.level)
+        bytes_per_month = a.compressed_tb_per_day * 1e12 * 30.0
+        return bytes_per_month * seconds_per_byte / 3600.0
+
+    def adapters_avoided(self) -> int:
+        """PCIe cards needed to carry the same offered load."""
+        a = self.assumptions
+        offered_gbps = a.compressed_tb_per_day * 1e12 / 86400.0 / 1e9
+        per_card = min(a.adapter.engine_rate_gbps,
+                       a.adapter.pcie_gbps / 1.4)  # in + compressed out
+        return max(1, -(-int(offered_gbps * 100) // int(per_card * 100)))
+
+    def report(self) -> TcoReport:
+        a = self.assumptions
+        cards = self.adapters_avoided()
+        core_hours = self.core_hours_returned_per_month()
+        return TcoReport(
+            storage_usd_per_month=self.storage_savings_usd_per_month(),
+            core_hours_per_month=core_hours,
+            core_usd_per_month=core_hours * a.core_hour_usd,
+            adapters_avoided=cards,
+            adapter_capex_usd=cards * a.adapter.card_cost_usd,
+            adapter_power_usd_per_month=(
+                cards * a.adapter.slot_power_w / 1000.0 * 24 * 30
+                * a.power_usd_per_kwh),
+        )
+
+    def accelerators_needed(self) -> int:
+        """On-chip engines required for the same load (for context)."""
+        offered_gbps = (self.assumptions.compressed_tb_per_day * 1e12
+                        / 86400.0 / 1e9)
+        rate = accelerator_effective_gbps(self.machine)
+        return max(1, -(-int(offered_gbps * 100) // int(rate * 100)))

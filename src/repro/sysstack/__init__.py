@@ -1,0 +1,36 @@
+"""System-stack substrate: how software reaches the accelerator.
+
+CRB/CSB/DDE request structures, the VAS switchboard with copy/paste
+submission and window credits, a paged address space with translation-
+fault injection, and the user-mode driver with the documented
+touch-and-resubmit and software-fallback behaviour.
+"""
+
+from .crb import CRB_BYTES, CSB_BYTES, CcCode, Crb, Csb, FunctionCode, Op
+from .dde import DDE_BYTES, Dde
+from .driver import (AsyncNxDriver, DriverResult, NxDriver,
+                     PendingJob, SubmissionStats)
+from .mmu import PAGE_SIZE, AddressSpace, FaultInjector
+from .vas import SendWindow, Vas
+
+__all__ = [
+    "Crb",
+    "Csb",
+    "CcCode",
+    "FunctionCode",
+    "Op",
+    "CRB_BYTES",
+    "CSB_BYTES",
+    "Dde",
+    "DDE_BYTES",
+    "NxDriver",
+    "AsyncNxDriver",
+    "PendingJob",
+    "DriverResult",
+    "SubmissionStats",
+    "AddressSpace",
+    "FaultInjector",
+    "PAGE_SIZE",
+    "Vas",
+    "SendWindow",
+]

@@ -1,0 +1,100 @@
+"""Data Descriptor Entries: the accelerator's scatter/gather lists.
+
+A *direct* DDE names one contiguous virtual buffer.  An *indirect* DDE
+points at an in-memory array of direct DDEs, letting one request cover a
+fragmented buffer (the way the paper describes pinning-free user-space
+submission).  The engine walks the list through the MMU model, so every
+segment is subject to translation faults.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from ..errors import JobError
+
+DDE_BYTES = 16
+MAX_INDIRECT_ENTRIES = 256
+
+
+@dataclass
+class Dde:
+    """A direct (single-segment) or indirect (list) descriptor."""
+
+    address: int
+    length: int
+    indirect: bool = False
+    entries: list["Dde"] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.length < 0:
+            raise JobError("DDE length must be non-negative")
+        if self.indirect and len(self.entries) > MAX_INDIRECT_ENTRIES:
+            raise JobError("indirect DDE exceeds entry limit")
+
+    @classmethod
+    def direct(cls, address: int, length: int) -> "Dde":
+        return cls(address=address, length=length)
+
+    @classmethod
+    def gather(cls, segments: list[tuple[int, int]],
+               list_address: int = 0) -> "Dde":
+        """Build an indirect DDE over (address, length) segments."""
+        entries = [cls.direct(addr, length) for addr, length in segments]
+        total = sum(e.length for e in entries)
+        return cls(address=list_address, length=total, indirect=True,
+                   entries=entries)
+
+    @property
+    def total_length(self) -> int:
+        if self.indirect:
+            return sum(entry.length for entry in self.entries)
+        return self.length
+
+    def segments(self) -> list[tuple[int, int]]:
+        """Flatten to a list of (address, length) spans, in order."""
+        if not self.indirect:
+            return [(self.address, self.length)] if self.length else []
+        out: list[tuple[int, int]] = []
+        for entry in self.entries:
+            if entry.indirect:
+                raise JobError("nested indirect DDEs are not allowed")
+            if entry.length:
+                out.append((entry.address, entry.length))
+        return out
+
+    # -- wire form -------------------------------------------------------
+
+    def pack(self) -> bytes:
+        """Serialize the descriptor head (entries live in memory)."""
+        flags = 1 if self.indirect else 0
+        count = len(self.entries) if self.indirect else 0
+        return struct.pack("<QIHH", self.address, self.length, flags, count)
+
+    def pack_entries(self) -> bytes:
+        """Serialize the indirect entry array (for placing in memory)."""
+        return b"".join(entry.pack() for entry in self.entries)
+
+    @classmethod
+    def unpack(cls, raw: bytes, offset: int) -> tuple["Dde", int]:
+        address, length, flags, count = struct.unpack_from(
+            "<QIHH", raw, offset)
+        dde = cls(address=address, length=length, indirect=bool(flags & 1))
+        offset += DDE_BYTES
+        if dde.indirect:
+            # Entries are not inline in the CRB; the walker reads them
+            # from memory at `address`.  `count` is carried for sizing.
+            dde.entries = []
+            dde._entry_count = count  # type: ignore[attr-defined]
+        return dde, offset
+
+    @classmethod
+    def unpack_entries(cls, raw: bytes, count: int) -> list["Dde"]:
+        entries = []
+        for idx in range(count):
+            entry, _ = cls.unpack(raw, idx * DDE_BYTES)
+            if entry.indirect:
+                raise JobError("nested indirect DDEs are not allowed")
+            entries.append(entry)
+        return entries

@@ -1,0 +1,308 @@
+"""User-mode library + kernel driver behaviour for the accelerator.
+
+This is the software half of the documented submission protocol:
+
+1. allocate source/target buffers and a CSB in the process address space;
+2. build a CRB and ``paste`` it to the process's VAS send window,
+   backing off when the window is out of credits;
+3. poll the CSB; on ``CC=TRANSLATION`` touch the faulting page and
+   resubmit; on ``CC=TARGET_SPACE`` grow the target buffer and resubmit;
+4. after a bounded number of retries, fall back to software zlib —
+   the same last-resort path the production library (libnxz) takes.
+
+Timing is accounted in modelled seconds so experiments can report
+end-to-end latencies including fault fixups and retries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..errors import JobError
+from ..sysstack.crb import (CRB_FLAG_CONTINUED, CcCode, Crb,
+                            Csb, FunctionCode, Op)
+from ..sysstack.dde import Dde
+from ..sysstack.mmu import AddressSpace
+
+if TYPE_CHECKING:  # avoid a cycle: nx.accelerator imports sysstack.crb
+    from ..nx.accelerator import NxAccelerator
+
+PAGE_TOUCH_SECONDS = 4e-6       # minor fault service in the OS
+CSB_POLL_SECONDS = 0.2e-6       # one poll iteration
+PASTE_RETRY_SECONDS = 0.5e-6    # back-off after a credit-rejected paste
+DEFAULT_MAX_RETRIES = 8
+
+
+@dataclass
+class SubmissionStats:
+    """What happened while getting one job through the accelerator."""
+
+    submissions: int = 0
+    paste_rejections: int = 0
+    translation_faults: int = 0
+    target_overflows: int = 0
+    fallback_to_software: bool = False
+    elapsed_seconds: float = 0.0
+
+
+@dataclass
+class DriverResult:
+    """Completed request: output plus accounting."""
+
+    output: bytes
+    csb: Csb | None
+    stats: SubmissionStats
+    engine_result: object | None = None
+
+
+@dataclass
+class NxDriver:
+    """Ties a process address space to one chip's accelerator."""
+
+    accelerator: "NxAccelerator"
+    space: AddressSpace
+    max_retries: int = DEFAULT_MAX_RETRIES
+    pid: int = 1
+    _window_id: int | None = field(default=None, init=False)
+
+    def open(self, credits: int | None = None) -> None:
+        """Open the process's send window (once per session)."""
+        window = self.accelerator.vas.open_window(pid=self.pid,
+                                                  credits=credits)
+        self._window_id = window.window_id
+
+    def close(self) -> None:
+        if self._window_id is not None:
+            self.accelerator.vas.close_window(self._window_id)
+            self._window_id = None
+
+    # -- request construction ------------------------------------------------
+
+    def prepare_buffers(self, data: bytes,
+                        target_factor: float = 1.2) -> tuple[Dde, Dde, int]:
+        """Place input in memory; allocate output + CSB; return descriptors."""
+        src_va = self.space.alloc(max(1, len(data)))
+        self.space.write(src_va, data)
+        target_len = max(4096, int(len(data) * target_factor) + 1024)
+        dst_va = self.space.alloc(target_len)
+        csb_va = self.space.alloc(64)
+        return (Dde.direct(src_va, len(data)),
+                Dde.direct(dst_va, target_len), csb_va)
+
+    # -- the submit/retry loop -----------------------------------------------
+
+    def run(self, op: Op, data: bytes, strategy: str = "auto",
+            fmt: str = "raw", history: bytes = b"",
+            final: bool = True) -> DriverResult:
+        """Execute one compress/decompress request end to end.
+
+        ``history`` seeds the engine's match window (or the inflate
+        window for raw decompression); ``final=False`` marks a
+        continuation request whose output concatenates with later ones.
+        """
+        if self._window_id is None:
+            self.open()
+        machine = self.accelerator.machine
+        stats = SubmissionStats()
+        compressing = op in (Op.COMPRESS, Op.COMPRESS_842)
+        source, target, csb_va = self.prepare_buffers(
+            data, target_factor=1.3 if compressing else 4.0)
+        history_dde = None
+        if history:
+            hist_va = self.space.alloc(len(history))
+            self.space.write(hist_va, history)
+            history_dde = Dde.direct(hist_va, len(history))
+
+        flags = 0 if final else CRB_FLAG_CONTINUED
+        for _attempt in range(self.max_retries + 1):
+            crb = Crb(function=FunctionCode(op=op, strategy=strategy,
+                                            fmt=fmt),
+                      source=source, target=target, csb_address=csb_va,
+                      sequence=stats.submissions, flags=flags,
+                      history_dde=history_dde)
+            stats.submissions += 1
+            stats.elapsed_seconds += machine.submit_overhead_us * 1e-6
+
+            while not self.accelerator.vas.paste(self._window_id, crb):
+                stats.paste_rejections += 1
+                stats.elapsed_seconds += PASTE_RETRY_SECONDS
+                self.accelerator.drain(self.space)  # let the engine catch up
+
+            stats.elapsed_seconds += machine.dispatch_overhead_us * 1e-6
+            completed = self.accelerator.drain(self.space)
+            outcome = completed[-1].outcome
+            stats.elapsed_seconds += outcome.busy_seconds
+            stats.elapsed_seconds += CSB_POLL_SECONDS
+            stats.elapsed_seconds += machine.completion_overhead_us * 1e-6
+
+            csb = outcome.csb
+            if csb.cc is CcCode.SUCCESS:
+                output = self.space.read(target.address, csb.target_written)
+                return DriverResult(output=output, csb=csb, stats=stats,
+                                    engine_result=outcome.result)
+            if csb.cc is CcCode.TRANSLATION:
+                stats.translation_faults += 1
+                self.space.touch(csb.fault_address)
+                stats.elapsed_seconds += PAGE_TOUCH_SECONDS
+                continue
+            if csb.cc is CcCode.TARGET_SPACE:
+                stats.target_overflows += 1
+                new_len = target.length * 2
+                target = Dde.direct(self.space.alloc(new_len), new_len)
+                continue
+            raise JobError(f"unexpected CC {csb.cc!r}", cc=int(csb.cc))
+
+        # Retry budget exhausted: the production library falls back to
+        # running zlib on the calling core.
+        stats.fallback_to_software = True
+        output, sw_seconds = _software_fallback(op, data, machine)
+        stats.elapsed_seconds += sw_seconds
+        return DriverResult(output=output, csb=None, stats=stats)
+
+
+@dataclass
+class PendingJob:
+    """One submitted-but-not-completed asynchronous request."""
+
+    sequence: int
+    op: Op
+    crb: Crb
+    stats: SubmissionStats
+    data_len: int
+    done: bool = False
+    result: DriverResult | None = None
+
+
+class AsyncNxDriver(NxDriver):
+    """Batch submission: paste many CRBs, then poll for completions.
+
+    This is what the asynchronous POWER9 interface is *for*: a thread
+    keeps several jobs in flight on one window (bounded by its credits)
+    and overlaps its own work with the engine.  ``submit`` pastes one
+    request; ``poll`` drains the accelerator, finishes successful jobs,
+    and transparently re-pastes jobs that faulted or overflowed.
+    """
+
+    def _init_async(self) -> None:
+        if not hasattr(self, "_pending"):
+            self._pending: dict[int, PendingJob] = {}
+            self._next_sequence = 0
+
+    def submit(self, op: Op, data: bytes, strategy: str = "auto",
+               fmt: str = "raw") -> PendingJob:
+        """Paste one request; returns a handle to poll on."""
+        self._init_async()
+        if self._window_id is None:
+            self.open()
+        machine = self.accelerator.machine
+        stats = SubmissionStats()
+        source, target, csb_va = self.prepare_buffers(
+            data, target_factor=1.2 if op is Op.COMPRESS else 4.0)
+        crb = Crb(function=FunctionCode(op=op, strategy=strategy, fmt=fmt),
+                  source=source, target=target, csb_address=csb_va,
+                  sequence=self._next_sequence)
+        job = PendingJob(sequence=self._next_sequence, op=op, crb=crb,
+                         stats=stats, data_len=len(data))
+        self._next_sequence += 1
+        self._pending[job.sequence] = job
+        self._paste_with_backoff(job)
+        stats.elapsed_seconds += machine.submit_overhead_us * 1e-6
+        return job
+
+    def _paste_with_backoff(self, job: PendingJob) -> None:
+        job.stats.submissions += 1
+        while not self.accelerator.vas.paste(self._window_id, job.crb):
+            job.stats.paste_rejections += 1
+            job.stats.elapsed_seconds += PASTE_RETRY_SECONDS
+            self.poll()  # free credits by draining completions
+
+    def poll(self) -> list[PendingJob]:
+        """Drain the engine; returns jobs that completed on this poll."""
+        self._init_async()
+        machine = self.accelerator.machine
+        finished: list[PendingJob] = []
+        for completed in self.accelerator.drain(self.space):
+            job = self._pending.get(
+                completed.crb.sequence if completed.crb else -1)
+            if job is None or job.done:
+                continue
+            outcome = completed.outcome
+            job.stats.elapsed_seconds += outcome.busy_seconds
+            job.stats.elapsed_seconds += CSB_POLL_SECONDS
+            csb = outcome.csb
+            if csb.cc is CcCode.SUCCESS:
+                output = self.space.read(job.crb.target.address,
+                                         csb.target_written)
+                job.stats.elapsed_seconds += (
+                    machine.completion_overhead_us * 1e-6)
+                job.done = True
+                job.result = DriverResult(output=output, csb=csb,
+                                          stats=job.stats,
+                                          engine_result=outcome.result)
+                del self._pending[job.sequence]
+                finished.append(job)
+            elif csb.cc is CcCode.TRANSLATION:
+                job.stats.translation_faults += 1
+                self.space.touch(csb.fault_address)
+                job.stats.elapsed_seconds += PAGE_TOUCH_SECONDS
+                self._paste_with_backoff(job)
+            elif csb.cc is CcCode.TARGET_SPACE:
+                job.stats.target_overflows += 1
+                new_len = job.crb.target.length * 2
+                job.crb.target = Dde.direct(self.space.alloc(new_len),
+                                            new_len)
+                self._paste_with_backoff(job)
+            else:
+                raise JobError(f"unexpected CC {csb.cc!r}",
+                               cc=int(csb.cc))
+        return finished
+
+    def wait_all(self, max_polls: int = 1000) -> list[PendingJob]:
+        """Poll until every submitted job has completed."""
+        self._init_async()
+        done: list[PendingJob] = []
+        for _ in range(max_polls):
+            done.extend(self.poll())
+            if not self._pending:
+                return done
+        raise JobError("jobs still pending after poll budget")
+
+    @property
+    def in_flight(self) -> int:
+        self._init_async()
+        return len(self._pending)
+
+    def run(self, op: Op, data: bytes, strategy: str = "auto",
+            fmt: str = "raw", history: bytes = b"",
+            final: bool = True) -> DriverResult:
+        """Synchronous run; refuses to interleave with pending async jobs
+        (its drain would swallow their completions)."""
+        self._init_async()
+        if self._pending:
+            raise JobError("synchronous run with async jobs in flight; "
+                           "wait_all() first")
+        return super().run(op, data, strategy=strategy, fmt=fmt,
+                           history=history, final=final)
+
+
+def _software_fallback(op: Op, data: bytes, machine) -> tuple[bytes, float]:
+    """Run the job in software and charge the calibrated core time."""
+    from ..deflate import deflate, inflate
+    from ..e842 import compress as e842_compress
+    from ..e842 import decompress as e842_decompress
+    from ..perf.cost import SoftwareCostModel
+
+    cost = SoftwareCostModel(machine)
+    if op is Op.COMPRESS:
+        result = deflate(data, level=6)
+        return result.data, cost.compress_seconds(len(data), level=6)
+    if op is Op.DECOMPRESS:
+        output = inflate(data)
+        return output, cost.decompress_seconds(len(output))
+    if op is Op.COMPRESS_842:
+        result = e842_compress(data)
+        # Software 842 is roughly a fast-level zlib in cost.
+        return result.data, cost.compress_seconds(len(data), level=1)
+    output = e842_decompress(data)
+    return output, cost.decompress_seconds(len(output))

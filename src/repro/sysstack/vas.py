@@ -1,0 +1,131 @@
+"""Virtual Accelerator Switchboard (VAS) model.
+
+On POWER9, user threads obtain a *send window* on the accelerator and
+submit jobs by building a CRB in memory and executing ``copy``/``paste``
+to the window's paste address.  The switchboard routes the 128-byte CRB
+into the accelerator's receive FIFO.  Windows carry *credits*: a paste
+with no free credit fails (the busy bit returns set) and the thread must
+back off — this is the documented flow-control mechanism that keeps a
+shared accelerator safe to expose to unprivileged code.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..errors import VasError
+from .crb import CRB_BYTES, Crb
+
+
+@dataclass
+class PasteRecord:
+    """One accepted paste: the raw CRB plus its originating window."""
+
+    window_id: int
+    raw_crb: bytes
+
+    def crb(self) -> Crb:
+        return Crb.unpack(self.raw_crb)
+
+
+@dataclass
+class SendWindow:
+    """A user-mode send window with a fixed credit allocation."""
+
+    window_id: int
+    credits: int
+    pid: int = 0
+    priority: str = "normal"  # "high" routes to the priority RX FIFO
+    outstanding: int = 0
+    pastes_accepted: int = 0
+    pastes_rejected: int = 0
+
+    @property
+    def credits_available(self) -> int:
+        return self.credits - self.outstanding
+
+
+class Vas:
+    """Switchboard: windows on one side, two receive FIFOs on the other.
+
+    The accelerator front end implements two receive queues: *high*
+    priority for latency-sensitive requests and *normal* for bulk.
+    Arbitration is priority-first with an anti-starvation bound — after
+    ``starvation_bound`` consecutive high-priority grants, one normal
+    request is served even if high work is pending.
+    """
+
+    def __init__(self, rx_fifo_depth: int = 64,
+                 default_credits: int = 16,
+                 starvation_bound: int = 8) -> None:
+        self.rx_fifo_depth = rx_fifo_depth
+        self.default_credits = default_credits
+        self.starvation_bound = starvation_bound
+        self.windows: dict[int, SendWindow] = {}
+        self.rx_fifo: deque[PasteRecord] = deque()
+        self.rx_fifo_high: deque[PasteRecord] = deque()
+        self._consecutive_high = 0
+        self._next_window_id = 1
+
+    def open_window(self, pid: int = 0, credits: int | None = None,
+                    priority: str = "normal") -> SendWindow:
+        """Allocate a send window (the driver's winopen path)."""
+        if priority not in ("normal", "high"):
+            raise VasError(f"bad window priority {priority!r}")
+        window = SendWindow(window_id=self._next_window_id,
+                            credits=credits or self.default_credits,
+                            pid=pid, priority=priority)
+        self.windows[window.window_id] = window
+        self._next_window_id += 1
+        return window
+
+    def close_window(self, window_id: int) -> None:
+        window = self._window(window_id)
+        if window.outstanding:
+            raise VasError(
+                f"window {window_id} closed with {window.outstanding} "
+                "jobs outstanding")
+        del self.windows[window_id]
+
+    def paste(self, window_id: int, crb: Crb) -> bool:
+        """Attempt one copy/paste submission; False mirrors CR0 busy."""
+        window = self._window(window_id)
+        raw = crb.pack()
+        if len(raw) != CRB_BYTES:
+            raise VasError("paste payload must be one cache line pair")
+        fifo = (self.rx_fifo_high if window.priority == "high"
+                else self.rx_fifo)
+        if window.credits_available <= 0 or len(fifo) >= self.rx_fifo_depth:
+            window.pastes_rejected += 1
+            return False
+        window.outstanding += 1
+        window.pastes_accepted += 1
+        fifo.append(PasteRecord(window_id=window_id, raw_crb=raw))
+        return True
+
+    def pop_request(self) -> PasteRecord | None:
+        """Accelerator side: dequeue per the priority arbitration."""
+        take_normal = (self.rx_fifo
+                       and (not self.rx_fifo_high
+                            or self._consecutive_high
+                            >= self.starvation_bound))
+        if take_normal:
+            self._consecutive_high = 0
+            return self.rx_fifo.popleft()
+        if self.rx_fifo_high:
+            self._consecutive_high += 1
+            return self.rx_fifo_high.popleft()
+        return None
+
+    def return_credit(self, window_id: int) -> None:
+        """Job completed: release the window credit."""
+        window = self._window(window_id)
+        if window.outstanding <= 0:
+            raise VasError(f"window {window_id} has no outstanding credit")
+        window.outstanding -= 1
+
+    def _window(self, window_id: int) -> SendWindow:
+        if window_id not in self.windows:
+            raise VasError(f"no such window {window_id}")
+        return self.windows[window_id]

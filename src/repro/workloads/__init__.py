@@ -1,0 +1,47 @@
+"""Synthetic workloads: corpora, request traces, and the Spark model."""
+
+from .corpus import build_corpus, corpus_bytes, corpus_names
+from .generators import (
+    GENERATORS,
+    generate,
+    shannon_entropy_bits_per_byte,
+)
+from .filesets import FileSetSpec, by_extension, make_fileset, total_bytes
+from .spark import SparkJobModel, SparkJobResult, Stage, tpcds_like_profile
+from .replay import DiurnalSpec, ReplayResult, diurnal_trace, replay
+from .spark_sim import ClusterSpec, SparkDagSim
+from .traces import (
+    TraceSpec,
+    bimodal_size,
+    fixed_size,
+    lognormal_size,
+    standard_traces,
+)
+
+__all__ = [
+    "build_corpus",
+    "corpus_bytes",
+    "corpus_names",
+    "generate",
+    "GENERATORS",
+    "shannon_entropy_bits_per_byte",
+    "SparkJobModel",
+    "SparkJobResult",
+    "SparkDagSim",
+    "ClusterSpec",
+    "DiurnalSpec",
+    "diurnal_trace",
+    "replay",
+    "ReplayResult",
+    "FileSetSpec",
+    "make_fileset",
+    "by_extension",
+    "total_bytes",
+    "Stage",
+    "tpcds_like_profile",
+    "TraceSpec",
+    "fixed_size",
+    "lognormal_size",
+    "bimodal_size",
+    "standard_traces",
+]

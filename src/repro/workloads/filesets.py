@@ -1,0 +1,71 @@
+"""Synthetic file sets: what a backup/archive workload hands the engine.
+
+A file set is a dict of path → bytes drawn from the byte generators with
+a realistic size distribution (many small files, a long tail of large
+ones) and a type mix.  Deterministic per seed, like everything in
+:mod:`repro.workloads`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .generators import generate
+
+_TYPE_MIX: list[tuple[str, str, float]] = [
+    # (extension, generator, weight)
+    (".txt", "markov_text", 0.22),
+    (".log", "log_lines", 0.18),
+    (".json", "json_records", 0.18),
+    (".c", "source_code", 0.14),
+    (".db", "database_pages", 0.10),
+    (".bin", "binary_executable", 0.10),
+    (".jpg", "random_bytes", 0.08),  # already-compressed media
+]
+
+
+@dataclass(frozen=True)
+class FileSetSpec:
+    """Shape of a synthetic file set."""
+
+    files: int = 50
+    median_bytes: int = 32768
+    sigma: float = 1.1
+    min_bytes: int = 256
+    max_bytes: int = 1 << 22
+    seed: int = 0
+
+
+def make_fileset(spec: FileSetSpec = FileSetSpec()) -> dict[str, bytes]:
+    """Materialize a file set per the spec."""
+    import math
+
+    rng = random.Random(spec.seed)
+    mu = math.log(spec.median_bytes)
+    extensions = [t[0] for t in _TYPE_MIX]
+    generators = {t[0]: t[1] for t in _TYPE_MIX}
+    weights = [t[2] for t in _TYPE_MIX]
+
+    out: dict[str, bytes] = {}
+    for idx in range(spec.files):
+        ext = rng.choices(extensions, weights=weights)[0]
+        size = int(rng.lognormvariate(mu, spec.sigma))
+        size = max(spec.min_bytes, min(spec.max_bytes, size))
+        name = f"data/{idx:04d}{ext}"
+        out[name] = generate(generators[ext], size,
+                             seed=spec.seed * 1000 + idx)
+    return out
+
+
+def total_bytes(fileset: dict[str, bytes]) -> int:
+    return sum(len(v) for v in fileset.values())
+
+
+def by_extension(fileset: dict[str, bytes]) -> dict[str, list[str]]:
+    """Group file names by extension (for per-type reporting)."""
+    groups: dict[str, list[str]] = {}
+    for name in sorted(fileset):
+        ext = name[name.rfind("."):]
+        groups.setdefault(ext, []).append(name)
+    return groups

@@ -1,0 +1,159 @@
+"""Trace-driven replay: timestamped request logs through the engine.
+
+Queueing sweeps use synthetic arrival processes; production questions
+("will the engine survive the nightly backup window?") need *traces*.
+This module generates diurnal request traces — sinusoidal load with a
+bulk-window burst — and replays them against one accelerator, reporting
+latency per time bucket.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from ..nx.params import MachineParams
+from ..perf.des import Simulator
+from ..perf.timing import OffloadTimingModel
+
+
+@dataclass(frozen=True)
+class TracePoint:
+    """One request in a trace."""
+
+    time_s: float
+    size_bytes: int
+
+
+@dataclass(frozen=True)
+class DiurnalSpec:
+    """A day-like load profile, compressed into ``duration_s`` seconds.
+
+    Base Poisson load follows ``1 + amplitude x sin`` over one period;
+    a bulk window (backup / batch ETL) adds large requests for a slice
+    of the period.
+    """
+
+    duration_s: float = 2.0
+    base_rate_per_s: float = 20000.0
+    amplitude: float = 0.6
+    request_bytes: int = 32768
+    bulk_start_frac: float = 0.70
+    bulk_end_frac: float = 0.85
+    bulk_rate_per_s: float = 400.0
+    bulk_bytes: int = 4 << 20
+    seed: int = 0
+
+
+def diurnal_trace(spec: DiurnalSpec = DiurnalSpec()) -> list[TracePoint]:
+    """Materialize the request trace (sorted by time)."""
+    rng = random.Random(spec.seed)
+    points: list[TracePoint] = []
+    t = 0.0
+    while t < spec.duration_s:
+        phase = 2 * math.pi * t / spec.duration_s
+        rate = spec.base_rate_per_s * (1 + spec.amplitude
+                                       * math.sin(phase))
+        t += rng.expovariate(max(rate, 1e-6))
+        if t < spec.duration_s:
+            points.append(TracePoint(t, spec.request_bytes))
+    t = spec.bulk_start_frac * spec.duration_s
+    end = spec.bulk_end_frac * spec.duration_s
+    while t < end:
+        t += rng.expovariate(spec.bulk_rate_per_s)
+        if t < end:
+            points.append(TracePoint(t, spec.bulk_bytes))
+    points.sort(key=lambda p: p.time_s)
+    return points
+
+
+@dataclass
+class BucketStats:
+    """Latency statistics for one time bucket of the replay."""
+
+    bucket: int
+    count: int
+    mean_latency_s: float
+    p99_latency_s: float
+    bytes_total: int
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of replaying one trace."""
+
+    buckets: list[BucketStats]
+    total_requests: int
+    max_queue_depth: int
+
+    @property
+    def worst_bucket(self) -> BucketStats:
+        return max(self.buckets, key=lambda b: b.p99_latency_s)
+
+
+def replay(trace: list[TracePoint], machine: MachineParams,
+           engines: int = 1, buckets: int = 10,
+           duration_s: float | None = None) -> ReplayResult:
+    """Feed the trace through ``engines`` FIFO engines; bucket latency."""
+    timing = OffloadTimingModel(machine)
+    sim = Simulator()
+    busy = [False] * engines
+    queue: list[tuple[float, int]] = []  # (submit time, size)
+    done: list[tuple[float, float, int]] = []  # (submit, finish, size)
+    depth_peak = [0]
+
+    def service(size: int) -> float:
+        return (timing.service_seconds(size)
+                + machine.dispatch_overhead_us * 1e-6)
+
+    def dispatch() -> None:
+        while queue:
+            try:
+                engine = busy.index(False)
+            except ValueError:
+                return
+            submit, size = queue.pop(0)
+            busy[engine] = True
+
+            def finish(submit: float = submit, size: int = size,
+                       engine: int = engine) -> None:
+                busy[engine] = False
+                done.append((submit, sim.now, size))
+                dispatch()
+
+            sim.schedule(service(size), finish)
+
+    def arrive(point: TracePoint) -> None:
+        queue.append((sim.now, point.size_bytes))
+        depth_peak[0] = max(depth_peak[0], len(queue))
+        dispatch()
+
+    for point in trace:
+        sim.schedule(point.time_s, lambda point=point: arrive(point))
+    sim.run()
+
+    horizon = duration_s or (trace[-1].time_s if trace else 1.0)
+    width = horizon / buckets
+    by_bucket: dict[int, list[tuple[float, float, int]]] = {}
+    for submit, finish, size in done:
+        idx = min(buckets - 1, int(submit / width))
+        by_bucket.setdefault(idx, []).append((submit, finish, size))
+
+    stats = []
+    for idx in range(buckets):
+        rows = by_bucket.get(idx, [])
+        if rows:
+            latencies = sorted(finish - submit for submit, finish, _ in rows)
+            mean = sum(latencies) / len(latencies)
+            p99 = latencies[min(len(latencies) - 1,
+                                int(0.99 * len(latencies)))]
+            total = sum(size for _s, _f, size in rows)
+        else:
+            mean = p99 = 0.0
+            total = 0
+        stats.append(BucketStats(bucket=idx, count=len(rows),
+                                 mean_latency_s=mean, p99_latency_s=p99,
+                                 bytes_total=total))
+    return ReplayResult(buckets=stats, total_requests=len(done),
+                        max_queue_depth=depth_peak[0])

@@ -1,0 +1,52 @@
+"""Shared fixtures: small deterministic payloads and machine handles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nx.params import POWER9, Z15
+from repro.workloads.generators import generate
+
+
+@pytest.fixture(scope="session")
+def text_20k() -> bytes:
+    return generate("markov_text", 20000, seed=11)
+
+
+@pytest.fixture(scope="session")
+def json_20k() -> bytes:
+    return generate("json_records", 20000, seed=12)
+
+
+@pytest.fixture(scope="session")
+def random_8k() -> bytes:
+    return generate("random_bytes", 8192, seed=13)
+
+
+@pytest.fixture(scope="session")
+def binary_20k() -> bytes:
+    return generate("binary_executable", 20000, seed=14)
+
+
+@pytest.fixture(scope="session")
+def payload_suite(text_20k, json_20k, random_8k, binary_20k) -> dict:
+    return {
+        "empty": b"",
+        "one": b"x",
+        "tiny": b"abcabcabcabc",
+        "text": text_20k,
+        "json": json_20k,
+        "random": random_8k,
+        "binary": binary_20k,
+        "zeros": bytes(4096),
+    }
+
+
+@pytest.fixture(scope="session")
+def p9():
+    return POWER9
+
+
+@pytest.fixture(scope="session")
+def z15():
+    return Z15

@@ -1,0 +1,146 @@
+"""Unit tests for the LSB-first bit reader/writer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.deflate.bitio import BitReader, BitWriter
+from repro.errors import DeflateError
+
+
+class TestBitWriter:
+    def test_single_bits_pack_lsb_first(self):
+        w = BitWriter()
+        for bit in (1, 0, 1, 1, 0, 0, 0, 1):
+            w.write_bits(bit, 1)
+        assert w.getvalue() == bytes([0b10001101])
+
+    def test_multi_bit_value(self):
+        w = BitWriter()
+        w.write_bits(0b101, 3)
+        w.write_bits(0b11111, 5)
+        assert w.getvalue() == bytes([0b11111101])
+
+    def test_value_masked_to_width(self):
+        w = BitWriter()
+        w.write_bits(0xFFFF, 4)  # only 4 low bits kept
+        assert w.getvalue() == bytes([0x0F])
+
+    def test_align_pads_with_zeros(self):
+        w = BitWriter()
+        w.write_bits(1, 1)
+        w.align_to_byte()
+        w.write_bits(1, 1)
+        assert w.getvalue() == bytes([0x01, 0x01])
+
+    def test_align_on_boundary_is_noop(self):
+        w = BitWriter()
+        w.write_bits(0xAB, 8)
+        w.align_to_byte()
+        assert w.getvalue() == bytes([0xAB])
+
+    def test_write_bytes_requires_alignment(self):
+        w = BitWriter()
+        w.write_bits(1, 1)
+        with pytest.raises(DeflateError):
+            w.write_bytes(b"zz")
+
+    def test_write_bytes_when_aligned(self):
+        w = BitWriter()
+        w.write_bytes(b"ab")
+        assert w.getvalue() == b"ab"
+
+    def test_bit_length_tracks_partial_bytes(self):
+        w = BitWriter()
+        assert w.bit_length == 0
+        w.write_bits(0, 3)
+        assert w.bit_length == 3
+        w.write_bits(0, 8)
+        assert w.bit_length == 11
+
+    def test_width_out_of_range_rejected(self):
+        w = BitWriter()
+        with pytest.raises(DeflateError):
+            w.write_bits(0, 65)
+        with pytest.raises(DeflateError):
+            w.write_bits(0, -1)
+
+
+class TestBitReader:
+    def test_reads_back_lsb_first(self):
+        r = BitReader(bytes([0b10001101]))
+        assert [r.read_bits(1) for _ in range(8)] == [1, 0, 1, 1, 0, 0, 0, 1]
+
+    def test_multibit_read(self):
+        r = BitReader(bytes([0b11111101]))
+        assert r.read_bits(3) == 0b101
+        assert r.read_bits(5) == 0b11111
+
+    def test_read_past_end_raises(self):
+        r = BitReader(b"\x00")
+        r.read_bits(8)
+        with pytest.raises(DeflateError):
+            r.read_bits(1)
+
+    def test_peek_does_not_consume(self):
+        r = BitReader(bytes([0xA5]))
+        assert r.peek_bits(4) == 0x5
+        assert r.peek_bits(4) == 0x5
+        assert r.read_bits(8) == 0xA5
+
+    def test_peek_past_end_pads_zero(self):
+        r = BitReader(bytes([0x01]))
+        assert r.peek_bits(16) == 0x0001
+
+    def test_skip_after_peek(self):
+        r = BitReader(bytes([0b11110000]))
+        r.peek_bits(8)
+        r.skip_bits(4)
+        assert r.read_bits(4) == 0b1111
+
+    def test_skip_more_than_buffered_raises(self):
+        r = BitReader(b"")
+        with pytest.raises(DeflateError):
+            r.skip_bits(1)
+
+    def test_align_then_read_bytes(self):
+        r = BitReader(bytes([0xFF, 0x42, 0x43]))
+        r.read_bits(3)
+        r.align_to_byte()
+        assert r.read_bytes(2) == b"\x42\x43"
+
+    def test_read_bytes_uses_buffered_bits(self):
+        r = BitReader(b"ABCD")
+        r.peek_bits(9)  # buffers two bytes
+        assert r.read_bytes(3) == b"ABC"
+        assert r.read_bytes(1) == b"D"
+
+    def test_read_bytes_unaligned_raises(self):
+        r = BitReader(b"AB")
+        r.read_bits(1)
+        with pytest.raises(DeflateError):
+            r.read_bytes(1)
+
+    def test_bits_consumed(self):
+        r = BitReader(b"AB")
+        r.read_bits(5)
+        assert r.bits_consumed == 5
+        r.read_bits(6)
+        assert r.bits_consumed == 11
+
+    def test_start_offset(self):
+        r = BitReader(b"\xff\x00", start=1)
+        assert r.read_bits(8) == 0
+
+
+class TestRoundtrip:
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=2 ** 16),
+                              st.integers(min_value=1, max_value=16)),
+                    max_size=200))
+    def test_writer_reader_roundtrip(self, fields):
+        w = BitWriter()
+        for value, width in fields:
+            w.write_bits(value, width)
+        r = BitReader(w.getvalue())
+        for value, width in fields:
+            assert r.read_bits(width) == value & ((1 << width) - 1)

@@ -1,0 +1,94 @@
+"""CLI: argument handling and end-to-end command behaviour."""
+
+import gzip as stdgzip
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.workloads.generators import generate
+
+
+@pytest.fixture
+def sample_file(tmp_path):
+    path = tmp_path / "sample.json"
+    path.write_bytes(generate("json_records", 30000, seed=6))
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explode"])
+
+    def test_bad_machine(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compress", "x", "--machine",
+                                       "POWER12"])
+
+
+class TestCompress:
+    def test_creates_gzip_output(self, sample_file, capsys):
+        assert main(["compress", str(sample_file)]) == 0
+        out_path = sample_file.with_name(sample_file.name + ".gz")
+        assert stdgzip.decompress(out_path.read_bytes()) \
+            == sample_file.read_bytes()
+        captured = capsys.readouterr().out
+        assert "ratio" in captured
+        assert "modelled time" in captured
+
+    def test_explicit_output_and_format(self, sample_file, tmp_path,
+                                        capsys):
+        out = tmp_path / "out.bin"
+        assert main(["compress", str(sample_file), "-o", str(out),
+                     "--fmt", "raw", "--strategy", "dynamic",
+                     "--machine", "z15"]) == 0
+        import zlib
+
+        assert zlib.decompress(out.read_bytes(), -15) \
+            == sample_file.read_bytes()
+
+
+class TestDecompress:
+    def test_roundtrip(self, sample_file, tmp_path, capsys):
+        gz = tmp_path / "x.gz"
+        main(["compress", str(sample_file), "-o", str(gz)])
+        back = tmp_path / "back.json"
+        assert main(["decompress", str(gz), "-o", str(back)]) == 0
+        assert back.read_bytes() == sample_file.read_bytes()
+
+
+class TestInfoCommands:
+    def test_machines(self, capsys):
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        assert "POWER9" in out
+        assert "z15" in out
+        assert "DFLTCC" in out
+
+    def test_advise(self, capsys):
+        assert main(["advise", "65536"]) == 0
+        out = capsys.readouterr().out
+        assert "hardware" in out
+        assert "break-even" in out
+
+    def test_ratio_generator_source(self, capsys):
+        assert main(["ratio", "generator:markov_text:20000"]) == 0
+        out = capsys.readouterr().out
+        assert "zlib -6" in out
+        assert "NX dht" in out
+        assert "842" in out
+
+    def test_ratio_file_source(self, sample_file, capsys):
+        assert main(["ratio", str(sample_file)]) == 0
+        assert "codec comparison" in capsys.readouterr().out
+
+
+class TestSelftestCommand:
+    def test_passes_on_both_machines(self, capsys):
+        assert main(["selftest"]) == 0
+        assert "PASS" in capsys.readouterr().out
+        assert main(["selftest", "--machine", "z15"]) == 0

@@ -1,0 +1,89 @@
+"""RFC 1951 table invariants."""
+
+from repro.deflate.constants import (
+    DIST_BASE,
+    DIST_EXTRA_BITS,
+    DIST_TO_CODE,
+    LENGTH_BASE,
+    LENGTH_EXTRA_BITS,
+    LENGTH_TO_CODE,
+    MAX_MATCH,
+    MIN_MATCH,
+    WINDOW_SIZE,
+    fixed_dist_lengths,
+    fixed_litlen_lengths,
+)
+
+
+class TestLengthTables:
+    def test_every_length_has_a_code(self):
+        for length in range(MIN_MATCH, MAX_MATCH + 1):
+            code = LENGTH_TO_CODE[length]
+            assert 257 <= code <= 285
+
+    def test_base_covers_code(self):
+        for length in range(MIN_MATCH, MAX_MATCH + 1):
+            idx = LENGTH_TO_CODE[length] - 257
+            base = LENGTH_BASE[idx]
+            extra = LENGTH_EXTRA_BITS[idx]
+            assert base <= length
+            if idx != 28:  # code 285 is exactly 258
+                assert length < base + (1 << extra)
+
+    def test_boundaries(self):
+        assert LENGTH_TO_CODE[3] == 257
+        assert LENGTH_TO_CODE[10] == 264
+        assert LENGTH_TO_CODE[11] == 265
+        assert LENGTH_TO_CODE[258] == 285
+
+    def test_ranges_are_contiguous(self):
+        covered = set()
+        for code in range(28):
+            base = LENGTH_BASE[code]
+            extra = LENGTH_EXTRA_BITS[code]
+            covered.update(range(base, base + (1 << extra)))
+        covered.add(258)
+        assert covered >= set(range(3, 259))
+
+
+class TestDistTables:
+    def test_every_distance_has_a_code(self):
+        for dist in (1, 2, 4, 5, 100, 1024, 24576, 32768):
+            assert 0 <= DIST_TO_CODE[dist] <= 29
+
+    def test_base_covers_code(self):
+        for dist in range(1, WINDOW_SIZE + 1):
+            code = DIST_TO_CODE[dist]
+            base = DIST_BASE[code]
+            extra = DIST_EXTRA_BITS[code]
+            assert base <= dist < base + (1 << extra)
+
+    def test_boundaries(self):
+        assert DIST_TO_CODE[1] == 0
+        assert DIST_TO_CODE[4] == 3
+        assert DIST_TO_CODE[5] == 4
+        assert DIST_TO_CODE[32768] == 29
+
+
+class TestFixedCodes:
+    def test_fixed_litlen_structure(self):
+        lengths = fixed_litlen_lengths()
+        assert len(lengths) == 288
+        assert lengths[0] == 8
+        assert lengths[143] == 8
+        assert lengths[144] == 9
+        assert lengths[255] == 9
+        assert lengths[256] == 7
+        assert lengths[279] == 7
+        assert lengths[280] == 8
+        assert lengths[287] == 8
+
+    def test_fixed_dist_is_complete_over_32(self):
+        lengths = fixed_dist_lengths()
+        assert lengths == [5] * 32
+
+    def test_fixed_codes_are_complete(self):
+        from repro.deflate.huffman import kraft_sum
+
+        assert kraft_sum(fixed_litlen_lengths()) == 1.0
+        assert kraft_sum(fixed_dist_lengths()) == 1.0

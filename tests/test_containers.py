@@ -1,0 +1,113 @@
+"""zlib/gzip container framing, checksums, and stdlib interoperability."""
+
+import gzip as stdgzip
+import struct
+import zlib as stdzlib
+
+import pytest
+
+from repro.deflate.containers import (
+    gzip_compress,
+    gzip_decompress,
+    wrap_gzip,
+    wrap_zlib,
+    zlib_compress,
+    zlib_decompress,
+)
+from repro.errors import ChecksumError, DeflateError
+
+
+class TestZlibContainer:
+    def test_roundtrip(self, payload_suite):
+        for data in payload_suite.values():
+            assert zlib_decompress(zlib_compress(data)) == data
+
+    def test_stdlib_decodes_ours(self, text_20k):
+        assert stdzlib.decompress(zlib_compress(text_20k)) == text_20k
+
+    def test_we_decode_stdlib(self, text_20k):
+        for level in (1, 6, 9):
+            assert zlib_decompress(
+                stdzlib.compress(text_20k, level)) == text_20k
+
+    def test_header_check_bits_valid(self, text_20k):
+        payload = zlib_compress(text_20k)
+        assert ((payload[0] << 8) | payload[1]) % 31 == 0
+
+    def test_adler_mismatch_detected(self, text_20k):
+        payload = bytearray(zlib_compress(text_20k))
+        payload[-1] ^= 0xFF
+        with pytest.raises(ChecksumError):
+            zlib_decompress(bytes(payload))
+
+    def test_bad_method_rejected(self):
+        payload = bytearray(zlib_compress(b"x"))
+        payload[0] = (payload[0] & 0xF0) | 0x07  # CM=7
+        payload[1] = 0
+        header = (payload[0] << 8) | payload[1]
+        payload[1] += 31 - header % 31
+        with pytest.raises(DeflateError, match="method"):
+            zlib_decompress(bytes(payload))
+
+    def test_truncated_rejected(self):
+        with pytest.raises(DeflateError):
+            zlib_decompress(b"\x78\x9c")
+
+    def test_preset_dictionary_rejected(self):
+        header = (0x78 << 8) | 0x20
+        header += 31 - header % 31
+        with pytest.raises(DeflateError, match="dictionary"):
+            zlib_decompress(struct.pack(">H", header) + b"\x00" * 8)
+
+
+class TestGzipContainer:
+    def test_roundtrip(self, payload_suite):
+        for data in payload_suite.values():
+            assert gzip_decompress(gzip_compress(data)) == data
+
+    def test_stdlib_decodes_ours(self, json_20k):
+        assert stdgzip.decompress(gzip_compress(json_20k)) == json_20k
+
+    def test_we_decode_stdlib(self, json_20k):
+        assert gzip_decompress(stdgzip.compress(json_20k)) == json_20k
+
+    def test_we_decode_stdlib_with_filename(self, text_20k):
+        import io
+
+        buf = io.BytesIO()
+        with stdgzip.GzipFile(filename="member.txt", mode="wb",
+                              fileobj=buf, mtime=123) as handle:
+            handle.write(text_20k)
+        assert gzip_decompress(buf.getvalue()) == text_20k
+
+    def test_crc_mismatch_detected(self, text_20k):
+        payload = bytearray(gzip_compress(text_20k))
+        payload[-5] ^= 0xFF  # inside CRC32 field
+        with pytest.raises(ChecksumError):
+            gzip_decompress(bytes(payload))
+
+    def test_isize_mismatch_detected(self, text_20k):
+        payload = bytearray(gzip_compress(text_20k))
+        payload[-1] ^= 0xFF  # inside ISIZE field
+        with pytest.raises(ChecksumError):
+            gzip_decompress(bytes(payload))
+
+    def test_bad_magic_rejected(self):
+        payload = bytearray(gzip_compress(b"x"))
+        payload[0] = 0
+        with pytest.raises(DeflateError, match="magic"):
+            gzip_decompress(bytes(payload))
+
+    def test_mtime_encoded(self):
+        payload = gzip_compress(b"x", mtime=0x01020304)
+        assert payload[4:8] == bytes([4, 3, 2, 1])
+
+
+class TestWrappers:
+    def test_wrap_zlib_stdlib_compatible(self, text_20k):
+        body = stdzlib.compress(text_20k)[2:-4]
+        assert stdzlib.decompress(wrap_zlib(body, text_20k)) == text_20k
+
+    def test_wrap_gzip_stdlib_compatible(self, text_20k):
+        body = stdzlib.compress(text_20k)[2:-4]
+        assert stdgzip.decompress(wrap_gzip(body, text_20k)) == text_20k

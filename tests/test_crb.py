@@ -1,0 +1,96 @@
+"""CRB / CSB / function-code serialization."""
+
+import pytest
+
+from repro.errors import JobError
+from repro.sysstack.crb import (
+    CRB_BYTES,
+    CSB_BYTES,
+    CcCode,
+    Crb,
+    Csb,
+    FunctionCode,
+    Op,
+)
+from repro.sysstack.dde import Dde
+
+
+class TestFunctionCode:
+    @pytest.mark.parametrize("op", list(Op))
+    @pytest.mark.parametrize("strategy",
+                             ["fixed", "dynamic", "canned", "auto"])
+    @pytest.mark.parametrize("fmt", ["raw", "zlib", "gzip"])
+    def test_roundtrip(self, op, strategy, fmt):
+        fc = FunctionCode(op=op, strategy=strategy, fmt=fmt)
+        assert FunctionCode.decode(fc.encode()) == fc
+
+    def test_bad_strategy_rejected(self):
+        with pytest.raises(JobError):
+            FunctionCode(op=Op.COMPRESS, strategy="lzma").encode()
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(JobError):
+            FunctionCode(op=Op.COMPRESS, fmt="bz2").encode()
+
+    def test_bad_op_decode_rejected(self):
+        with pytest.raises(JobError):
+            FunctionCode.decode(0xFFFF)
+
+
+class TestCsb:
+    def test_roundtrip(self):
+        csb = Csb(valid=True, cc=CcCode.TRANSLATION,
+                  processed_bytes=1234, target_written=567,
+                  fault_address=0xDEAD000)
+        packed = csb.pack()
+        assert len(packed) == CSB_BYTES
+        assert Csb.unpack(packed) == csb
+
+    def test_default_is_invalid(self):
+        assert not Csb().valid
+
+    def test_unpack_ignores_trailing_bytes(self):
+        csb = Csb(valid=True, cc=CcCode.SUCCESS)
+        assert Csb.unpack(csb.pack() + b"extra") == csb
+
+
+class TestCrb:
+    def _sample(self) -> Crb:
+        return Crb(
+            function=FunctionCode(op=Op.COMPRESS, strategy="dynamic",
+                                  fmt="gzip"),
+            source=Dde.direct(0x10000, 4096),
+            target=Dde.direct(0x20000, 8192),
+            csb_address=0x30000,
+            sequence=7,
+        )
+
+    def test_packs_to_128_bytes(self):
+        assert len(self._sample().pack()) == CRB_BYTES
+
+    def test_roundtrip(self):
+        crb = self._sample()
+        restored = Crb.unpack(crb.pack())
+        assert restored.function == crb.function
+        assert restored.csb_address == crb.csb_address
+        assert restored.sequence == crb.sequence
+        assert restored.source.address == crb.source.address
+        assert restored.source.length == crb.source.length
+        assert restored.target.address == crb.target.address
+
+    def test_indirect_flag_survives(self):
+        crb = self._sample()
+        crb.source = Dde.gather([(0x1000, 100), (0x3000, 200)],
+                                list_address=0x5000)
+        restored = Crb.unpack(crb.pack())
+        assert restored.source.indirect
+        assert restored.source._entry_count == 2
+
+    def test_unpack_wrong_size_rejected(self):
+        with pytest.raises(JobError):
+            Crb.unpack(b"\x00" * 64)
+
+    def test_cc_codes_cover_documented_set(self):
+        assert CcCode.SUCCESS == 0
+        assert CcCode.TRANSLATION == 65
+        assert CcCode.TARGET_SPACE == 66

@@ -1,0 +1,67 @@
+"""DDE scatter/gather descriptors."""
+
+import pytest
+
+from repro.errors import JobError
+from repro.sysstack.dde import DDE_BYTES, MAX_INDIRECT_ENTRIES, Dde
+
+
+class TestDirect:
+    def test_segments(self):
+        dde = Dde.direct(0x1000, 256)
+        assert dde.segments() == [(0x1000, 256)]
+        assert dde.total_length == 256
+
+    def test_zero_length_has_no_segments(self):
+        assert Dde.direct(0x1000, 0).segments() == []
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(JobError):
+            Dde.direct(0, -1)
+
+
+class TestIndirect:
+    def test_gather(self):
+        dde = Dde.gather([(0x1000, 10), (0x5000, 20), (0x9000, 30)])
+        assert dde.indirect
+        assert dde.total_length == 60
+        assert dde.segments() == [(0x1000, 10), (0x5000, 20), (0x9000, 30)]
+
+    def test_order_preserved(self):
+        segs = [(0x9000, 1), (0x1000, 2), (0x5000, 3)]
+        assert Dde.gather(segs).segments() == segs
+
+    def test_entry_limit(self):
+        segs = [(i * 0x1000, 1) for i in range(MAX_INDIRECT_ENTRIES + 1)]
+        with pytest.raises(JobError):
+            Dde.gather(segs)
+
+    def test_nested_indirect_rejected(self):
+        outer = Dde.gather([(0x1000, 10)])
+        outer.entries[0] = Dde.gather([(0x2000, 5)])
+        with pytest.raises(JobError):
+            outer.segments()
+
+
+class TestWireForm:
+    def test_direct_roundtrip(self):
+        dde = Dde.direct(0xABCD0000, 12345)
+        packed = dde.pack()
+        assert len(packed) == DDE_BYTES
+        restored, offset = Dde.unpack(packed, 0)
+        assert offset == DDE_BYTES
+        assert restored.address == dde.address
+        assert restored.length == dde.length
+        assert not restored.indirect
+
+    def test_entry_array_roundtrip(self):
+        dde = Dde.gather([(0x1000, 10), (0x2000, 20)])
+        raw = dde.pack_entries()
+        entries = Dde.unpack_entries(raw, 2)
+        assert [(e.address, e.length) for e in entries] == [
+            (0x1000, 10), (0x2000, 20)]
+
+    def test_nested_in_entry_array_rejected(self):
+        inner = Dde.gather([(0x1000, 4)])
+        with pytest.raises(JobError):
+            Dde.unpack_entries(inner.pack(), 1)

@@ -1,0 +1,83 @@
+"""Discrete-event simulation kernel."""
+
+import pytest
+
+from repro.perf.des import Simulator
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_schedule_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda: order.append(1))
+        sim.schedule(1.0, lambda: order.append(2))
+        sim.run()
+        assert order == [1, 2]
+
+    def test_now_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.5]
+        assert sim.now == 2.5
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        order = []
+
+        def outer():
+            order.append(("outer", sim.now))
+            sim.schedule(1.0, inner)
+
+        def inner():
+            order.append(("inner", sim.now))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert order == [("outer", 1.0), ("inner", 2.0)]
+
+    def test_run_until_stops_early(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(2))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+
+    def test_cancel(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append(1))
+        sim.cancel(handle)
+        sim.run()
+        assert fired == []
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_peek_time(self):
+        sim = Simulator()
+        assert sim.peek_time() is None
+        handle = sim.schedule(4.0, lambda: None)
+        assert sim.peek_time() == 4.0
+        sim.cancel(handle)
+        assert sim.peek_time() is None
+
+    def test_event_count(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert sim.events_processed == 5

@@ -1,0 +1,118 @@
+"""DHT strategies: generation cost, canned library, classification."""
+
+import pytest
+
+from repro.deflate.constants import NUM_DIST_SYMBOLS, NUM_LITLEN_SYMBOLS
+from repro.deflate.huffman import kraft_sum
+from repro.nx.dht import (
+    DhtStrategy,
+    canned_dht,
+    canned_names,
+    dynamic_generation_cycles,
+    fixed_dht,
+    generate_dynamic,
+    select_canned,
+)
+from repro.nx.params import POWER9, Z15
+from repro.workloads.generators import generate
+
+
+class TestFixedDht:
+    def test_zero_cost(self):
+        assert fixed_dht().generation_cycles == 0
+
+    def test_covers_all_symbols(self):
+        dht = fixed_dht()
+        assert all(length > 0 for length in dht.litlen_lengths)
+        assert all(length > 0 for length in dht.dist_lengths)
+
+
+class TestDynamicDht:
+    def _freqs(self):
+        lit = [0] * NUM_LITLEN_SYMBOLS
+        for byte in b"the quick brown fox":
+            lit[byte] += 10
+        lit[256] = 1
+        lit[260] = 5
+        dist = [0] * NUM_DIST_SYMBOLS
+        dist[3] = 5
+        dist[10] = 2
+        return lit, dist
+
+    def test_generation_produces_decodable_codes(self):
+        lit, dist = self._freqs()
+        dht = generate_dynamic(lit, dist, POWER9.engine)
+        assert kraft_sum(dht.litlen_lengths) == pytest.approx(1.0)
+        assert kraft_sum(dht.dist_lengths) == pytest.approx(1.0)
+
+    def test_cost_scales_with_used_symbols(self):
+        lit, dist = self._freqs()
+        small = dynamic_generation_cycles(lit, dist, POWER9.engine)
+        lit2 = list(lit)
+        for sym in range(64):
+            lit2[sym] += 1
+        large = dynamic_generation_cycles(lit2, dist, POWER9.engine)
+        assert large > small
+
+    def test_z15_generator_is_faster(self):
+        lit, dist = self._freqs()
+        assert (dynamic_generation_cycles(lit, dist, Z15.engine)
+                < dynamic_generation_cycles(lit, dist, POWER9.engine))
+
+    def test_source_tag(self):
+        lit, dist = self._freqs()
+        assert generate_dynamic(lit, dist, POWER9.engine).source == "dynamic"
+
+
+class TestCannedDht:
+    def test_names_stable(self):
+        assert canned_names() == ["binary", "flat", "structured", "text"]
+
+    @pytest.mark.parametrize("name", canned_names())
+    def test_covers_every_legal_symbol(self, name):
+        dht = canned_dht(name)
+        # All literals, EOB and length codes must be encodable.
+        assert all(length > 0 for length in dht.litlen_lengths[:286])
+        # Reserved symbols must NOT be in the header.
+        assert dht.litlen_lengths[286] == 0
+        assert dht.litlen_lengths[287] == 0
+        assert all(length > 0 for length in dht.dist_lengths)
+
+    @pytest.mark.parametrize("name", canned_names())
+    def test_codes_complete(self, name):
+        dht = canned_dht(name)
+        used = [length for length in dht.litlen_lengths if length]
+        assert kraft_sum(used) == pytest.approx(1.0)
+
+    def test_lookup_cost_small(self):
+        assert canned_dht("text").generation_cycles < 100
+
+    def test_cached(self):
+        assert canned_dht("text") is canned_dht("text")
+
+
+class TestSelectCanned:
+    def test_text_classified(self):
+        sample = generate("markov_text", 4096, seed=5)
+        assert select_canned(sample) == "text"
+
+    def test_random_classified_flat(self):
+        sample = generate("random_bytes", 4096, seed=5)
+        assert select_canned(sample) == "flat"
+
+    def test_binary_classified(self):
+        sample = generate("binary_executable", 4096, seed=5)
+        assert select_canned(sample) == "binary"
+
+    def test_structured_classified(self):
+        sample = generate("json_records", 4096, seed=5)
+        assert select_canned(sample) in ("structured", "text")
+
+    def test_empty_defaults_to_text(self):
+        assert select_canned(b"") in canned_names()
+
+
+class TestStrategyEnum:
+    def test_values(self):
+        assert DhtStrategy("fixed") is DhtStrategy.FIXED
+        assert DhtStrategy("auto") is DhtStrategy.AUTO

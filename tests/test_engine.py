@@ -1,0 +1,206 @@
+"""Job engine: end-to-end CRB execution, faults, overflow, counters."""
+
+import zlib as stdzlib
+
+import pytest
+
+from repro.nx.engine import NxEngine
+from repro.nx.params import POWER9
+from repro.sysstack.crb import CcCode, Crb, Csb, FunctionCode, Op
+from repro.sysstack.dde import Dde
+from repro.sysstack.mmu import AddressSpace
+
+
+@pytest.fixture
+def space():
+    return AddressSpace()
+
+
+def make_job(space, data, op=Op.COMPRESS, target_len=None, strategy="auto",
+             fmt="raw"):
+    src = space.alloc(max(1, len(data)))
+    space.write(src, data)
+    target_len = target_len or max(4096, len(data) * 2)
+    dst = space.alloc(target_len)
+    csb = space.alloc(64)
+    return Crb(function=FunctionCode(op=op, strategy=strategy, fmt=fmt),
+               source=Dde.direct(src, len(data)),
+               target=Dde.direct(dst, target_len),
+               csb_address=csb)
+
+
+class TestCompressJob:
+    def test_success_path(self, space, text_20k):
+        engine = NxEngine(POWER9)
+        crb = make_job(space, text_20k)
+        outcome = engine.execute(crb, space)
+        assert outcome.csb.cc is CcCode.SUCCESS
+        payload = space.read(crb.target.address,
+                             outcome.csb.target_written)
+        assert stdzlib.decompress(payload, -15) == text_20k
+
+    def test_csb_written_to_memory(self, space, text_20k):
+        engine = NxEngine(POWER9)
+        crb = make_job(space, text_20k)
+        engine.execute(crb, space)
+        csb = Csb.unpack(space.read(crb.csb_address, 16))
+        assert csb.valid
+        assert csb.cc is CcCode.SUCCESS
+        assert csb.processed_bytes == len(text_20k)
+
+    def test_gather_source(self, space, text_20k):
+        engine = NxEngine(POWER9)
+        half = len(text_20k) // 2
+        a = space.alloc(half)
+        b = space.alloc(len(text_20k) - half)
+        space.write(a, text_20k[:half])
+        space.write(b, text_20k[half:])
+        dst = space.alloc(len(text_20k) * 2)
+        csb = space.alloc(64)
+        crb = Crb(function=FunctionCode(op=Op.COMPRESS),
+                  source=Dde.gather([(a, half),
+                                     (b, len(text_20k) - half)]),
+                  target=Dde.direct(dst, len(text_20k) * 2),
+                  csb_address=csb)
+        outcome = engine.execute(crb, space)
+        payload = space.read(dst, outcome.csb.target_written)
+        assert stdzlib.decompress(payload, -15) == text_20k
+
+    def test_scatter_target(self, space, text_20k):
+        engine = NxEngine(POWER9)
+        t1 = space.alloc(512)
+        t2 = space.alloc(len(text_20k) * 2)
+        csb = space.alloc(64)
+        src = space.alloc(len(text_20k))
+        space.write(src, text_20k)
+        crb = Crb(function=FunctionCode(op=Op.COMPRESS),
+                  source=Dde.direct(src, len(text_20k)),
+                  target=Dde.gather([(t1, 512),
+                                     (t2, len(text_20k) * 2)]),
+                  csb_address=csb)
+        outcome = engine.execute(crb, space)
+        written = outcome.csb.target_written
+        payload = space.read(t1, min(512, written))
+        if written > 512:
+            payload += space.read(t2, written - 512)
+        assert stdzlib.decompress(payload, -15) == text_20k
+
+    def test_busy_time_positive(self, space, text_20k):
+        engine = NxEngine(POWER9)
+        outcome = engine.execute(make_job(space, text_20k), space)
+        assert outcome.busy_seconds > 0
+
+
+class TestDecompressJob:
+    def test_roundtrip_through_engine(self, space, json_20k):
+        engine = NxEngine(POWER9)
+        c_crb = make_job(space, json_20k)
+        c_out = engine.execute(c_crb, space)
+        payload = space.read(c_crb.target.address,
+                             c_out.csb.target_written)
+        d_crb = make_job(space, payload, op=Op.DECOMPRESS,
+                         target_len=len(json_20k) * 2)
+        d_out = engine.execute(d_crb, space)
+        assert d_out.csb.cc is CcCode.SUCCESS
+        restored = space.read(d_crb.target.address,
+                              d_out.csb.target_written)
+        assert restored == json_20k
+
+
+class TestFaults:
+    def test_source_fault_reports_address(self, space, text_20k):
+        engine = NxEngine(POWER9)
+        crb = make_job(space, text_20k)
+        space.page_out(crb.source.address)
+        outcome = engine.execute(crb, space)
+        assert outcome.csb.cc is CcCode.TRANSLATION
+        assert outcome.csb.fault_address // space.page_size == \
+            crb.source.address // space.page_size
+
+    def test_target_fault(self, space, text_20k):
+        engine = NxEngine(POWER9)
+        crb = make_job(space, text_20k)
+        space.page_out(crb.target.address)
+        outcome = engine.execute(crb, space)
+        assert outcome.csb.cc is CcCode.TRANSLATION
+
+    def test_fault_then_touch_then_success(self, space, text_20k):
+        engine = NxEngine(POWER9)
+        crb = make_job(space, text_20k)
+        space.page_out(crb.source.address)
+        first = engine.execute(crb, space)
+        assert first.csb.cc is CcCode.TRANSLATION
+        space.touch(first.csb.fault_address)
+        second = engine.execute(crb, space)
+        assert second.csb.cc is CcCode.SUCCESS
+
+    def test_fault_abort_is_fast(self, space, text_20k):
+        engine = NxEngine(POWER9)
+        good = make_job(space, text_20k)
+        ok = engine.execute(good, space)
+        bad = make_job(space, text_20k)
+        space.page_out(bad.source.address)
+        fail = engine.execute(bad, space)
+        assert fail.busy_seconds < ok.busy_seconds
+
+
+class TestOverflow:
+    def test_target_space_cc(self, space, random_8k):
+        engine = NxEngine(POWER9)
+        crb = make_job(space, random_8k, target_len=128)
+        outcome = engine.execute(crb, space)
+        assert outcome.csb.cc is CcCode.TARGET_SPACE
+
+
+class TestCounters:
+    def test_counters_accumulate(self, space, text_20k):
+        engine = NxEngine(POWER9)
+        engine.execute(make_job(space, text_20k), space)
+        engine.execute(make_job(space, text_20k), space)
+        assert engine.counters.jobs == 2
+        assert engine.counters.completed == 2
+        assert engine.counters.bytes_in == 2 * len(text_20k)
+        assert engine.counters.busy_seconds > 0
+
+    def test_fault_counted(self, space, text_20k):
+        engine = NxEngine(POWER9)
+        crb = make_job(space, text_20k)
+        space.page_out(crb.source.address)
+        engine.execute(crb, space)
+        assert engine.counters.faulted == 1
+        assert engine.counters.completed == 0
+
+
+class TestValidation:
+    def test_missing_csb_rejected(self, space, text_20k):
+        engine = NxEngine(POWER9)
+        crb = make_job(space, text_20k)
+        crb.csb_address = 0
+        outcome = engine.execute(crb, space)
+        assert outcome.csb.cc is CcCode.INVALID_CRB
+
+    def test_zero_target_rejected(self, space, text_20k):
+        from repro.sysstack.dde import Dde
+
+        engine = NxEngine(POWER9)
+        crb = make_job(space, text_20k)
+        crb.target = Dde.direct(crb.target.address, 0)
+        outcome = engine.execute(crb, space)
+        assert outcome.csb.cc is CcCode.INVALID_CRB
+
+    def test_empty_decompress_source_rejected(self, space):
+        engine = NxEngine(POWER9)
+        crb = make_job(space, b"", op=Op.DECOMPRESS)
+        outcome = engine.execute(crb, space)
+        assert outcome.csb.cc is CcCode.DATA_LENGTH
+
+    def test_rejected_job_writes_csb(self, space, text_20k):
+        engine = NxEngine(POWER9)
+        crb = make_job(space, text_20k)
+        crb.target = __import__(
+            "repro.sysstack.dde", fromlist=["Dde"]).Dde.direct(
+                crb.target.address, 0)
+        engine.execute(crb, space)
+        csb = Csb.unpack(space.read(crb.csb_address, 16))
+        assert csb.valid
+        assert csb.cc is CcCode.INVALID_CRB

@@ -1,0 +1,113 @@
+"""Incremental gzip reader."""
+
+import gzip as stdgzip
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.deflate.containers import gzip_compress
+from repro.deflate.gzip_stream import GzipReader
+from repro.errors import ChecksumError, DeflateError
+from repro.workloads.generators import generate
+
+
+def run_chunks(payload: bytes, size: int) -> tuple[bytes, GzipReader]:
+    reader = GzipReader()
+    out = bytearray()
+    for i in range(0, len(payload), size):
+        out += reader.feed(payload[i:i + size])
+    out += reader.finish()
+    return bytes(out), reader
+
+
+class TestSingleMember:
+    def test_one_shot(self, text_20k):
+        out, reader = run_chunks(gzip_compress(text_20k), 1 << 20)
+        assert out == text_20k
+        assert reader.members_read == 1
+        assert reader.finished
+
+    @pytest.mark.parametrize("chunk", [1, 7, 64, 1000])
+    def test_chunkings(self, chunk, json_20k):
+        out, _reader = run_chunks(stdgzip.compress(json_20k), chunk)
+        assert out == json_20k
+
+    def test_header_with_filename_split(self, text_20k):
+        buf = io.BytesIO()
+        with stdgzip.GzipFile(filename="name.bin", mode="wb",
+                              fileobj=buf) as handle:
+            handle.write(text_20k)
+        payload = buf.getvalue()
+        reader = GzipReader()
+        out = (reader.feed(payload[:5]) + reader.feed(payload[5:12])
+               + reader.feed(payload[12:]) + reader.finish())
+        assert out == text_20k
+
+    def test_output_streams_early(self, text_20k):
+        payload = gzip_compress(text_20k)
+        reader = GzipReader()
+        early = reader.feed(payload[:len(payload) // 2])
+        assert early
+        assert early == text_20k[:len(early)]
+
+
+class TestMultiMember:
+    def test_two_members(self, text_20k, json_20k):
+        archive = gzip_compress(text_20k) + stdgzip.compress(json_20k)
+        out, reader = run_chunks(archive, 333)
+        assert out == text_20k + json_20k
+        assert reader.members_read == 2
+
+    def test_single_member_mode_rejects_tail(self, text_20k):
+        archive = gzip_compress(text_20k) + gzip_compress(b"x")
+        reader = GzipReader(allow_multiple_members=False)
+        with pytest.raises(DeflateError):
+            reader.feed(archive)
+            reader.finish()
+
+
+class TestErrors:
+    def test_crc_mismatch(self, text_20k):
+        payload = bytearray(gzip_compress(text_20k))
+        payload[-6] ^= 0xFF
+        reader = GzipReader()
+        with pytest.raises(ChecksumError):
+            reader.feed(bytes(payload))
+            reader.finish()
+
+    def test_isize_mismatch(self, text_20k):
+        payload = bytearray(gzip_compress(text_20k))
+        payload[-1] ^= 0xFF
+        reader = GzipReader()
+        with pytest.raises(ChecksumError):
+            reader.feed(bytes(payload))
+            reader.finish()
+
+    def test_bad_magic(self):
+        reader = GzipReader()
+        with pytest.raises(DeflateError):
+            reader.feed(b"NOTGZIP---" * 2)
+
+    def test_truncated(self, text_20k):
+        payload = gzip_compress(text_20k)
+        reader = GzipReader()
+        reader.feed(payload[: len(payload) // 3])
+        with pytest.raises(DeflateError):
+            reader.finish()
+
+    def test_empty_input(self):
+        reader = GzipReader()
+        with pytest.raises(DeflateError):
+            reader.finish()
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.binary(max_size=3000),
+       st.integers(min_value=1, max_value=500))
+def test_chunking_invariance_property(data, chunk):
+    payload = stdgzip.compress(data)
+    out, reader = run_chunks(payload, chunk)
+    assert out == data
+    assert reader.members_read == 1

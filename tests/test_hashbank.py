@@ -1,0 +1,110 @@
+"""Banked hash table: candidate quality, capacity, conflict accounting."""
+
+from repro.nx.hashbank import BankedHashTable
+from repro.nx.params import POWER9, EngineParams
+
+
+def small_params(**overrides) -> EngineParams:
+    base = dict(
+        name="tiny", clock_ghz=1.0, scan_bytes_per_cycle=4,
+        decomp_bytes_per_cycle=8, hash_banks=4, hash_ways=2,
+        hash_sets_log2=4, hash_ports=1, compare_window=16,
+    )
+    base.update(overrides)
+    return EngineParams(**base)
+
+
+class TestLookupInsert:
+    def test_first_lookup_has_no_candidates(self):
+        t = BankedHashTable(POWER9.engine)
+        cands, _access = t.lookup_insert(b"abcdef", 0)
+        assert cands == []
+
+    def test_repeat_prefix_found(self):
+        t = BankedHashTable(POWER9.engine)
+        data = b"abcXabc"
+        t.lookup_insert(data, 0)
+        cands, _ = t.lookup_insert(data, 4)
+        assert 0 in cands
+
+    def test_most_recent_first(self):
+        t = BankedHashTable(small_params(hash_ways=4))
+        data = b"abc" + b"abc" + b"abc" + b"abc"
+        for pos in (0, 3, 6):
+            t.lookup_insert(data, pos)
+        cands, _ = t.lookup_insert(data, 9)
+        assert cands == [6, 3, 0]
+
+    def test_way_capacity_evicts_fifo(self):
+        t = BankedHashTable(small_params(hash_ways=2))
+        data = b"abc" * 10
+        for pos in (0, 3, 6):
+            t.lookup_insert(data, pos)
+        cands, _ = t.lookup_insert(data, 9)
+        assert cands == [6, 3]  # position 0 evicted
+
+    def test_window_filtering(self):
+        params = POWER9.engine
+        t = BankedHashTable(params)
+        data = b"xyz" + bytes(params.window_bytes + 10) + b"xyz"
+        t.lookup_insert(data, 0)
+        cands, _ = t.lookup_insert(data, params.window_bytes + 13)
+        assert 0 not in cands
+
+    def test_counters(self):
+        t = BankedHashTable(POWER9.engine)
+        for i in range(5):
+            t.lookup_insert(b"abcdefghij", i)
+        assert t.lookups == 5
+        assert t.insertions == 5
+
+    def test_reset_clears(self):
+        t = BankedHashTable(POWER9.engine)
+        t.lookup_insert(b"abcabc", 0)
+        t.reset()
+        cands, _ = t.lookup_insert(b"abcabc", 3)
+        assert cands == []
+        assert t.lookups == 1
+
+
+class TestConflicts:
+    def test_no_accesses_no_stall(self):
+        t = BankedHashTable(small_params())
+        assert t.charge_group_conflicts([]) == 0
+
+    def test_distinct_banks_no_stall(self):
+        t = BankedHashTable(small_params(hash_ports=1))
+        assert t.charge_group_conflicts([(0, 1), (1, 2), (2, 3)]) == 0
+
+    def test_same_bank_distinct_hash_stalls(self):
+        t = BankedHashTable(small_params(hash_ports=1))
+        assert t.charge_group_conflicts([(0, 1), (0, 2), (0, 3)]) == 2
+
+    def test_same_hash_merged(self):
+        t = BankedHashTable(small_params(hash_ports=1))
+        assert t.charge_group_conflicts([(0, 7), (0, 7), (0, 7)]) == 0
+
+    def test_dual_port_halves_stalls(self):
+        single = BankedHashTable(small_params(hash_ports=1))
+        dual = BankedHashTable(small_params(hash_ports=2))
+        accesses = [(0, i) for i in range(4)]
+        assert single.charge_group_conflicts(list(accesses)) == 3
+        assert dual.charge_group_conflicts(list(accesses)) == 1
+
+    def test_stall_counter_accumulates(self):
+        t = BankedHashTable(small_params(hash_ports=1))
+        t.charge_group_conflicts([(0, 1), (0, 2)])
+        t.charge_group_conflicts([(1, 1), (1, 2)])
+        assert t.conflict_stalls == 2
+
+
+class TestHashFunction:
+    def test_deterministic(self):
+        assert (BankedHashTable.hash3(b"abcd", 0)
+                == BankedHashTable.hash3(b"abcd", 0))
+
+    def test_depends_on_all_three_bytes(self):
+        h0 = BankedHashTable.hash3(b"abc", 0)
+        assert h0 != BankedHashTable.hash3(b"abd", 0)
+        assert h0 != BankedHashTable.hash3(b"adc", 0)
+        assert h0 != BankedHashTable.hash3(b"dbc", 0)

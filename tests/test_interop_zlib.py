@@ -1,0 +1,48 @@
+"""Bidirectional interoperability with CPython's zlib across levels."""
+
+import zlib
+
+import pytest
+
+from repro.deflate.compress import deflate
+from repro.deflate.inflate import inflate
+
+
+@pytest.mark.parametrize("level", [0, 1, 2, 3, 4, 5, 6, 7, 8, 9])
+def test_stdlib_decodes_every_level(level, payload_suite):
+    for name, data in payload_suite.items():
+        ours = deflate(data, level=level).data
+        assert zlib.decompress(ours, -15) == data, (name, level)
+
+
+@pytest.mark.parametrize("level", [1, 6, 9])
+def test_we_decode_every_stdlib_level(level, payload_suite):
+    for name, data in payload_suite.items():
+        theirs = zlib.compress(data, level)[2:-4]
+        assert inflate(theirs) == data, (name, level)
+
+
+def test_stdlib_decodes_multiblock(text_20k):
+    ours = deflate(text_20k, level=6, block_tokens=256).data
+    assert zlib.decompress(ours, -15) == text_20k
+
+
+def test_sizes_comparable_to_stdlib(text_20k, json_20k):
+    """Our level-6 output is within 15% of stdlib's (both directions)."""
+    for data in (text_20k, json_20k):
+        ours = len(deflate(data, level=6).data)
+        theirs = len(zlib.compress(data, 6)) - 6
+        assert ours < theirs * 1.15
+        assert theirs < ours * 1.15
+
+
+def test_stdlib_decodes_nx_output(text_20k, json_20k, random_8k):
+    from repro.nx.compressor import NxCompressor
+    from repro.nx.dht import DhtStrategy
+    from repro.nx.params import POWER9
+
+    compressor = NxCompressor(POWER9.engine)
+    for data in (text_20k, json_20k, random_8k):
+        for strategy in DhtStrategy:
+            payload = compressor.compress(data, strategy=strategy).data
+            assert zlib.decompress(payload, -15) == data, strategy

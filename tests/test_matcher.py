@@ -1,0 +1,142 @@
+"""LZ77 matcher: token validity, level behaviour, statistics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.deflate.constants import MAX_MATCH, MIN_MATCH, WINDOW_SIZE
+from repro.deflate.matcher import (
+    LEVEL_CONFIGS,
+    HashChainMatcher,
+    tokenize,
+)
+
+
+def reconstruct(tokens):
+    out = bytearray()
+    for tok in tokens:
+        if isinstance(tok, int):
+            out.append(tok)
+        else:
+            length, dist = tok
+            start = len(out) - dist
+            for k in range(length):
+                out.append(out[start + k])
+    return bytes(out)
+
+
+def assert_tokens_valid(tokens, data):
+    pos = 0
+    for tok in tokens:
+        if isinstance(tok, int):
+            assert 0 <= tok <= 255
+            pos += 1
+        else:
+            length, dist = tok
+            assert MIN_MATCH <= length <= MAX_MATCH
+            assert 1 <= dist <= WINDOW_SIZE
+            assert dist <= pos
+            pos += length
+    assert pos == len(data)
+
+
+class TestTokenize:
+    @pytest.mark.parametrize("level", sorted(LEVEL_CONFIGS))
+    def test_roundtrip_all_levels(self, level, text_20k):
+        tokens, _stats = tokenize(text_20k, level)
+        assert_tokens_valid(tokens, text_20k)
+        assert reconstruct(tokens) == text_20k
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(ValueError):
+            tokenize(b"abc", 10)
+        with pytest.raises(ValueError):
+            tokenize(b"abc", 0)
+
+    def test_empty(self):
+        tokens, stats = tokenize(b"", 6)
+        assert tokens == []
+        assert stats.tokens == 0
+
+    def test_short_input_is_literals(self):
+        tokens, stats = tokenize(b"ab", 6)
+        assert tokens == [ord("a"), ord("b")]
+        assert stats.literals == 2
+
+    def test_repetition_found(self):
+        data = b"abcdefgh" * 10
+        tokens, stats = tokenize(data, 6)
+        assert stats.matches >= 1
+        assert reconstruct(tokens) == data
+
+    def test_overlapping_match(self):
+        # RLE-style: "aaaa..." must use distance-1 overlapping copies.
+        data = b"a" * 300
+        tokens, _stats = tokenize(data, 6)
+        assert any(not isinstance(t, int) and t[1] == 1 for t in tokens)
+        assert reconstruct(tokens) == data
+
+    def test_incompressible_is_mostly_literals(self, random_8k):
+        tokens, stats = tokenize(random_8k, 6)
+        assert stats.literals > 0.95 * len(random_8k)
+        assert reconstruct(tokens) == random_8k
+
+    def test_higher_level_never_many_more_tokens(self, text_20k):
+        _t1, s1 = tokenize(text_20k, 1)
+        _t9, s9 = tokenize(text_20k, 9)
+        # Level 9 works harder and finds at least as much match coverage.
+        assert s9.match_bytes >= s1.match_bytes * 0.98
+
+    def test_stats_account_all_bytes(self, json_20k):
+        _tokens, stats = tokenize(json_20k, 6)
+        assert stats.input_bytes == len(json_20k)
+
+    def test_probes_grow_with_level(self, text_20k):
+        _t, s1 = tokenize(text_20k, 1)
+        _t, s9 = tokenize(text_20k, 9)
+        assert s9.chain_probes >= s1.chain_probes
+
+
+class TestLevelConfigs:
+    def test_levels_1_to_3_are_greedy(self):
+        for level in (1, 2, 3):
+            assert not LEVEL_CONFIGS[level].lazy
+
+    def test_levels_4_to_9_are_lazy(self):
+        for level in range(4, 10):
+            assert LEVEL_CONFIGS[level].lazy
+
+    def test_effort_monotone(self):
+        chains = [LEVEL_CONFIGS[level].max_chain for level in range(4, 10)]
+        assert chains == sorted(chains)
+
+
+class TestMatcherInternals:
+    def test_window_limit_respected(self):
+        # A match target further than 32 KB back must not be used.
+        far = b"UNIQUEPREFIX" + bytes(40000) + b"UNIQUEPREFIX"
+        tokens, _ = tokenize(far, 6)
+        assert_tokens_valid(tokens, far)
+        assert reconstruct(tokens) == far
+
+    def test_match_length_helper(self):
+        data = b"abcabcab"
+        assert HashChainMatcher._match_length(data, 0, 3, 5) == 5
+        assert HashChainMatcher._match_length(data, 0, 3, 2) == 2
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.binary(max_size=3000), st.sampled_from([1, 4, 6, 9]))
+def test_tokenize_roundtrip_property(data, level):
+    tokens, _stats = tokenize(data, level)
+    assert reconstruct(tokens) == data
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.text(alphabet="ab ", min_size=0, max_size=4000),
+       st.sampled_from([1, 6]))
+def test_low_alphabet_roundtrip_property(text, level):
+    data = text.encode()
+    tokens, _stats = tokenize(data, level)
+    assert_tokens_valid(tokens, data)
+    assert reconstruct(tokens) == data

@@ -1,0 +1,94 @@
+"""The later-added generators (xml/csv/telemetry) and the tools script."""
+
+import pytest
+
+from repro.deflate.compress import deflate
+from repro.workloads.generators import (
+    csv_table,
+    generate,
+    sensor_samples,
+    shannon_entropy_bits_per_byte,
+    xml_documents,
+)
+
+
+class TestXmlDocuments:
+    def test_well_formed_prefix(self):
+        data = xml_documents(5000, seed=1)
+        assert data.startswith(b"<?xml")
+        assert b"<export>" in data
+
+    def test_compresses_well(self):
+        data = generate("xml_documents", 30000, seed=2)
+        assert deflate(data, 6).ratio > 3.0
+
+    def test_deterministic(self):
+        assert xml_documents(4000, seed=5) == xml_documents(4000, seed=5)
+
+
+class TestCsvTable:
+    def test_header_row(self):
+        data = csv_table(2000, seed=1)
+        first = data.split(b"\n", 1)[0]
+        assert first.startswith(b"col0,col1")
+
+    def test_column_count_configurable(self):
+        data = csv_table(2000, seed=1, columns=5)
+        first = data.split(b"\n", 1)[0]
+        assert first.count(b",") == 4
+
+    def test_compresses_well(self):
+        data = generate("csv_table", 30000, seed=3)
+        assert deflate(data, 6).ratio > 2.5
+
+
+class TestSensorSamples:
+    def test_high_byte_entropy_yet_compressible(self):
+        """The telemetry paradox the generator is built to exhibit:
+        bytes look random (high H) but deltas are small, so the matcher
+        still finds structure — a little."""
+        data = sensor_samples(30000, seed=4)
+        assert shannon_entropy_bits_per_byte(data) > 6.5
+        ratio = deflate(data, 6).ratio
+        assert 1.05 < ratio < 2.0
+
+    def test_sample_continuity(self):
+        data = sensor_samples(2000, seed=5)
+        values = [int.from_bytes(data[i:i + 2], "big")
+                  for i in range(0, len(data) - 1, 2)]
+        deltas = [abs(b - a) for a, b in zip(values, values[1:])]
+        assert max(deltas) <= 64
+
+    def test_exact_odd_size(self):
+        assert len(sensor_samples(1001, seed=1)) == 1001
+
+
+class TestCollectResults:
+    def test_report_builds(self, tmp_path, monkeypatch):
+        import importlib.util
+        import pathlib
+
+        spec = importlib.util.spec_from_file_location(
+            "collect_results",
+            pathlib.Path("tools/collect_results.py"))
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+
+        # Point at a temp results dir with one table.
+        monkeypatch.setattr(module, "RESULTS", tmp_path)
+        (tmp_path / "e1_demo.txt").write_text("demo table\n1 2 3\n")
+        report = module.build_report()
+        assert "## e1_demo" in report
+        assert "demo table" in report
+
+    def test_empty_results_dir(self, tmp_path, monkeypatch):
+        import importlib.util
+        import pathlib
+
+        spec = importlib.util.spec_from_file_location(
+            "collect_results",
+            pathlib.Path("tools/collect_results.py"))
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        monkeypatch.setattr(module, "RESULTS", tmp_path / "missing")
+        assert "no results yet" in module.build_report()

@@ -1,0 +1,102 @@
+"""VAS priority FIFOs and the priority queueing model."""
+
+import pytest
+
+from repro.errors import VasError
+from repro.nx.params import POWER9
+from repro.perf.priority import PriorityQueueSim
+from repro.sysstack.vas import Vas
+
+from .test_vas import make_crb
+
+
+class TestVasPriority:
+    def test_high_window_routes_to_high_fifo(self):
+        vas = Vas()
+        high = vas.open_window(priority="high")
+        normal = vas.open_window()
+        vas.paste(normal.window_id, make_crb(0))
+        vas.paste(high.window_id, make_crb(1))
+        assert len(vas.rx_fifo_high) == 1
+        assert len(vas.rx_fifo) == 1
+
+    def test_high_served_first(self):
+        vas = Vas()
+        high = vas.open_window(priority="high")
+        normal = vas.open_window()
+        vas.paste(normal.window_id, make_crb(0))
+        vas.paste(high.window_id, make_crb(1))
+        assert vas.pop_request().window_id == high.window_id
+        assert vas.pop_request().window_id == normal.window_id
+
+    def test_anti_starvation(self):
+        vas = Vas(starvation_bound=2, default_credits=64)
+        high = vas.open_window(priority="high", credits=64)
+        normal = vas.open_window(credits=64)
+        vas.paste(normal.window_id, make_crb(99))
+        for seq in range(6):
+            vas.paste(high.window_id, make_crb(seq))
+        # Two high grants, then the normal one must get through.
+        order = [vas.pop_request().window_id for _ in range(4)]
+        assert order[0] == high.window_id
+        assert order[1] == high.window_id
+        assert order[2] == normal.window_id
+        assert order[3] == high.window_id
+
+    def test_bad_priority_rejected(self):
+        with pytest.raises(VasError):
+            Vas().open_window(priority="urgent")
+
+    def test_fifo_depths_independent(self):
+        vas = Vas(rx_fifo_depth=1, default_credits=8)
+        high = vas.open_window(priority="high")
+        normal = vas.open_window()
+        assert vas.paste(normal.window_id, make_crb(0))
+        assert vas.paste(high.window_id, make_crb(1))  # own FIFO
+        assert not vas.paste(normal.window_id, make_crb(2))
+
+    def test_drain_still_returns_credits(self, text_20k):
+        from repro.nx.accelerator import NxAccelerator
+        from repro.sysstack.mmu import AddressSpace
+
+        from .test_accelerator import place_job
+
+        space = AddressSpace()
+        accel = NxAccelerator(POWER9)
+        high = accel.vas.open_window(priority="high")
+        normal = accel.vas.open_window()
+        accel.vas.paste(normal.window_id, place_job(space, text_20k))
+        accel.vas.paste(high.window_id, place_job(space, text_20k))
+        completed = accel.drain(space)
+        assert [c.window_id for c in completed] == [high.window_id,
+                                                    normal.window_id]
+        assert high.outstanding == 0
+        assert normal.outstanding == 0
+
+
+class TestPriorityQueueSim:
+    def _run(self, use_priority: bool):
+        sim = PriorityQueueSim(POWER9, use_priority=use_priority, seed=4)
+        return sim.run(high_rate_per_s=3000, bulk_rate_per_s=1400,
+                       duration_s=0.15)
+
+    def test_both_classes_complete(self):
+        results = self._run(True)
+        assert results["high"].count > 100
+        assert results["bulk"].count >= 1
+
+    def test_priority_improves_high_class_tail(self):
+        fifo = self._run(False)
+        prio = self._run(True)
+        assert prio["high"].percentile(95) < fifo["high"].percentile(95)
+
+    def test_bulk_not_starved(self):
+        prio = self._run(True)
+        fifo = self._run(False)
+        assert prio["bulk"].count >= fifo["bulk"].count * 0.8
+
+    def test_deterministic(self):
+        a = self._run(True)
+        b = self._run(True)
+        assert a["high"].mean_latency == pytest.approx(
+            b["high"].mean_latency)

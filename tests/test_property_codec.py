@@ -1,0 +1,71 @@
+"""Property-based roundtrips across the whole codec surface."""
+
+import zlib
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.deflate.compress import deflate
+from repro.deflate.containers import (
+    gzip_compress,
+    gzip_decompress,
+    zlib_compress,
+    zlib_decompress,
+)
+from repro.deflate.inflate import inflate
+
+_binary = st.binary(max_size=4000)
+_structured = st.builds(
+    lambda chunks, reps: b"".join(chunk * reps for chunk in chunks),
+    st.lists(st.binary(min_size=1, max_size=40), max_size=12),
+    st.integers(min_value=1, max_value=30),
+)
+_payload = st.one_of(_binary, _structured)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_payload, st.sampled_from([0, 1, 5, 6, 9]))
+def test_deflate_inflate_roundtrip(data, level):
+    assert inflate(deflate(data, level=level).data) == data
+
+
+@settings(max_examples=40, deadline=None)
+@given(_payload, st.sampled_from([1, 6]))
+def test_stdlib_decodes_arbitrary(data, level):
+    assert zlib.decompress(deflate(data, level=level).data, -15) == data
+
+
+@settings(max_examples=40, deadline=None)
+@given(_payload)
+def test_zlib_container_roundtrip(data):
+    assert zlib_decompress(zlib_compress(data)) == data
+
+
+@settings(max_examples=40, deadline=None)
+@given(_payload)
+def test_gzip_container_roundtrip(data):
+    assert gzip_decompress(gzip_compress(data)) == data
+
+
+@settings(max_examples=30, deadline=None)
+@given(_payload, st.integers(min_value=16, max_value=4096))
+def test_block_split_invariance(data, block_tokens):
+    """Block splitting changes framing but never content."""
+    result = deflate(data, level=6, block_tokens=block_tokens)
+    assert inflate(result.data) == data
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.binary(max_size=2000))
+def test_we_decode_stdlib_arbitrary(data):
+    for level in (1, 9):
+        assert inflate(zlib.compress(data, level)[2:-4]) == data
+
+
+@settings(max_examples=30, deadline=None)
+@given(_payload)
+def test_compression_never_catastrophically_expands(data):
+    """Stored-block fallback bounds expansion to ~5 bytes per 64 KB."""
+    out = deflate(data, level=6).data
+    overhead = 64 + 5 * (len(data) // 65535 + 1)
+    assert len(out) <= len(data) + overhead

@@ -1,0 +1,99 @@
+"""Shared-accelerator queueing simulation."""
+
+import pytest
+
+from repro.nx.params import POWER9
+from repro.perf.queueing import AcceleratorQueueSim, load_sweep
+from repro.workloads.traces import bimodal_size, fixed_size
+
+
+def make_sim(**kwargs):
+    defaults = dict(machine=POWER9, engines=1, seed=7,
+                    size_sampler=fixed_size(65536))
+    defaults.update(kwargs)
+    return AcceleratorQueueSim(**defaults)
+
+
+class TestOpenLoop:
+    def test_jobs_complete(self):
+        result = make_sim().run_open(arrival_rate_per_s=500, clients=4,
+                                     duration_s=0.05)
+        assert result.completed > 0
+        assert all(job.finish_time >= job.start_time
+                   >= job.submit_time - 1e-5 for job in result.jobs)
+
+    def test_light_load_latency_near_service(self):
+        sim = make_sim()
+        service = sim.service_seconds(65536)
+        result = sim.run_open(arrival_rate_per_s=100, clients=2,
+                              duration_s=0.1)
+        assert result.mean_latency < 2.5 * service
+
+    def test_latency_rises_with_load(self):
+        results = load_sweep(POWER9, loads=[0.3, 0.95],
+                             size_bytes=65536, clients=8,
+                             duration_s=0.15)
+        light = results[0][1].mean_latency
+        heavy = results[1][1].mean_latency
+        assert heavy > 1.3 * light
+
+    def test_throughput_capped_by_capacity(self):
+        sim = make_sim()
+        service = sim.service_seconds(65536)
+        capacity_gbps = (65536 / service) / 1e9
+        results = load_sweep(POWER9, loads=[1.5], size_bytes=65536,
+                             clients=8, duration_s=0.1)
+        assert results[0][1].throughput_gbps <= capacity_gbps * 1.05
+
+    def test_two_engines_double_capacity(self):
+        one = load_sweep(POWER9, loads=[1.5], clients=8,
+                         duration_s=0.1, engines=1)[0][1]
+        two = load_sweep(POWER9, loads=[1.5], clients=8,
+                         duration_s=0.1, engines=2)[0][1]
+        # Same offered load per engine; two engines finish ~2x the bytes.
+        assert two.throughput_gbps > 1.6 * one.throughput_gbps
+
+    def test_deterministic_given_seed(self):
+        a = make_sim(seed=5).run_open(300, 4, 0.05)
+        b = make_sim(seed=5).run_open(300, 4, 0.05)
+        assert a.completed == b.completed
+        assert a.mean_latency == pytest.approx(b.mean_latency)
+
+    def test_percentiles_ordered(self):
+        result = make_sim().run_open(800, 8, 0.1)
+        assert (result.latency_percentile(50)
+                <= result.latency_percentile(95)
+                <= result.latency_percentile(99.9))
+
+
+class TestClosedLoop:
+    def test_jobs_complete(self):
+        result = make_sim().run_closed(clients=8, think_seconds=1e-4,
+                                       duration_s=0.05)
+        assert result.completed > 0
+
+    def test_more_clients_more_throughput_until_saturation(self):
+        small = make_sim().run_closed(clients=1, think_seconds=1e-4,
+                                      duration_s=0.05)
+        large = make_sim().run_closed(clients=16, think_seconds=1e-4,
+                                      duration_s=0.05)
+        assert large.throughput_gbps > small.throughput_gbps
+
+
+class TestMixes:
+    def test_bulk_jobs_inflate_small_job_tail(self):
+        uniform = make_sim(size_sampler=fixed_size(8192))
+        mixed = make_sim(size_sampler=bimodal_size(8192, 4 << 20, 0.9))
+        r_uniform = uniform.run_open(2000, 8, 0.05)
+        r_mixed = mixed.run_open(2000, 8, 0.05)
+        small_lat = [j.sojourn for j in r_mixed.jobs
+                     if j.size_bytes == 8192]
+        assert small_lat
+        p99_mixed = sorted(small_lat)[int(0.99 * len(small_lat)) - 1]
+        assert p99_mixed > r_uniform.latency_percentile(99)
+
+    def test_empty_result_safe(self):
+        result = make_sim().run_open(arrival_rate_per_s=0.0001, clients=1,
+                                     duration_s=0.0001)
+        assert result.mean_latency == 0.0
+        assert result.latency_percentile(99) == 0.0

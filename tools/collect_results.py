@@ -1,0 +1,47 @@
+"""Collect benchmark result tables into one report.
+
+Usage:  python tools/collect_results.py [output.md]
+
+Reads every table under benchmarks/results/ (written by the benches)
+and assembles a single markdown report with the experiment index, so a
+fresh `pytest benchmarks/ --benchmark-only` run can be published as one
+artefact.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+RESULTS = pathlib.Path(__file__).resolve().parent.parent / "benchmarks" \
+    / "results"
+
+
+def build_report() -> str:
+    lines = ["# Benchmark results", "",
+             "Regenerate with `pytest benchmarks/ --benchmark-only`.", ""]
+    if not RESULTS.is_dir():
+        lines.append("*(no results yet — run the benches first)*")
+        return "\n".join(lines) + "\n"
+    for path in sorted(RESULTS.glob("*.txt")):
+        lines.append(f"## {path.stem}")
+        lines.append("")
+        lines.append("```")
+        lines.append(path.read_text().rstrip())
+        lines.append("```")
+        lines.append("")
+    return "\n".join(lines) + "\n"
+
+
+def main() -> int:
+    report = build_report()
+    if len(sys.argv) > 1:
+        pathlib.Path(sys.argv[1]).write_text(report)
+        print(f"wrote {sys.argv[1]}")
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
