@@ -10,9 +10,22 @@ from __future__ import annotations
 
 import pathlib
 
+from repro.backend import create_backend
 from repro.core.metrics import Table
+from repro.nx.params import POWER9
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def resolve_engine(name: str = "nx", machine=POWER9, **kwargs):
+    """Acquire a compression backend from the registry.
+
+    Every bench resolves its engine here rather than constructing
+    model classes directly — engine-parameter sweeps pass ``engine=``
+    (forwarded to the backend factory), and per-request engine metrics
+    come back on ``DriverResult.engine_result``.
+    """
+    return create_backend(name, machine=machine, **kwargs)
 
 
 def report(experiment: str, table: Table, title: str,

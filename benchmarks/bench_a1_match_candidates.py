@@ -11,12 +11,11 @@ from __future__ import annotations
 from dataclasses import replace
 
 from repro.core.metrics import Table
-from repro.nx.compressor import NxCompressor
 from repro.nx.dht import DhtStrategy
 from repro.nx.params import POWER9
 from repro.workloads.generators import generate
 
-from _common import report
+from _common import report, resolve_engine
 
 WAYS = [1, 2, 4, 8, 16]
 SIZE = 65536
@@ -28,8 +27,10 @@ def compute() -> tuple[Table, list]:
     ratios = []
     for ways in WAYS:
         params = replace(POWER9.engine, hash_ways=ways)
-        result = NxCompressor(params).compress(
-            data, strategy=DhtStrategy.DYNAMIC)
+        with resolve_engine("nx", engine=params) as backend:
+            result = backend.compress(
+                data, strategy=DhtStrategy.DYNAMIC,
+                fmt="raw").engine_result
         table.add(ways, result.ratio, result.throughput_gbps,
                   result.stats.chain_probes / SIZE)
         ratios.append(result.ratio)

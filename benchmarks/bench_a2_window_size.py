@@ -10,12 +10,11 @@ from __future__ import annotations
 from dataclasses import replace
 
 from repro.core.metrics import Table, human_bytes
-from repro.nx.compressor import NxCompressor
 from repro.nx.dht import DhtStrategy
 from repro.nx.params import POWER9
 from repro.workloads.generators import generate
 
-from _common import report
+from _common import report, resolve_engine
 
 WINDOWS = [1024, 4096, 8192, 16384, 32768]
 SIZE = 131072
@@ -29,8 +28,10 @@ def compute() -> tuple[Table, list]:
     ratios = []
     for window in WINDOWS:
         params = replace(POWER9.engine, window_bytes=window)
-        result = NxCompressor(params).compress(
-            data, strategy=DhtStrategy.DYNAMIC)
+        with resolve_engine("nx", engine=params) as backend:
+            result = backend.compress(
+                data, strategy=DhtStrategy.DYNAMIC,
+                fmt="raw").engine_result
         coverage = 100.0 * result.stats.match_bytes / SIZE
         table.add(human_bytes(window), result.ratio, coverage)
         ratios.append(result.ratio)

@@ -10,12 +10,11 @@ from __future__ import annotations
 from dataclasses import replace
 
 from repro.core.metrics import Table
-from repro.nx.compressor import NxCompressor
 from repro.nx.dht import DhtStrategy
 from repro.nx.params import POWER9
 from repro.workloads.generators import generate
 
-from _common import report
+from _common import report, resolve_engine
 
 WIDTHS = [2, 4, 8, 16]
 SIZE = 131072
@@ -30,8 +29,10 @@ def compute() -> tuple[Table, list]:
         params = replace(POWER9.engine,
                          scan_bytes_per_cycle=width,
                          hash_banks=16 * width)
-        result = NxCompressor(params).compress(
-            data, strategy=DhtStrategy.DYNAMIC)
+        with resolve_engine("nx", engine=params) as backend:
+            result = backend.compress(
+                data, strategy=DhtStrategy.DYNAMIC,
+                fmt="raw").engine_result
         stall_pct = (100.0 * result.cycles.bank_stalls
                      / max(1, result.cycles.scan))
         table.add(width, params.hash_banks, result.throughput_gbps,

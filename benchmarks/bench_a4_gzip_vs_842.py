@@ -10,13 +10,10 @@ already-incompressible data.
 from __future__ import annotations
 
 from repro.core.metrics import Table
-from repro.e842.engine import Engine842
-from repro.nx.compressor import NxCompressor
 from repro.nx.dht import DhtStrategy
-from repro.nx.params import POWER9
 from repro.workloads.generators import generate
 
-from _common import report
+from _common import report, resolve_engine
 
 DATASETS = ["markov_text", "json_records", "database_pages",
              "log_lines", "random_bytes"]
@@ -24,20 +21,23 @@ SIZE = 49152
 
 
 def compute() -> tuple[Table, dict]:
-    gzip_engine = NxCompressor(POWER9.engine)
-    e842_engine = Engine842()
+    gzip_engine = resolve_engine("nx")
+    e842_engine = resolve_engine("842")
     table = Table(headers=["data", "gzip ratio", "842 ratio",
                            "gzip GB/s", "842 GB/s"])
     wins = {"ratio": 0, "rate": 0, "n": 0}
     for name in DATASETS:
         data = generate(name, SIZE, seed=41)
-        gz = gzip_engine.compress(data, strategy=DhtStrategy.DYNAMIC)
-        e8 = e842_engine.compress(data)
+        gz = gzip_engine.compress(data, strategy=DhtStrategy.DYNAMIC,
+                                  fmt="raw").engine_result
+        e8 = e842_engine.compress(data).engine_result
         table.add(name, gz.ratio, e8.ratio, gz.throughput_gbps,
                   e8.throughput_gbps)
         wins["n"] += 1
         wins["ratio"] += int(gz.ratio >= e8.ratio * 0.999)
         wins["rate"] += int(e8.throughput_gbps > gz.throughput_gbps)
+    gzip_engine.close()
+    e842_engine.close()
     return table, wins
 
 

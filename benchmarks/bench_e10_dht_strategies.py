@@ -9,12 +9,10 @@ CANNED nearly both.
 from __future__ import annotations
 
 from repro.core.metrics import Table
-from repro.nx.compressor import NxCompressor
 from repro.nx.dht import DhtStrategy
-from repro.nx.params import POWER9
 from repro.workloads.generators import generate
 
-from _common import report
+from _common import report, resolve_engine
 
 DATASETS = [
     ("text", "markov_text"),
@@ -26,7 +24,7 @@ SIZE = 65536
 
 
 def compute() -> tuple[Table, dict]:
-    compressor = NxCompressor(POWER9.engine)
+    backend = resolve_engine("nx")
     table = Table(headers=["data", "strategy", "ratio", "GB/s",
                            "dht cycles"])
     per_strategy: dict[str, list[float]] = {s.value: []
@@ -34,12 +32,14 @@ def compute() -> tuple[Table, dict]:
     for name, generator in DATASETS:
         data = generate(generator, SIZE, seed=33)
         for strategy in DhtStrategy:
-            result = compressor.compress(data, strategy=strategy)
+            result = backend.compress(data, strategy=strategy,
+                                      fmt="raw").engine_result
             table.add(name, strategy.value, result.ratio,
                       result.throughput_gbps,
                       result.cycles.dht_generation)
             per_strategy[strategy.value].append(
                 (result.ratio, result.throughput_gbps))
+    backend.close()
     return table, per_strategy
 
 

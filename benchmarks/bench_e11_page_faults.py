@@ -8,14 +8,9 @@ latency inflation and retry counts as the fault probability rises.
 from __future__ import annotations
 
 from repro.core.metrics import Table
-from repro.nx.accelerator import NxAccelerator
-from repro.nx.params import POWER9
-from repro.sysstack.crb import Op
-from repro.sysstack.driver import NxDriver
-from repro.sysstack.mmu import AddressSpace, FaultInjector
 from repro.workloads.generators import generate
 
-from _common import report
+from _common import report, resolve_engine
 
 FAULT_RATES = [0.0, 0.01, 0.05, 0.1, 0.25]
 JOBS = 12
@@ -28,20 +23,18 @@ def compute() -> tuple[Table, list]:
                            "submissions/job", "fallbacks"])
     means = []
     for prob in FAULT_RATES:
-        space = AddressSpace(
-            fault_injector=FaultInjector(prob, seed=100))
-        driver = NxDriver(NxAccelerator(POWER9), space, max_retries=16)
-        driver.open()
         total = 0.0
         faults = 0
         submissions = 0
         fallbacks = 0
-        for _ in range(JOBS):
-            result = driver.run(Op.COMPRESS, data)
-            total += result.stats.elapsed_seconds
-            faults += result.stats.translation_faults
-            submissions += result.stats.submissions
-            fallbacks += int(result.stats.fallback_to_software)
+        with resolve_engine("nx", fault_probability=prob, seed=100,
+                            max_retries=16) as backend:
+            for _ in range(JOBS):
+                result = backend.compress(data, fmt="raw")
+                total += result.stats.elapsed_seconds
+                faults += result.stats.translation_faults
+                submissions += result.stats.submissions
+                fallbacks += int(result.stats.fallback_to_software)
         table.add(prob, total / JOBS * 1e6, faults / JOBS,
                   submissions / JOBS, fallbacks)
         means.append(total / JOBS)

@@ -9,31 +9,32 @@ from __future__ import annotations
 
 from repro.core.metrics import Table
 from repro.deflate.compress import deflate
-from repro.nx.decompressor import NxDecompressor
 from repro.nx.params import POWER9, Z15
 from repro.perf.cost import SoftwareCostModel
 from repro.workloads.corpus import build_corpus
 
-from _common import report
+from _common import report, resolve_engine
 
 
 def compute() -> tuple[Table, dict]:
     corpus = build_corpus("quick")
-    p9 = NxDecompressor(POWER9.engine)
-    z15 = NxDecompressor(Z15.engine)
+    p9 = resolve_engine("nx", machine=POWER9)
+    z15 = resolve_engine("nx", machine=Z15)
     sw = SoftwareCostModel(POWER9)
     table = Table(headers=["component", "P9 GB/s", "z15 GB/s",
                            "sw MB/s", "P9 speedup"])
     speedups = []
     for name, data in corpus.items():
         payload = deflate(data, level=6).data
-        r_p9 = p9.decompress(payload)
-        r_z15 = z15.decompress(payload)
+        r_p9 = p9.decompress(payload, fmt="raw").engine_result
+        r_z15 = z15.decompress(payload, fmt="raw").engine_result
         sw_rate = sw.decompress_rate_mbps()
         gain = r_p9.throughput_gbps * 1000 / sw_rate
         table.add(name, r_p9.throughput_gbps, r_z15.throughput_gbps,
                   sw_rate, gain)
         speedups.append(gain)
+    p9.close()
+    z15.close()
     return table, {"speedups": speedups}
 
 

@@ -11,13 +11,10 @@ from __future__ import annotations
 
 from repro.core.metrics import Table
 from repro.core.plot import bar_chart
-from repro.deflate.compress import deflate
-from repro.nx.compressor import NxCompressor
 from repro.nx.dht import DhtStrategy
-from repro.nx.params import POWER9
 from repro.workloads.corpus import build_corpus
 
-from _common import report
+from _common import report, resolve_engine
 
 CORPUS = "silesia-like"
 SCALE = 0.25  # keep the pure-Python codec affordable per bench round
@@ -25,18 +22,23 @@ SCALE = 0.25  # keep the pure-Python codec affordable per bench round
 
 def compute() -> tuple[Table, dict]:
     corpus = build_corpus(CORPUS, scale=SCALE)
-    compressor = NxCompressor(POWER9.engine)
+    levels = {lvl: resolve_engine("software", level=lvl)
+              for lvl in (1, 6, 9)}
+    nx = resolve_engine("nx")
     table = Table(headers=["component", "zlib -1", "zlib -6", "zlib -9",
                            "NX fixed", "NX canned", "NX dht"])
     totals = {key: 0 for key in
               ("in", "z1", "z6", "z9", "fixed", "canned", "dht")}
     for name, data in corpus.items():
-        z1 = len(deflate(data, 1).data)
-        z6 = len(deflate(data, 6).data)
-        z9 = len(deflate(data, 9).data)
-        fx = len(compressor.compress(data, DhtStrategy.FIXED).data)
-        cn = len(compressor.compress(data, DhtStrategy.CANNED).data)
-        dh = len(compressor.compress(data, DhtStrategy.DYNAMIC).data)
+        z1 = len(levels[1].compress(data, fmt="raw").output)
+        z6 = len(levels[6].compress(data, fmt="raw").output)
+        z9 = len(levels[9].compress(data, fmt="raw").output)
+        fx = len(nx.compress(data, strategy=DhtStrategy.FIXED,
+                             fmt="raw").output)
+        cn = len(nx.compress(data, strategy=DhtStrategy.CANNED,
+                             fmt="raw").output)
+        dh = len(nx.compress(data, strategy=DhtStrategy.DYNAMIC,
+                             fmt="raw").output)
         n = len(data)
         table.add(name, n / z1, n / z6, n / z9, n / fx, n / cn, n / dh)
         totals["in"] += n
@@ -46,6 +48,9 @@ def compute() -> tuple[Table, dict]:
     table.add("TOTAL", *(totals["in"] / totals[k]
                          for k in ("z1", "z6", "z9", "fixed", "canned",
                                    "dht")))
+    nx.close()
+    for backend in levels.values():
+        backend.close()
     return table, totals
 
 

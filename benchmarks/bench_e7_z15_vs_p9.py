@@ -9,13 +9,12 @@ overhead-bound.
 from __future__ import annotations
 
 from repro.core.metrics import Table, human_bytes
-from repro.nx.compressor import NxCompressor
 from repro.nx.dht import DhtStrategy
 from repro.nx.params import POWER9, Z15
 from repro.perf.timing import OffloadTimingModel
 from repro.workloads.generators import generate
 
-from _common import report
+from _common import report, resolve_engine
 
 SIZES = [4 << 10, 64 << 10, 1 << 20, 16 << 20]
 
@@ -34,10 +33,12 @@ def compute() -> tuple[Table, dict]:
 
     # Engine-model cross-check on real data (not the calibrated table).
     sample = generate("log_lines", 131072, seed=21)
-    r_p9 = NxCompressor(POWER9.engine).compress(
-        sample, strategy=DhtStrategy.DYNAMIC)
-    r_z15 = NxCompressor(Z15.engine).compress(
-        sample, strategy=DhtStrategy.DYNAMIC)
+    with resolve_engine("nx", machine=POWER9) as b_p9:
+        r_p9 = b_p9.compress(sample, strategy=DhtStrategy.DYNAMIC,
+                             fmt="raw").engine_result
+    with resolve_engine("nx", machine=Z15) as b_z15:
+        r_z15 = b_z15.compress(sample, strategy=DhtStrategy.DYNAMIC,
+                               fmt="raw").engine_result
     measured_ratio = r_z15.throughput_gbps / r_p9.throughput_gbps
     return table, {"gains": gains, "measured_ratio": measured_ratio}
 

@@ -17,7 +17,6 @@ from repro import NxGzip, analyze
 from repro.core.metrics import Table, human_bytes
 from repro.workloads.filesets import (
     FileSetSpec,
-    by_extension,
     make_fileset,
     total_bytes,
 )

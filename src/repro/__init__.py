@@ -17,9 +17,20 @@ Packages:
 * :mod:`repro.sysstack` — CRB/DDE/VAS/MMU/driver submission stack.
 * :mod:`repro.perf` — calibrated cost, timing, queueing, system models.
 * :mod:`repro.workloads` — synthetic corpora, traces, Spark TPC-DS model.
+* :mod:`repro.backend` — the unified backend layer (protocol, registry,
+  accelerator pool) every consumer routes through.
 * :mod:`repro.core` — the high-level session API and reporting helpers.
 """
 
+from .backend import (
+    AcceleratorPool,
+    BackendCapabilities,
+    CompressionBackend,
+    backend_names,
+    create_backend,
+    default_backend,
+    register_backend,
+)
 from .core import (
     Analysis,
     CompressedBuffer,
@@ -35,6 +46,13 @@ __version__ = "1.0.0"
 
 __all__ = [
     "NxGzip",
+    "CompressionBackend",
+    "BackendCapabilities",
+    "AcceleratorPool",
+    "backend_names",
+    "create_backend",
+    "default_backend",
+    "register_backend",
     "analyze",
     "Analysis",
     "CompressedBuffer",

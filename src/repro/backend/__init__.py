@@ -1,0 +1,33 @@
+"""Unified backend layer: one protocol, four execution paths, one pool.
+
+Everything above the machine models — the public API session, the CLI,
+workloads, and benchmarks — acquires compression engines here, by name
+from the registry or pooled across chips by :class:`AcceleratorPool`.
+"""
+
+from .base import BackendCapabilities, BackendStats, CompressionBackend
+from .pool import ROUTING_POLICIES, SOFTWARE, AcceleratorPool, PoolJob
+from .registry import (
+    backend_capabilities,
+    backend_names,
+    create_backend,
+    default_backend,
+    register_backend,
+    unregister_backend,
+)
+
+__all__ = [
+    "CompressionBackend",
+    "BackendCapabilities",
+    "BackendStats",
+    "AcceleratorPool",
+    "PoolJob",
+    "ROUTING_POLICIES",
+    "SOFTWARE",
+    "register_backend",
+    "unregister_backend",
+    "backend_names",
+    "backend_capabilities",
+    "create_backend",
+    "default_backend",
+]

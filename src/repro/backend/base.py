@@ -1,0 +1,150 @@
+"""The unified backend seam: one protocol every execution path implements.
+
+Four parallel execution paths grew around the paper's stack — software
+zlib, the POWER9 asynchronous NX driver, the z15 synchronous DFLTCC
+loop, and the 842 memory-compression engines.  :class:`CompressionBackend`
+is the single seam they all sit behind, mirroring how libnxz and
+zlib-dfltcc hide the hardware-vs-software decision behind the one zlib
+API in the production stack:
+
+* ``compress``/``decompress`` return the same :class:`DriverResult`
+  shape the driver produces (output bytes plus per-request
+  :class:`SubmissionStats`), so callers account timing, faults, and
+  software fallbacks identically regardless of the backend;
+* ``capabilities`` describes what the backend can do — wire formats,
+  Huffman strategies, modelled sustained rates, per-call overhead — so
+  policy layers (offload advisor, Spark models, the pool) can reason
+  about a backend without knowing its concrete class;
+* ``stats`` accumulates session totals across requests.
+
+Concrete backends implement ``_compress``/``_decompress``; the public
+methods normalise arguments and keep the accounting uniform.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import ClassVar
+
+from ..sysstack.driver import DriverResult
+
+
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """What one backend supports and how fast it is modelled to run.
+
+    ``formats`` lists the wire formats ``compress``/``decompress``
+    accept, in preference order — ``formats[0]`` is the backend's
+    default.  ``"842"`` is the pseudo-format selecting the NX 842
+    memory-compression pipes.  Rates are modelled sustained GB/s on the
+    reference corpus; ``per_call_overhead_s`` is the fixed invocation
+    cost (submit + dispatch + completion for the async paths, the
+    instruction issue for DFLTCC, zero for software).
+    """
+
+    name: str
+    formats: tuple[str, ...]
+    strategies: tuple[str, ...]
+    synchronous: bool
+    hardware: bool
+    streaming: bool
+    compress_gbps: float
+    decompress_gbps: float
+    per_call_overhead_s: float = 0.0
+
+    @property
+    def default_format(self) -> str:
+        return self.formats[0]
+
+
+@dataclass
+class BackendStats:
+    """Running totals across one backend handle's requests."""
+
+    requests: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    modelled_seconds: float = 0.0
+    faults: int = 0
+    fallbacks: int = 0
+
+    def record(self, result: DriverResult, nbytes_in: int) -> None:
+        """Fold one completed request into the totals."""
+        self.requests += 1
+        self.bytes_in += nbytes_in
+        self.bytes_out += len(result.output)
+        self.modelled_seconds += result.stats.elapsed_seconds
+        self.faults += result.stats.translation_faults
+        self.fallbacks += int(result.stats.fallback_to_software)
+
+
+def _strategy_value(strategy: object) -> str:
+    """Accept both the CRB strategy strings and DhtStrategy members."""
+    return getattr(strategy, "value", strategy)
+
+
+class CompressionBackend(abc.ABC):
+    """One way of executing compression jobs (software or modelled HW)."""
+
+    #: Registry key this class is published under.
+    name: ClassVar[str] = "abstract"
+
+    def __init__(self) -> None:
+        self._stats = BackendStats()
+
+    # -- the protocol --------------------------------------------------------
+
+    def compress(self, data: bytes, *, strategy: object = "auto",
+                 fmt: str | None = None, history: bytes = b"",
+                 final: bool = True) -> DriverResult:
+        """Compress ``data``; ``fmt`` defaults to the backend's native one.
+
+        ``history`` primes the match window for continuation requests
+        and ``final=False`` asks for a continuable raw stream — only
+        meaningful when ``capabilities().streaming`` is true.
+        """
+        fmt = fmt or self.capabilities().default_format
+        result = self._compress(data, _strategy_value(strategy), fmt,
+                                history, final)
+        self._stats.record(result, len(data))
+        return result
+
+    def decompress(self, payload: bytes, *, fmt: str | None = None,
+                   history: bytes = b"") -> DriverResult:
+        """Decompress ``payload`` produced in the same wire format."""
+        fmt = fmt or self.capabilities().default_format
+        result = self._decompress(payload, fmt, history)
+        self._stats.record(result, len(payload))
+        return result
+
+    @abc.abstractmethod
+    def capabilities(self) -> BackendCapabilities:
+        """Static description of formats, strategies, and modelled rates."""
+
+    def stats(self) -> BackendStats:
+        """Cumulative totals over every request this handle served."""
+        return self._stats
+
+    def close(self) -> None:
+        """Release modelled resources (VAS windows etc.); idempotent."""
+
+    # -- implementation hooks ------------------------------------------------
+
+    @abc.abstractmethod
+    def _compress(self, data: bytes, strategy: str, fmt: str,
+                  history: bytes, final: bool) -> DriverResult:
+        ...
+
+    @abc.abstractmethod
+    def _decompress(self, payload: bytes, fmt: str,
+                    history: bytes) -> DriverResult:
+        ...
+
+    # -- context management --------------------------------------------------
+
+    def __enter__(self) -> "CompressionBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

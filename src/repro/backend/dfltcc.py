@@ -1,0 +1,156 @@
+"""The z15 synchronous backend: the DFLTCC instruction re-issue loop.
+
+This is the zlib-dfltcc shape: the deflate *body* is produced by the
+accelerator (CMPR invocations re-issued while CC=3, the CPU-determined
+completion), while the RFC 1950/1952 container framing stays in
+software — exactly how the s390 zlib patch wraps the instruction.
+Expansion strips the container, runs XPND with output-capacity growth
+on CC=1, and verifies the container checksum against the parameter
+block's running check value.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..deflate.checksums import adler32, crc32
+from ..deflate.containers import wrap_gzip, wrap_zlib
+from ..errors import AcceleratorError, ChecksumError, ConfigError, \
+    DeflateError
+from ..nx.dht import DhtStrategy
+from ..nx.params import Z15, MachineParams, get_machine
+from ..nx.z15 import ConditionCode, Dfltcc, ParameterBlock
+from ..perf.cost import accelerator_effective_gbps
+from ..sysstack.driver import DriverResult, SubmissionStats
+from .base import BackendCapabilities, CompressionBackend
+
+_FORMATS = ("gzip", "zlib", "raw")
+
+
+class DfltccBackend(CompressionBackend):
+    """One CPU's view of the on-chip zEDC accelerator (synchronous)."""
+
+    name = "dfltcc"
+
+    def __init__(self, machine: MachineParams | str = Z15,
+                 quantum: int = 1 << 20) -> None:
+        super().__init__()
+        if isinstance(machine, str):
+            machine = get_machine(machine)
+        self.machine = machine
+        # Raises AcceleratorError if the machine has no DFLTCC facility.
+        self._facility = Dfltcc(machine=machine, processing_quantum=quantum)
+        self._caps = BackendCapabilities(
+            name=self.name,
+            formats=_FORMATS,
+            strategies=tuple(s.value for s in DhtStrategy),
+            synchronous=True,
+            hardware=True,
+            streaming=True,
+            compress_gbps=accelerator_effective_gbps(machine, "compress"),
+            decompress_gbps=accelerator_effective_gbps(machine,
+                                                       "decompress"),
+            per_call_overhead_s=(machine.submit_overhead_us
+                                 + machine.dispatch_overhead_us) * 1e-6,
+        )
+
+    def capabilities(self) -> BackendCapabilities:
+        return self._caps
+
+    # -- implementation ------------------------------------------------------
+
+    def _compress(self, data: bytes, strategy: str, fmt: str,
+                  history: bytes, final: bool) -> DriverResult:
+        if fmt not in _FORMATS:
+            raise ConfigError(f"dfltcc backend does not produce {fmt!r}")
+        block = ParameterBlock(dht_strategy=DhtStrategy(strategy),
+                               history=history)
+        body = bytearray()
+        seconds = 0.0
+        invocations = 0
+        offset = 0
+        while True:
+            result = self._facility.compress(block, data[offset:],
+                                             last=final)
+            body += result.produced
+            seconds += result.seconds
+            invocations += 1
+            offset += result.consumed
+            if result.cc is ConditionCode.DONE:
+                break
+            if result.cc is not ConditionCode.PARTIAL:
+                raise AcceleratorError(f"unexpected CC {result.cc!r}")
+        if fmt == "raw":
+            output = bytes(body)
+        elif history or not final:
+            raise ConfigError(
+                f"{fmt!r} container requires a whole stream; "
+                "use fmt='raw' for continuation units")
+        elif fmt == "zlib":
+            output = wrap_zlib(bytes(body), data)
+        else:
+            output = wrap_gzip(bytes(body), data)
+        stats = SubmissionStats(submissions=invocations,
+                                elapsed_seconds=seconds)
+        return DriverResult(output=output, csb=None, stats=stats)
+
+    def _decompress(self, payload: bytes, fmt: str,
+                    history: bytes) -> DriverResult:
+        if fmt not in _FORMATS:
+            raise ConfigError(f"dfltcc backend does not decode {fmt!r}")
+        body = _strip_container(payload, fmt)
+        block = ParameterBlock(history=history)
+        capacity = max(4096, 4 * len(body))
+        invocations = 0
+        while True:
+            result = self._facility.expand(block, body,
+                                           out_capacity=capacity)
+            invocations += 1
+            if result.cc is ConditionCode.DONE:
+                break
+            if result.cc is ConditionCode.OP1_FULL:
+                capacity *= 2
+                continue
+            raise AcceleratorError(f"unexpected CC {result.cc!r}")
+        _verify_container(payload, result.produced, fmt)
+        stats = SubmissionStats(submissions=invocations,
+                                elapsed_seconds=result.seconds)
+        return DriverResult(output=result.produced, csb=None, stats=stats)
+
+
+def _strip_container(payload: bytes, fmt: str) -> bytes:
+    """Return the raw deflate body (trailer bytes are ignored by XPND)."""
+    if fmt == "raw":
+        return payload
+    if fmt == "zlib":
+        if len(payload) < 6:
+            raise DeflateError("zlib stream too short")
+        return payload[2:]
+    if len(payload) < 18 or payload[:2] != b"\x1f\x8b":
+        raise DeflateError("bad gzip header")
+    flg = payload[3]
+    pos = 10
+    if flg & 0x04:  # FEXTRA
+        xlen = struct.unpack_from("<H", payload, pos)[0]
+        pos += 2 + xlen
+    if flg & 0x08:  # FNAME
+        pos = payload.index(b"\x00", pos) + 1
+    if flg & 0x10:  # FCOMMENT
+        pos = payload.index(b"\x00", pos) + 1
+    if flg & 0x02:  # FHCRC
+        pos += 2
+    return payload[pos:]
+
+
+def _verify_container(payload: bytes, output: bytes, fmt: str) -> None:
+    """Check the container trailer against the expanded plaintext."""
+    if fmt == "zlib":
+        (expected,) = struct.unpack(">I", payload[-4:])
+        if adler32(output) != expected:
+            raise ChecksumError("zlib Adler-32 mismatch")
+    elif fmt == "gzip":
+        expected_crc, isize = struct.unpack("<II", payload[-8:])
+        if crc32(output) != expected_crc:
+            raise ChecksumError("gzip CRC-32 mismatch")
+        if (len(output) & 0xFFFFFFFF) != isize:
+            raise ChecksumError("gzip ISIZE mismatch")

@@ -1,0 +1,74 @@
+"""The 842 backend: the NX unit's memory-compression pipes, standalone.
+
+842 is the template codec the NX shipped before the gzip engines — no
+Huffman stage, so it streams at line rate with a weaker ratio.  This
+backend drives the bare :class:`Engine842` (AIX active-memory-expansion
+style usage, where the kernel calls the engine directly without the
+gzip driver stack); to run 842 jobs through the full CRB/VAS protocol
+instead, use the ``nx`` backend with ``fmt="842"``.
+"""
+
+from __future__ import annotations
+
+from ..e842.engine import Engine842, Engine842Params
+from ..errors import ConfigError
+from ..sysstack.driver import DriverResult, SubmissionStats
+from .base import BackendCapabilities, CompressionBackend
+
+
+class E842Backend(CompressionBackend):
+    """Template-codec engine pair: fast, Huffman-free, fixed format."""
+
+    name = "842"
+
+    def __init__(self, machine=None,
+                 params: Engine842Params | None = None) -> None:
+        # ``machine`` is accepted (and ignored) so the registry can pass
+        # one uniformly; the 842 engine model is machine-independent.
+        super().__init__()
+        self.engine = Engine842(params or Engine842Params())
+        line_rate = (self.engine.params.clock_ghz
+                     * self.engine.params.bytes_per_cycle)
+        self._caps = BackendCapabilities(
+            name=self.name,
+            formats=("842",),
+            strategies=("auto",),  # template codec: no Huffman strategy
+            synchronous=True,
+            hardware=True,
+            streaming=False,
+            compress_gbps=line_rate,
+            decompress_gbps=line_rate,
+            per_call_overhead_s=(self.engine.params.pipeline_fill_cycles
+                                 / (self.engine.params.clock_ghz * 1e9)),
+        )
+
+    def capabilities(self) -> BackendCapabilities:
+        return self._caps
+
+    # -- implementation ------------------------------------------------------
+
+    def _compress(self, data: bytes, strategy: str, fmt: str,
+                  history: bytes, final: bool) -> DriverResult:
+        self._check(fmt, history, final)
+        result = self.engine.compress(data)
+        stats = SubmissionStats(submissions=1,
+                                elapsed_seconds=result.seconds)
+        return DriverResult(output=result.data, csb=None, stats=stats,
+                            engine_result=result)
+
+    def _decompress(self, payload: bytes, fmt: str,
+                    history: bytes) -> DriverResult:
+        self._check(fmt, history, final=True)
+        result = self.engine.decompress(payload)
+        stats = SubmissionStats(submissions=1,
+                                elapsed_seconds=result.seconds)
+        return DriverResult(output=result.data, csb=None, stats=stats,
+                            engine_result=result)
+
+    @staticmethod
+    def _check(fmt: str, history: bytes, final: bool) -> None:
+        if fmt != "842":
+            raise ConfigError(f"842 backend only speaks fmt='842', "
+                              f"not {fmt!r}")
+        if history or not final:
+            raise ConfigError("842 has no continuation state")

@@ -1,0 +1,267 @@
+"""AcceleratorPool: N per-chip backend instances behind one job router.
+
+A multi-chip system has one NX/zEDC per chip; production software must
+decide *which* chip's engine serves each request.  The pool owns one
+backend instance per chip (created lazily, so policy studies on large
+topologies don't build N driver stacks) plus a software instance for
+the size-threshold fallback, and routes with the same policy kernel the
+DES in :mod:`repro.perf.routing` uses:
+
+* ``local``          — the submitting chip's engine;
+* ``round_robin``    — rotate across chips;
+* ``least_loaded``   — fewest pending + served bytes, local on ties;
+* ``size_threshold`` — small buffers to software (below break-even the
+  invocation overhead dominates), large ones round-robin across chips.
+
+Batch submission rides the asynchronous paste/drain machinery when the
+per-chip backend provides it (``submit``/``poll``/``wait_all``), and
+falls back to synchronous execution when it does not, so the pool works
+identically over ``nx`` and ``dfltcc`` backends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..nx.params import POWER9, MachineParams, Topology, get_machine
+from ..perf.routing import MultiChipRouter, RoutingResult, choose_chip
+from ..sysstack.driver import DriverResult
+from .base import BackendStats, CompressionBackend
+from .registry import create_backend, default_backend
+
+#: Pool routing policies (superset of the DES policies: adds the
+#: software fallback threshold, which has no queueing analogue).
+ROUTING_POLICIES = ("local", "round_robin", "least_loaded",
+                    "size_threshold")
+
+#: Pseudo chip index for the software-fallback instance.
+SOFTWARE = -1
+
+
+@dataclass
+class PoolJob:
+    """One batch-submitted request and where it was routed."""
+
+    index: int
+    chip: int
+    nbytes: int
+    kind: str
+    result: DriverResult | None = None
+
+    @property
+    def done(self) -> bool:
+        return self.result is not None
+
+
+class AcceleratorPool:
+    """Owns per-chip accelerator backends and routes jobs across them."""
+
+    def __init__(self, machine: MachineParams | str = POWER9,
+                 chips: int = 1, policy: str = "round_robin",
+                 backend: str | None = None,
+                 software_threshold: int = 16384,
+                 cross_chip_penalty_us: float = 0.5,
+                 **backend_kwargs) -> None:
+        if isinstance(machine, str):
+            machine = get_machine(machine)
+        if chips < 1:
+            raise ConfigError(f"need at least one chip, got {chips}")
+        if policy not in ROUTING_POLICIES:
+            raise ConfigError(f"unknown pool policy {policy!r}; "
+                              f"have {ROUTING_POLICIES}")
+        self.machine = machine
+        self.chips = chips
+        self.policy = policy
+        self.backend_name = backend or default_backend(machine)
+        self.software_threshold = software_threshold
+        self.cross_chip_penalty_us = cross_chip_penalty_us
+        self._backend_kwargs = backend_kwargs
+        self._instances: list[CompressionBackend | None] = [None] * chips
+        self._software: CompressionBackend | None = None
+        self._rr_state = [0]
+        self._pending_bytes = [0] * chips
+        self.dispatch_counts = [0] * chips
+        self.software_jobs = 0
+        self._open: list[PoolJob] = []
+        self._by_pending: dict[tuple[int, int], PoolJob] = {}
+        self._next_index = 0
+
+    # -- instance management -------------------------------------------------
+
+    def backend_for(self, chip: int) -> CompressionBackend:
+        """The (lazily created) backend instance serving ``chip``."""
+        if chip == SOFTWARE:
+            if self._software is None:
+                self._software = create_backend("software",
+                                                machine=self.machine)
+            return self._software
+        if not 0 <= chip < self.chips:
+            raise ConfigError(f"chip {chip} outside pool of {self.chips}")
+        if self._instances[chip] is None:
+            self._instances[chip] = create_backend(
+                self.backend_name, machine=self.machine,
+                **self._backend_kwargs)
+        return self._instances[chip]
+
+    def close(self) -> None:
+        for instance in self._instances:
+            if instance is not None:
+                instance.close()
+        if self._software is not None:
+            self._software.close()
+
+    def __enter__(self) -> "AcceleratorPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- routing -------------------------------------------------------------
+
+    def route(self, nbytes: int, home: int = 0) -> int:
+        """Pick the chip (or :data:`SOFTWARE`) for an ``nbytes`` job."""
+        if self.policy == "size_threshold":
+            if nbytes < self.software_threshold:
+                return SOFTWARE
+            return choose_chip("round_robin", home, self._loads(),
+                               self._rr_state)
+        return choose_chip(self.policy, home, self._loads(),
+                           self._rr_state)
+
+    def _loads(self) -> list[float]:
+        """Per-chip pending bytes plus bytes already served (live proxy
+        for queue depth: synchronous calls never leave work pending)."""
+        loads: list[float] = []
+        for chip in range(self.chips):
+            served = (self._instances[chip].stats().bytes_in
+                      if self._instances[chip] is not None else 0)
+            loads.append(self._pending_bytes[chip] + served)
+        return loads
+
+    def _dispatch(self, chip: int) -> None:
+        if chip == SOFTWARE:
+            self.software_jobs += 1
+        else:
+            self.dispatch_counts[chip] += 1
+
+    # -- synchronous operations ----------------------------------------------
+
+    def compress(self, data: bytes, *, strategy: object = "auto",
+                 fmt: str | None = None, history: bytes = b"",
+                 final: bool = True, home: int = 0) -> DriverResult:
+        chip = self.route(len(data), home)
+        self._dispatch(chip)
+        return self.backend_for(chip).compress(
+            data, strategy=strategy, fmt=fmt, history=history, final=final)
+
+    def decompress(self, payload: bytes, *, fmt: str | None = None,
+                   history: bytes = b"", home: int = 0) -> DriverResult:
+        chip = self.route(len(payload), home)
+        self._dispatch(chip)
+        return self.backend_for(chip).decompress(payload, fmt=fmt,
+                                                 history=history)
+
+    # -- asynchronous batch submission ---------------------------------------
+
+    def submit_compress(self, data: bytes, *, strategy: object = "auto",
+                        fmt: str | None = None, home: int = 0) -> PoolJob:
+        return self._submit("compress", data, strategy, fmt, home)
+
+    def submit_decompress(self, payload: bytes, *, fmt: str | None = None,
+                          home: int = 0) -> PoolJob:
+        return self._submit("decompress", payload, "auto", fmt, home)
+
+    def _submit(self, kind: str, data: bytes, strategy: object,
+                fmt: str | None, home: int) -> PoolJob:
+        chip = self.route(len(data), home)
+        self._dispatch(chip)
+        backend = self.backend_for(chip)
+        job = PoolJob(index=self._next_index, chip=chip,
+                      nbytes=len(data), kind=kind)
+        self._next_index += 1
+        if chip != SOFTWARE and hasattr(backend, "submit"):
+            pending = backend.submit(kind, data, strategy=strategy, fmt=fmt)
+            self._pending_bytes[chip] += len(data)
+            self._by_pending[(chip, pending.sequence)] = job
+        elif kind == "compress":
+            job.result = backend.compress(data, strategy=strategy, fmt=fmt)
+        else:
+            job.result = backend.decompress(data, fmt=fmt)
+        self._open.append(job)
+        return job
+
+    def poll(self) -> list[PoolJob]:
+        """Drain every chip once; returns jobs that completed."""
+        finished: list[PoolJob] = []
+        for chip, instance in enumerate(self._instances):
+            if instance is None or not hasattr(instance, "poll"):
+                continue
+            for pending in instance.poll():
+                job = self._by_pending.pop((chip, pending.sequence), None)
+                if job is None:
+                    continue
+                job.result = pending.result
+                self._pending_bytes[chip] -= job.nbytes
+                finished.append(job)
+        return finished
+
+    def wait_all(self) -> list[DriverResult]:
+        """Complete every open job; results in submission order."""
+        for chip, instance in enumerate(self._instances):
+            if (instance is None or not hasattr(instance, "wait_all")
+                    or not instance.in_flight):
+                continue
+            for pending in instance.wait_all():
+                job = self._by_pending.pop((chip, pending.sequence), None)
+                if job is None:
+                    continue
+                job.result = pending.result
+                self._pending_bytes[chip] -= job.nbytes
+        results = [job.result for job in self._open]
+        self._open = []
+        return results
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._by_pending)
+
+    # -- aggregate accounting ------------------------------------------------
+
+    def stats(self) -> BackendStats:
+        """Totals across every instance (including software fallback)."""
+        total = BackendStats()
+        instances = [i for i in self._instances if i is not None]
+        if self._software is not None:
+            instances.append(self._software)
+        for instance in instances:
+            part = instance.stats()
+            total.requests += part.requests
+            total.bytes_in += part.bytes_in
+            total.bytes_out += part.bytes_out
+            total.modelled_seconds += part.modelled_seconds
+            total.faults += part.faults
+            total.fallbacks += part.fallbacks
+        return total
+
+    # -- capacity planning ---------------------------------------------------
+
+    def simulate_load(self, per_chip_load: list[float], duration_s: float,
+                      size_bytes: int = 262144,
+                      seed: int = 42) -> RoutingResult:
+        """Queueing DES of this pool's topology under offered load.
+
+        Answers "what would latency/throughput look like" without
+        executing jobs — the capacity-planning view of the same policy
+        kernel the live ``route`` uses.
+        """
+        if self.policy == "size_threshold":
+            raise ConfigError(
+                "size_threshold has no queueing analogue; simulate with "
+                "local/round_robin/least_loaded")
+        topology = Topology(machine=self.machine,
+                            chips_per_drawer=self.chips, drawers=1,
+                            cross_chip_penalty_us=self.cross_chip_penalty_us)
+        router = MultiChipRouter(topology, policy=self.policy,
+                                 size_bytes=size_bytes, seed=seed)
+        return router.run(list(per_chip_load), duration_s)

@@ -1,0 +1,91 @@
+"""The software backend: the from-scratch zlib running on the cores.
+
+This is the path every production deployment keeps as the last resort —
+libnxz falls back to it when the accelerator is unavailable and the
+offload advisor routes small buffers to it outright.  Functional output
+comes from :mod:`repro.deflate`; time is charged from the calibrated
+:class:`SoftwareCostModel` (cycles/byte on the machine's cores), the
+same rates the driver's fallback path uses.
+"""
+
+from __future__ import annotations
+
+from ..deflate import (deflate, gzip_compress, gzip_decompress,
+                       inflate_with_stats, zlib_compress, zlib_decompress)
+from ..errors import ConfigError
+from ..nx.params import POWER9, MachineParams, get_machine
+from ..perf.cost import SoftwareCostModel
+from ..sysstack.driver import DriverResult, SubmissionStats
+from .base import BackendCapabilities, CompressionBackend
+
+_FORMATS = ("gzip", "zlib", "raw")
+
+
+class SoftwareZlibBackend(CompressionBackend):
+    """Run DEFLATE on general-purpose cores at the calibrated rate."""
+
+    name = "software"
+
+    def __init__(self, machine: MachineParams | str = POWER9,
+                 level: int = 6) -> None:
+        super().__init__()
+        if isinstance(machine, str):
+            machine = get_machine(machine)
+        self.machine = machine
+        self.level = level
+        self._cost = SoftwareCostModel(machine)
+        self._caps = BackendCapabilities(
+            name=self.name,
+            formats=_FORMATS,
+            strategies=("auto",),  # zlib has levels, not DHT strategies
+            synchronous=True,
+            hardware=False,
+            streaming=True,
+            compress_gbps=self._cost.compress_rate_mbps(level) / 1000.0,
+            decompress_gbps=self._cost.decompress_rate_mbps() / 1000.0,
+            per_call_overhead_s=0.0,
+        )
+
+    def capabilities(self) -> BackendCapabilities:
+        return self._caps
+
+    # -- implementation ------------------------------------------------------
+
+    def _compress(self, data: bytes, strategy: str, fmt: str,
+                  history: bytes, final: bool) -> DriverResult:
+        if fmt == "raw":
+            output = deflate(data, level=self.level, history=history,
+                             final=final).data
+        elif fmt == "zlib":
+            self._whole_stream_only(history, final, fmt)
+            output = zlib_compress(data, level=self.level)
+        elif fmt == "gzip":
+            self._whole_stream_only(history, final, fmt)
+            output = gzip_compress(data, level=self.level)
+        else:
+            raise ConfigError(f"software backend does not produce {fmt!r}")
+        seconds = self._cost.compress_seconds(len(data), level=self.level)
+        stats = SubmissionStats(submissions=1, elapsed_seconds=seconds)
+        return DriverResult(output=output, csb=None, stats=stats)
+
+    def _decompress(self, payload: bytes, fmt: str,
+                    history: bytes) -> DriverResult:
+        if fmt == "raw":
+            output, _stats, _bits = inflate_with_stats(payload,
+                                                       history=history)
+        elif fmt == "zlib":
+            output = zlib_decompress(payload, zdict=history)
+        elif fmt == "gzip":
+            output = gzip_decompress(payload)
+        else:
+            raise ConfigError(f"software backend does not decode {fmt!r}")
+        seconds = self._cost.decompress_seconds(len(output))
+        stats = SubmissionStats(submissions=1, elapsed_seconds=seconds)
+        return DriverResult(output=output, csb=None, stats=stats)
+
+    @staticmethod
+    def _whole_stream_only(history: bytes, final: bool, fmt: str) -> None:
+        if history or not final:
+            raise ConfigError(
+                f"{fmt!r} container requires a whole stream; "
+                "use fmt='raw' for continuation units")

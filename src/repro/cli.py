@@ -5,11 +5,15 @@ Commands:
 * ``compress``   — compress a file through the accelerator model
 * ``decompress`` — decompress a file (gzip/zlib/raw)
 * ``machines``   — list modelled machines and their calibrated rates
+* ``backends``   — list registered backends and their capabilities
 * ``advise``     — offload advice for a request size
 * ``ratio``      — compare codec ratios on a file or named generator
 
-The CLI exists so the model is usable without writing Python; every
-command prints the modelled timing next to the functional result.
+Every engine acquisition goes through the backend registry: pick the
+execution path with ``--backend`` and fan jobs across chips with
+``--pool-chips``/``--pool-policy``.  The CLI exists so the model is
+usable without writing Python; every command prints the modelled timing
+next to the functional result.
 """
 
 from __future__ import annotations
@@ -18,9 +22,12 @@ import argparse
 import pathlib
 import sys
 
+from .backend import (ROUTING_POLICIES, AcceleratorPool,
+                      backend_capabilities, backend_names)
 from .core.api import NxGzip
 from .core.metrics import Table, human_bytes
 from .core.offload import OffloadAdvisor
+from .errors import ReproError
 from .nx.params import MACHINES, get_machine
 
 
@@ -28,6 +35,21 @@ def _add_machine_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--machine", default="POWER9",
                         choices=sorted(MACHINES),
                         help="machine model to run on")
+
+
+def _add_backend_args(parser: argparse.ArgumentParser,
+                      pool: bool = False) -> None:
+    parser.add_argument("--backend", default=None,
+                        choices=sorted(backend_names()),
+                        help="execution backend from the registry "
+                             "(default: the machine's driver stack)")
+    if pool:
+        parser.add_argument("--pool-chips", type=int, default=1,
+                            help="route across N per-chip accelerator "
+                                 "instances (default: 1, no pool)")
+        parser.add_argument("--pool-policy", default="round_robin",
+                            choices=ROUTING_POLICIES,
+                            help="pool routing policy")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -44,6 +66,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_comp.add_argument("--strategy", default="auto",
                         choices=["auto", "fixed", "dynamic", "canned"])
     _add_machine_arg(p_comp)
+    _add_backend_args(p_comp, pool=True)
 
     p_dec = sub.add_parser("decompress", help="decompress a file")
     p_dec.add_argument("input", type=pathlib.Path)
@@ -51,8 +74,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_dec.add_argument("--fmt", default="gzip",
                        choices=["gzip", "zlib", "raw"])
     _add_machine_arg(p_dec)
+    _add_backend_args(p_dec, pool=True)
 
     sub.add_parser("machines", help="list machine models")
+
+    p_back = sub.add_parser("backends",
+                            help="list registered compression backends")
+    _add_machine_arg(p_back)
 
     p_adv = sub.add_parser("advise", help="offload advice for a size")
     p_adv.add_argument("size", type=int, help="request size in bytes")
@@ -63,6 +91,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_ratio.add_argument("source",
                          help="a file path or generator:<name>[:size]")
     _add_machine_arg(p_ratio)
+    _add_backend_args(p_ratio)
 
     p_self = sub.add_parser("selftest",
                             help="known-answer vectors through both pipes")
@@ -82,35 +111,58 @@ def _load_source(source: str) -> tuple[str, bytes]:
     return path.name, path.read_bytes()
 
 
+def _run_session(args: argparse.Namespace, kind: str,
+                 data: bytes) -> tuple[bytes, float]:
+    """Execute one request via the pool (``--pool-chips > 1``) or a
+    single-backend session; returns (output bytes, modelled seconds)."""
+    if getattr(args, "pool_chips", 1) < 1:
+        raise ReproError(f"--pool-chips must be >= 1, got {args.pool_chips}")
+    if getattr(args, "pool_chips", 1) > 1:
+        with AcceleratorPool(args.machine, chips=args.pool_chips,
+                             policy=args.pool_policy,
+                             backend=args.backend) as pool:
+            if kind == "compress":
+                result = pool.compress(data, strategy=args.strategy,
+                                       fmt=args.fmt)
+            else:
+                result = pool.decompress(data, fmt=args.fmt)
+        return result.output, result.stats.elapsed_seconds
+    with NxGzip(args.machine, backend=args.backend) as session:
+        if kind == "compress":
+            result = session.compress(data, strategy=args.strategy,
+                                      fmt=args.fmt)
+        else:
+            result = session.decompress(data, fmt=args.fmt)
+    return result.data, result.modelled_seconds
+
+
 def cmd_compress(args: argparse.Namespace) -> int:
     data = args.input.read_bytes()
-    with NxGzip(args.machine) as session:
-        result = session.compress(data, strategy=args.strategy,
-                                  fmt=args.fmt)
+    payload, seconds = _run_session(args, "compress", data)
     suffix = {"gzip": ".gz", "zlib": ".zz", "raw": ".deflate"}[args.fmt]
     output = args.output or args.input.with_name(args.input.name + suffix)
-    output.write_bytes(result.data)
-    ratio = len(data) / len(result.data) if result.data else 0.0
+    output.write_bytes(payload)
+    ratio = len(data) / len(payload) if payload else 0.0
     print(f"{args.input} -> {output}")
-    print(f"  {human_bytes(len(data))} -> {human_bytes(len(result.data))} "
+    print(f"  {human_bytes(len(data))} -> {human_bytes(len(payload))} "
           f"(ratio {ratio:.2f})")
     print(f"  modelled time on {args.machine}: "
-          f"{result.modelled_seconds * 1e6:.1f} us "
-          f"({len(data) / 1e9 / result.modelled_seconds:.2f} GB/s)")
+          f"{seconds * 1e6:.1f} us "
+          f"({len(data) / 1e9 / seconds:.2f} GB/s)")
     return 0
 
 
 def cmd_decompress(args: argparse.Namespace) -> int:
     payload = args.input.read_bytes()
-    with NxGzip(args.machine) as session:
-        result = session.decompress(payload, fmt=args.fmt)
+    args.strategy = "auto"  # decompress has no strategy flag
+    data, seconds = _run_session(args, "decompress", payload)
     output = args.output or args.input.with_suffix(".out")
-    output.write_bytes(result.data)
+    output.write_bytes(data)
     print(f"{args.input} -> {output}")
     print(f"  {human_bytes(len(payload))} -> "
-          f"{human_bytes(len(result.data))}")
+          f"{human_bytes(len(data))}")
     print(f"  modelled time on {args.machine}: "
-          f"{result.modelled_seconds * 1e6:.1f} us")
+          f"{seconds * 1e6:.1f} us")
     return 0
 
 
@@ -131,12 +183,33 @@ def cmd_machines(_args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_backends(args: argparse.Namespace) -> int:
+    machine = get_machine(args.machine)
+    table = Table(headers=["backend", "formats", "kind", "comp GB/s",
+                           "decomp GB/s", "overhead us"])
+    for name in backend_names():
+        try:
+            caps = backend_capabilities(name, machine=machine)
+        except ReproError:
+            # e.g. dfltcc on an asynchronous machine: show its native
+            # machine's capabilities instead of omitting the row.
+            caps = backend_capabilities(name)
+        kind = ("hw sync" if caps.synchronous else "hw async") \
+            if caps.hardware else "software"
+        table.add(name, "/".join(caps.formats), kind,
+                  caps.compress_gbps, caps.decompress_gbps,
+                  caps.per_call_overhead_s * 1e6)
+    print(table.render(f"registered backends (machine: {args.machine})"))
+    return 0
+
+
 def cmd_advise(args: argparse.Namespace) -> int:
     advisor = OffloadAdvisor(get_machine(args.machine), level=args.level)
     rec = advisor.recommend(args.size)
     print(f"request: {human_bytes(args.size)} on {args.machine} "
           f"(vs zlib -{args.level})")
-    print(f"  route: {rec.route.value}  (gain {rec.gain:.1f}x)")
+    print(f"  route: {rec.route.value} via backend {rec.backend!r}  "
+          f"(gain {rec.gain:.1f}x)")
     print(f"  hardware latency: {rec.hw_latency_s * 1e6:.1f} us; "
           f"software: {rec.sw_latency_s * 1e6:.1f} us")
     print(f"  break-even size: {human_bytes(rec.break_even_bytes)}")
@@ -144,25 +217,28 @@ def cmd_advise(args: argparse.Namespace) -> int:
 
 
 def cmd_ratio(args: argparse.Namespace) -> int:
-    from .deflate.compress import deflate
-    from .e842 import compress as e842_compress
-    from .nx.compressor import NxCompressor
-    from .nx.dht import DhtStrategy
+    from .backend import create_backend
 
     name, data = _load_source(args.source)
     machine = get_machine(args.machine)
-    nx = NxCompressor(machine.engine)
+    rows: list[tuple[str, int]] = []
+    for level in (1, 6, 9):
+        with create_backend("software", machine=machine,
+                            level=level) as sw:
+            rows.append((f"zlib -{level}",
+                         len(sw.compress(data, fmt="raw").output)))
+    with create_backend(args.backend or "nx", machine=machine) as hw:
+        for label, strategy in (("NX fixed", "fixed"),
+                                ("NX canned", "canned"),
+                                ("NX dht", "dynamic")):
+            rows.append((label, len(hw.compress(data, strategy=strategy,
+                                                fmt="raw").output)))
+    with create_backend("842") as e842:
+        rows.append(("842", len(e842.compress(data).output)))
+
     table = Table(headers=["codec", "bytes", "ratio"])
     table.add("input", len(data), 1.0)
-    for label, size in (
-            ("zlib -1", len(deflate(data, 1).data)),
-            ("zlib -6", len(deflate(data, 6).data)),
-            ("zlib -9", len(deflate(data, 9).data)),
-            ("NX fixed", len(nx.compress(data, DhtStrategy.FIXED).data)),
-            ("NX canned", len(nx.compress(data, DhtStrategy.CANNED).data)),
-            ("NX dht", len(nx.compress(data, DhtStrategy.DYNAMIC).data)),
-            ("842", len(e842_compress(data).data)),
-    ):
+    for label, size in rows:
         table.add(label, size, len(data) / size if size else 0.0)
     print(table.render(f"codec comparison: {name}"))
     return 0
@@ -184,6 +260,7 @@ _COMMANDS = {
     "compress": cmd_compress,
     "decompress": cmd_decompress,
     "machines": cmd_machines,
+    "backends": cmd_backends,
     "advise": cmd_advise,
     "ratio": cmd_ratio,
     "selftest": cmd_selftest,
@@ -192,7 +269,11 @@ _COMMANDS = {
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

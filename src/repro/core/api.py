@@ -10,14 +10,13 @@ experiments share one code path.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
+from ..backend.registry import create_backend
 from ..deflate import gzip_decompress, inflate, zlib_decompress
-from ..nx.accelerator import NxAccelerator
+from ..errors import ConfigError
 from ..nx.params import POWER9, MachineParams, get_machine
-from ..sysstack.crb import Op
-from ..sysstack.driver import DriverResult, NxDriver
-from ..sysstack.mmu import AddressSpace, FaultInjector
+from ..sysstack.driver import DriverResult
 
 
 @dataclass
@@ -48,34 +47,65 @@ class CompressedBuffer:
 class NxGzip:
     """A user session on the on-chip compression accelerator model.
 
+    The session itself is thin: it owns a
+    :class:`~repro.backend.base.CompressionBackend` handle resolved from
+    the registry, accounts per-request stats, and returns
+    :class:`CompressedBuffer` results.  All execution detail — CRB
+    construction, paste/drain, DFLTCC re-issue, software fallback —
+    lives behind the backend.
+
     Parameters
     ----------
     machine:
         A :class:`MachineParams` or machine name ("POWER9", "z15").
     fault_probability:
         Probability that any accelerator-side page translation faults
-        (exercises the touch-and-resubmit path).
+        (exercises the touch-and-resubmit path; ``nx`` backend only).
+    backend:
+        Registry name of the execution backend ("nx", "dfltcc",
+        "software", "842").  Defaults to the NX driver stack, which
+        models both machines' gzip engines.
     """
 
     def __init__(self, machine: MachineParams | str = POWER9,
-                 fault_probability: float = 0.0, seed: int = 0) -> None:
+                 fault_probability: float = 0.0, seed: int = 0,
+                 backend: str | None = None, **backend_kwargs) -> None:
         if isinstance(machine, str):
             machine = get_machine(machine)
         self.machine = machine
-        self.space = AddressSpace(
-            fault_injector=FaultInjector(fault_probability, seed=seed))
-        self.accelerator = NxAccelerator(machine)
-        self.driver = NxDriver(self.accelerator, self.space)
-        self.driver.open()
+        self.backend_name = backend or "nx"
+        if self.backend_name == "nx":
+            backend_kwargs.setdefault("fault_probability", fault_probability)
+            backend_kwargs.setdefault("seed", seed)
+        elif fault_probability:
+            raise ConfigError(
+                "fault injection is a property of the 'nx' driver stack; "
+                f"backend {self.backend_name!r} does not model it")
+        self.backend = create_backend(self.backend_name, machine=machine,
+                                      **backend_kwargs)
         self.stats = SessionStats()
+
+    # -- backward-compatible views of the nx driver stack --------------------
+
+    @property
+    def driver(self):
+        """The underlying driver (``nx`` backend only)."""
+        return self.backend.driver
+
+    @property
+    def accelerator(self):
+        return self.backend.accelerator
+
+    @property
+    def space(self):
+        return self.backend.space
 
     # -- public operations ---------------------------------------------------
 
     def compress(self, data: bytes, strategy: str = "auto",
                  fmt: str = "gzip") -> CompressedBuffer:
         """Compress ``data``; ``fmt`` is raw | zlib | gzip."""
-        result = self.driver.run(Op.COMPRESS, data, strategy=strategy,
-                                 fmt=fmt)
+        result = self.backend.compress(data, strategy=strategy, fmt=fmt)
         self._account(len(data), len(result.output), result)
         return CompressedBuffer(data=result.output,
                                 modelled_seconds=result.stats.elapsed_seconds,
@@ -84,7 +114,7 @@ class NxGzip:
     def decompress(self, payload: bytes,
                    fmt: str = "gzip") -> CompressedBuffer:
         """Decompress ``payload`` produced in the same wire format."""
-        result = self.driver.run(Op.DECOMPRESS, payload, fmt=fmt)
+        result = self.backend.decompress(payload, fmt=fmt)
         self._account(len(payload), len(result.output), result)
         return CompressedBuffer(data=result.output,
                                 modelled_seconds=result.stats.elapsed_seconds,
@@ -92,7 +122,7 @@ class NxGzip:
 
     def compress_842(self, data: bytes) -> CompressedBuffer:
         """Compress through the 842 pipes (memory-compression format)."""
-        result = self.driver.run(Op.COMPRESS_842, data)
+        result = self.backend.compress(data, fmt="842")
         self._account(len(data), len(result.output), result)
         return CompressedBuffer(data=result.output,
                                 modelled_seconds=result.stats.elapsed_seconds,
@@ -100,11 +130,24 @@ class NxGzip:
 
     def decompress_842(self, payload: bytes) -> CompressedBuffer:
         """Decompress an 842 stream produced by :meth:`compress_842`."""
-        result = self.driver.run(Op.DECOMPRESS_842, payload)
+        result = self.backend.decompress(payload, fmt="842")
         self._account(len(payload), len(result.output), result)
         return CompressedBuffer(data=result.output,
                                 modelled_seconds=result.stats.elapsed_seconds,
                                 driver=result)
+
+    def compress_chunk(self, chunk: bytes, strategy: str = "auto",
+                       history: bytes = b"",
+                       final: bool = True) -> DriverResult:
+        """One continuation-unit compression, session-accounted.
+
+        The streaming layer calls this per chunk so faults/fallbacks on
+        streaming requests land in :attr:`stats` like every other path.
+        """
+        result = self.backend.compress(chunk, strategy=strategy, fmt="raw",
+                                       history=history, final=final)
+        self._account(len(chunk), len(result.output), result)
+        return result
 
     def compress_stream(self, strategy: str = "auto",
                         fmt: str = "gzip") -> "NxCompressStream":
@@ -120,7 +163,7 @@ class NxGzip:
         return NxDecompressStream(session=self)
 
     def close(self) -> None:
-        self.driver.close()
+        self.backend.close()
 
     def __enter__(self) -> "NxGzip":
         return self

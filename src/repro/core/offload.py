@@ -2,8 +2,10 @@
 
 The paper's system integration point: the user-space library decides per
 call whether the accelerator's invocation overhead is worth paying.  The
-advisor exposes the break-even curve and a simple recommend() that the
-examples and benches use.
+advisor exposes the break-even curve and a recommend() that names the
+concrete registry backend to execute on — ``nx`` or ``dfltcc`` when the
+accelerator wins, ``software`` when it does not — so callers can hand
+the choice straight to :func:`repro.backend.create_backend`.
 """
 
 from __future__ import annotations
@@ -11,6 +13,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from ..backend.registry import default_backend
 from ..nx.params import MachineParams
 from ..perf.timing import OffloadTimingModel
 
@@ -22,9 +25,10 @@ class Route(enum.Enum):
 
 @dataclass(frozen=True)
 class Recommendation:
-    """Advice for one request."""
+    """Advice for one request: the route and the backend to run it on."""
 
     route: Route
+    backend: str
     hw_latency_s: float
     sw_latency_s: float
     break_even_bytes: float
@@ -45,9 +49,12 @@ class OffloadAdvisor:
     op: str = "compress"
     level: int = 6
     margin: float = 1.0  # require hw to win by this factor
+    hardware_backend: str | None = None  # default: the machine's native path
 
     def __post_init__(self) -> None:
         self._timing = OffloadTimingModel(self.machine, op=self.op)
+        if self.hardware_backend is None:
+            self.hardware_backend = default_backend(self.machine)
 
     def break_even_bytes(self) -> float:
         return self._timing.break_even_bytes(self.level)
@@ -57,7 +64,10 @@ class OffloadAdvisor:
         hw = self._timing.offload_latency(nbytes, queue_wait_s).total
         sw = self._timing.software_latency(nbytes, self.level)
         route = Route.HARDWARE if sw > hw * self.margin else Route.SOFTWARE
-        return Recommendation(route=route, hw_latency_s=hw, sw_latency_s=sw,
+        backend = (self.hardware_backend if route is Route.HARDWARE
+                   else "software")
+        return Recommendation(route=route, backend=backend,
+                              hw_latency_s=hw, sw_latency_s=sw,
                               break_even_bytes=self.break_even_bytes())
 
     def curve(self, sizes: list[int]) -> list[Recommendation]:

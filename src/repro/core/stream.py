@@ -25,7 +25,6 @@ from ..deflate.containers import (
 )
 from ..deflate.inflate import inflate_with_stats
 from ..errors import ReproError
-from ..sysstack.crb import Op
 
 
 class StreamStateError(ReproError):
@@ -88,9 +87,9 @@ class NxCompressStream:
         out = b"" if self._started else self._header()
         self._started = True
 
-        result = self.session.driver.run(
-            Op.COMPRESS, chunk, strategy=self.strategy, fmt="raw",
-            history=self._history, final=final)
+        result = self.session.compress_chunk(
+            chunk, strategy=self.strategy, history=self._history,
+            final=final)
         out += result.output
         self.stats.chunks += 1
         self.stats.bytes_in += len(chunk)

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..errors import DeflateError
+from ..errors import DeflateError, OutputOverflow
 from .bitio import BitReader
 from .constants import (
     BTYPE_DYNAMIC,
@@ -114,7 +114,7 @@ def _inflate_huffman_block(reader: BitReader, out: bytearray,
             stats.matches += 1
             stats.match_bytes += length
         if len(out) > max_output:
-            raise DeflateError("output exceeds allowed size")
+            raise OutputOverflow("output exceeds allowed size")
 
 
 def inflate_with_stats(data: bytes, start: int = 0,
@@ -149,6 +149,8 @@ def inflate_with_stats(data: bytes, start: int = 0,
             chunk = reader.read_bytes(size)
             out.extend(chunk)
             stats.literals += size
+            if len(out) > max_output + base:
+                raise OutputOverflow("output exceeds allowed size")
         elif btype == BTYPE_FIXED:
             lit_dec, dist_dec = _fixed_decoders()
             _inflate_huffman_block(reader, out, lit_dec, dist_dec,

@@ -17,6 +17,10 @@ class ChecksumError(DeflateError):
     """A container checksum (CRC-32 / Adler-32) did not verify."""
 
 
+class OutputOverflow(DeflateError):
+    """Decoded output would exceed the caller's buffer capacity."""
+
+
 class HuffmanError(DeflateError):
     """An invalid Huffman code description (over/under-subscribed, etc.)."""
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..errors import TranslationFault
+from ..errors import OutputOverflow, TranslationFault
 from ..sysstack.crb import CcCode, Crb, Csb, Op
 from ..sysstack.mmu import AddressSpace
 from .compressor import NxCompressor, NxCompressResult
@@ -87,9 +87,14 @@ class NxEngine:
             output = result.data
             compute_seconds = result.seconds
         elif crb.function.op is Op.DECOMPRESS:
-            result = self._decompressor.decompress(
-                source, fmt=crb.function.fmt,
-                max_output=crb.target.total_length, history=history)
+            try:
+                result = self._decompressor.decompress(
+                    source, fmt=crb.function.fmt,
+                    max_output=crb.target.total_length, history=history)
+            except OutputOverflow:
+                # Raw streams hit the target cap mid-decode; report the
+                # architected overflow CC so the driver grows the buffer.
+                return self._overflow_outcome(crb, space, 0, None)
             output = result.data
             compute_seconds = result.seconds
         elif crb.function.op is Op.COMPRESS_842:

@@ -17,7 +17,7 @@ documented shape of the NX-GZIP / Integrated-Accelerator-for-zEDC designs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import ConfigError
 

@@ -22,14 +22,14 @@ the DHT).  Key architectural behaviours modelled here:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..deflate.checksums import crc32
 from ..deflate.constants import WINDOW_SIZE
 from ..errors import AcceleratorError
 from .compressor import NxCompressor
 from .decompressor import NxDecompressor
-from .dht import DhtStrategy, select_canned
+from .dht import DhtStrategy
 from .params import Z15, MachineParams
 
 PARAMETER_BLOCK_BYTES = 1536  # architected size

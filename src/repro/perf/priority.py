@@ -10,11 +10,11 @@ anti-starvation arbitration so bulk still makes progress.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..nx.params import MachineParams
 from .des import Simulator
-from .queueing import JobRecord, QueueingResult
+from .queueing import JobRecord
 from .timing import OffloadTimingModel
 
 

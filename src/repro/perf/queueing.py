@@ -16,7 +16,7 @@ Two drive modes:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from ..nx.params import MachineParams

@@ -29,6 +29,33 @@ from .timing import OffloadTimingModel
 POLICIES = ("local", "round_robin", "least_loaded")
 
 
+def choose_chip(policy: str, home: int, loads: list[float],
+                rr_state: list[int]) -> int:
+    """The shared routing kernel: pick a chip index for one job.
+
+    Used by both the live :class:`repro.backend.pool.AcceleratorPool`
+    and the queueing DES below, so policy studies and production routing
+    cannot drift apart.  ``loads`` is one entry per chip (queued or
+    served bytes); ``rr_state`` is a one-element mutable rotation
+    cursor.
+    """
+    chips = len(loads)
+    if policy == "local":
+        return home
+    if policy == "round_robin":
+        chip = rr_state[0] % chips
+        rr_state[0] = (chip + 1) % chips
+        return chip
+    if policy == "least_loaded":
+        best = home  # prefer local on ties
+        for chip in range(chips):
+            if loads[chip] < loads[best]:
+                best = chip
+        return best
+    raise ConfigError(f"unknown routing policy {policy!r}; "
+                      f"have {POLICIES}")
+
+
 @dataclass
 class RoutedJob(JobRecord):
     """A job plus where it came from and where it ran."""
@@ -114,20 +141,9 @@ class MultiChipRouter:
         penalty = self.topology.cross_chip_penalty_us * 1e-6
 
         def choose(home: int) -> int:
-            if self.policy == "local":
-                return home
-            if self.policy == "round_robin":
-                chip = rr_next[0]
-                rr_next[0] = (chip + 1) % chips
-                return chip
             loads = [queued_bytes[c] + (self.size_bytes if busy[c] else 0)
                      for c in range(chips)]
-            # Prefer local on ties.
-            best = home
-            for chip in range(chips):
-                if loads[chip] < loads[best]:
-                    best = chip
-            return best
+            return choose_chip(self.policy, home, loads, rr_next)
 
         def dispatch(chip: int) -> None:
             if busy[chip] or not queues[chip]:
@@ -174,10 +190,22 @@ def policy_comparison(topology: Topology, per_chip_load: list[float],
                       duration_s: float = 0.3,
                       size_bytes: int = 262144,
                       seed: int = 42) -> dict[str, RoutingResult]:
-    """Run every policy on the same offered load."""
-    return {
-        policy: MultiChipRouter(topology, policy=policy,
-                                size_bytes=size_bytes, seed=seed).run(
-                                    list(per_chip_load), duration_s)
-        for policy in POLICIES
-    }
+    """Run every policy on the same offered load.
+
+    Each policy is evaluated through an :class:`AcceleratorPool` (built
+    lazily here to avoid a module cycle), so benchmarks exercise the
+    same routing object production code uses.
+    """
+    from ..backend.pool import AcceleratorPool
+
+    results: dict[str, RoutingResult] = {}
+    for policy in POLICIES:
+        pool = AcceleratorPool(
+            machine=topology.machine, chips=topology.total_chips,
+            policy=policy,
+            cross_chip_penalty_us=topology.cross_chip_penalty_us)
+        results[policy] = pool.simulate_load(list(per_chip_load),
+                                             duration_s,
+                                             size_bytes=size_bytes,
+                                             seed=seed)
+    return results

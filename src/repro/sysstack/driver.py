@@ -67,12 +67,20 @@ class NxDriver:
     _window_id: int | None = field(default=None, init=False)
 
     def open(self, credits: int | None = None) -> None:
-        """Open the process's send window (once per session)."""
+        """Open the process's send window (idempotent).
+
+        A second ``open`` on a live session is a no-op: opening another
+        window would strand the first one's credits until ``close``,
+        which silently halves the usable credit pool.
+        """
+        if self._window_id is not None:
+            return
         window = self.accelerator.vas.open_window(pid=self.pid,
                                                   credits=credits)
         self._window_id = window.window_id
 
     def close(self) -> None:
+        """Close the send window; safe to call repeatedly."""
         if self._window_id is not None:
             self.accelerator.vas.close_window(self._window_id)
             self._window_id = None

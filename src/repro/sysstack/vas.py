@@ -12,7 +12,7 @@ shared accelerator safe to expose to unprivileged code.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import VasError
 from .crb import CRB_BYTES, Crb

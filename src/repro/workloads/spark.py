@@ -19,9 +19,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..backend.registry import backend_capabilities, default_backend
 from ..nx.params import POWER9, MachineParams
-from ..perf.cost import SoftwareCostModel, accelerator_effective_gbps
-from ..perf.timing import OffloadTimingModel
+from ..perf.cost import SoftwareCostModel
 
 
 @dataclass(frozen=True)
@@ -90,14 +90,17 @@ class SparkJobModel:
     executor_cores: int = 40
     level: int = 6
     request_bytes: int = 1 << 20  # shuffle block granularity
+    codec_backend: str | None = None  # default: machine's native hw path
 
     def __post_init__(self) -> None:
         self._cost = SoftwareCostModel(self.machine)
-        self._timing = OffloadTimingModel(self.machine, op="compress")
-        self._accel_compress = accelerator_effective_gbps(
-            self.machine, "compress") * 1e9
-        self._accel_decompress = accelerator_effective_gbps(
-            self.machine, "decompress") * 1e9
+        if self.codec_backend is None:
+            self.codec_backend = default_backend(self.machine)
+        caps = backend_capabilities(self.codec_backend,
+                                    machine=self.machine)
+        self._accel_compress = caps.compress_gbps * 1e9
+        self._accel_decompress = caps.decompress_gbps * 1e9
+        self._request_overhead_s = caps.per_call_overhead_s
 
     # -- per-stage composition --------------------------------------------
 
@@ -110,7 +113,7 @@ class SparkJobModel:
         """Wall seconds the accelerator needs for the stage's codec work."""
         requests = max(1, (stage.compress_bytes + stage.decompress_bytes)
                        // self.request_bytes)
-        overhead = self._timing.fixed_overhead_seconds() * requests
+        overhead = self._request_overhead_s * requests
         # Per-request overhead burns *core* time, but it is tiny; fold it
         # into the accelerator window pessimistically.
         compress = stage.compress_bytes / self._accel_compress

@@ -21,8 +21,9 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from ..backend.registry import backend_capabilities, default_backend
 from ..nx.params import POWER9, MachineParams
-from ..perf.cost import SoftwareCostModel, accelerator_effective_gbps
+from ..perf.cost import SoftwareCostModel
 from ..perf.des import Simulator
 from .spark import Stage, tpcds_like_profile
 
@@ -63,13 +64,17 @@ class SparkDagSim:
     cluster: ClusterSpec = ClusterSpec()
     level: int = 6
     seed: int = 7
+    codec_backend: str | None = None  # default: machine's native hw path
 
     def __post_init__(self) -> None:
         self._cost = SoftwareCostModel(self.machine)
-        self._accel_rate = accelerator_effective_gbps(
-            self.machine, "compress") * 1e9
-        self._accel_rate_d = accelerator_effective_gbps(
-            self.machine, "decompress") * 1e9
+        if self.codec_backend is None:
+            self.codec_backend = default_backend(self.machine)
+        caps = backend_capabilities(self.codec_backend,
+                                    machine=self.machine)
+        self._accel_rate = caps.compress_gbps * 1e9
+        self._accel_rate_d = caps.decompress_gbps * 1e9
+        self._request_overhead_s = caps.per_call_overhead_s
 
     def _task_work(self, stage: Stage) -> tuple[int, float, float]:
         """(task count, cpu s/task, codec accel s/task)."""
@@ -98,9 +103,7 @@ class SparkDagSim:
         tasks_run = [0]
         stage_state = {"queue": [], "outstanding": 0, "index": 0}
 
-        overhead = (self.machine.submit_overhead_us
-                    + self.machine.dispatch_overhead_us
-                    + self.machine.completion_overhead_us) * 1e-6
+        overhead = self._request_overhead_s
 
         def start_stage() -> None:
             if stage_state["index"] >= len(stages):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.analyze import Analysis, analyze
+from repro.core.analyze import analyze
 from repro.nx.compressor import NxCompressor
 from repro.nx.dht import DhtStrategy
 from repro.nx.params import POWER9

@@ -10,7 +10,6 @@ from hypothesis import strategies as st
 from repro.deflate.containers import gzip_compress
 from repro.deflate.gzip_stream import GzipReader
 from repro.errors import ChecksumError, DeflateError
-from repro.workloads.generators import generate
 
 
 def run_chunks(payload: bytes, size: int) -> tuple[bytes, GzipReader]:

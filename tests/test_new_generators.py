@@ -1,7 +1,5 @@
 """The later-added generators (xml/csv/telemetry) and the tools script."""
 
-import pytest
-
 from repro.deflate.compress import deflate
 from repro.workloads.generators import (
     csv_table,

@@ -1,7 +1,5 @@
 """ASCII figure renderers."""
 
-import pytest
-
 from repro.core.plot import bar_chart, line_chart
 
 

@@ -2,7 +2,6 @@
 
 import zlib as stdzlib
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -107,8 +106,6 @@ class TestDecoderFuzz:
     @given(st.binary(max_size=1500), st.integers(min_value=0,
                                                  max_value=1499))
     def test_gzip_container_catches_payload_corruption(self, data, pos):
-        import gzip as stdgzip
-
         from repro.deflate.containers import gzip_decompress
         from repro.errors import ChecksumError, DeflateError
 

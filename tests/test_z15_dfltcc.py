@@ -6,7 +6,7 @@ import pytest
 
 from repro.errors import AcceleratorError
 from repro.nx.dht import DhtStrategy
-from repro.nx.params import POWER9, Z15
+from repro.nx.params import POWER9
 from repro.nx.z15 import (
     ConditionCode,
     Dfltcc,
