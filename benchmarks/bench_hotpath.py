@@ -1,0 +1,153 @@
+"""Hot-path kernel throughput: deflate, inflate, matcher, checksums.
+
+Unlike the e-series benches (which report *modelled* accelerator rates),
+this bench measures the **wall-clock** throughput of the pure-Python
+codec kernels themselves, so kernel regressions show up as numbers, not
+vibes.  Results are written to ``BENCH_hotpath.json`` at the repo root;
+``tools/perf_gate.py`` compares a fresh run against that committed
+baseline.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py            # full
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --no-write # print only
+
+The ``before`` section of the JSON preserves the pre-kernel-rewrite
+numbers the speedup claims are made against; ``--keep-before`` (default)
+carries it forward from the existing file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+from repro.deflate.checksums import adler32, crc32
+from repro.deflate.compress import deflate
+from repro.deflate.inflate import inflate
+from repro.deflate.matcher import tokenize
+from repro.workloads.corpus import corpus_bytes
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_hotpath.json"
+
+_MB = 1e6
+
+
+def _best_of(fn, repeats: int) -> float:
+    """Best wall-clock seconds over ``repeats`` runs (noise floor)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _mbps(nbytes: int, seconds: float) -> float:
+    return nbytes / _MB / seconds if seconds > 0 else 0.0
+
+
+def run_bench(quick: bool = False, level: int = 6,
+              workers: tuple[int, ...] = (1, 2, 4)) -> dict:
+    """Measure every kernel; returns the results dict."""
+    scale = 0.25 if quick else 1.0
+    repeats = 1 if quick else 7  # deep best-of: the box's timing is noisy
+    corpus = corpus_bytes("calgary-like", scale=scale)
+    payload = deflate(corpus, level=level).data
+
+    results: dict = {}
+    results["deflate_l6_mbps"] = _mbps(
+        len(corpus), _best_of(lambda: deflate(corpus, level=level), repeats))
+    results["inflate_mbps"] = _mbps(
+        len(corpus), _best_of(lambda: inflate(payload), repeats))
+    results["tokenize_l6_mbps"] = _mbps(
+        len(corpus), _best_of(lambda: tokenize(corpus, level), repeats))
+    results["crc32_mbps"] = _mbps(
+        len(corpus), _best_of(lambda: crc32(corpus), repeats))
+    results["adler32_mbps"] = _mbps(
+        len(corpus), _best_of(lambda: adler32(corpus), repeats))
+
+    # Chunked-parallel compressor scaling (absent on pre-kernel trees).
+    try:
+        from repro.deflate.parallel import parallel_deflate
+    except ImportError:
+        parallel_deflate = None
+    if parallel_deflate is not None:
+        scaling = {}
+        for nworkers in workers:
+            seconds = _best_of(
+                lambda: parallel_deflate(corpus, level=level,
+                                         workers=nworkers), repeats)
+            scaling[str(nworkers)] = round(_mbps(len(corpus), seconds), 3)
+        results["parallel_deflate_mbps"] = scaling
+
+    meta = {
+        "corpus": "calgary-like",
+        "scale": scale,
+        "bytes": len(corpus),
+        "compressed_bytes": len(payload),
+        "level": level,
+        "quick": quick,
+        "python": sys.version.split()[0],
+    }
+    return {"meta": meta,
+            "results": {k: (v if isinstance(v, dict) else round(v, 3))
+                        for k, v in results.items()}}
+
+
+def render(report: dict) -> str:
+    lines = [f"hot-path kernels on {report['meta']['bytes']} bytes "
+             f"({report['meta']['corpus']}, level {report['meta']['level']})"]
+    for key, value in report["results"].items():
+        if isinstance(value, dict):
+            scaled = ", ".join(f"{w}w={v}" for w, v in value.items())
+            lines.append(f"  {key:24s} {scaled}")
+        else:
+            lines.append(f"  {key:24s} {value:10.3f} MB/s")
+    before = report.get("before")
+    if before:
+        lines.append("  vs before:")
+        for key, value in report["results"].items():
+            old = before.get(key)
+            if isinstance(old, (int, float)) and old and \
+                    isinstance(value, (int, float)):
+                lines.append(f"  {key:24s} {value / old:10.2f}x")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller corpus, single repeat (CI smoke)")
+    parser.add_argument("--no-write", action="store_true",
+                        help="print results without updating the JSON")
+    parser.add_argument("--record-before", action="store_true",
+                        help="store this run as the 'before' reference")
+    parser.add_argument("--out", type=pathlib.Path, default=RESULT_PATH,
+                        help="output JSON path (default repo root)")
+    args = parser.parse_args(argv)
+
+    report = run_bench(quick=args.quick)
+
+    existing = {}
+    if args.out.exists():
+        existing = json.loads(args.out.read_text())
+    if args.record_before:
+        report["before"] = dict(report["results"])
+    elif "before" in existing:
+        report["before"] = existing["before"]
+
+    print(render(report))
+    if not args.no_write:
+        args.out.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,6 +18,7 @@ from .inflate import InflateStats, inflate, inflate_with_stats
 from .gzip_stream import GzipReader
 from .inflate_stream import InflateStream, inflate_incremental
 from .matcher import LEVEL_CONFIGS, MatcherConfig, MatchStats, tokenize
+from .parallel import DEFAULT_CHUNK_SIZE, parallel_deflate
 
 __all__ = [
     "adler32",
@@ -34,6 +35,8 @@ __all__ = [
     "MatcherConfig",
     "LEVEL_CONFIGS",
     "tokenize",
+    "parallel_deflate",
+    "DEFAULT_CHUNK_SIZE",
     "zlib_compress",
     "zlib_decompress",
     "gzip_compress",

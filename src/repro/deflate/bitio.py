@@ -4,15 +4,30 @@ DEFLATE (RFC 1951 section 3.1.1) packs data elements starting at the least
 significant bit of each byte.  Huffman codes are packed most-significant-
 bit-first *of the code*, which the Huffman layer handles by pre-reversing
 code bit patterns; this module only ever deals in LSB-first integers.
+
+Both ends are batch-oriented kernels: the reader refills its bit buffer
+eight bytes at a time through one ``int.from_bytes`` call (instead of one
+byte per loop iteration), and the writer accumulates bits into one wide
+int that is flushed in eight-byte chunks.  Python's arbitrary-precision
+ints make the wide accumulator exact; the hot-path consumers
+(``HuffmanDecoder.decode_run``, ``compress._emit_tokens``) keep the same
+``_bitbuf``/``_bitcount``/``_pos`` fields in locals across symbols and
+write them back once per run.
 """
 
 from __future__ import annotations
 
 from ..errors import DeflateError
 
+_LOW64 = (1 << 64) - 1
+
 
 class BitWriter:
-    """Accumulates an LSB-first bit stream into a growing byte buffer."""
+    """Accumulates an LSB-first bit stream into a growing byte buffer.
+
+    Invariant: ``_bitbuf`` holds the pending ``_bitcount`` (< 64) bits;
+    everything older has been flushed to ``_out`` in 8-byte chunks.
+    """
 
     def __init__(self) -> None:
         self._out = bytearray()
@@ -24,23 +39,29 @@ class BitWriter:
         if nbits < 0 or nbits > 64:
             raise DeflateError(f"write_bits supports 0..64 bits, got {nbits}")
         self._bitbuf |= (value & ((1 << nbits) - 1)) << self._bitcount
-        self._bitcount += nbits
-        while self._bitcount >= 8:
-            self._out.append(self._bitbuf & 0xFF)
-            self._bitbuf >>= 8
-            self._bitcount -= 8
+        bitcount = self._bitcount + nbits
+        if bitcount >= 64:
+            self._out += (self._bitbuf & _LOW64).to_bytes(8, "little")
+            self._bitbuf >>= 64
+            bitcount -= 64
+        self._bitcount = bitcount
 
     def align_to_byte(self) -> None:
         """Pad with zero bits up to the next byte boundary."""
-        if self._bitcount:
-            self._out.append(self._bitbuf & 0xFF)
+        nbytes = (self._bitcount + 7) >> 3
+        if nbytes:
+            self._out += self._bitbuf.to_bytes(nbytes, "little")
             self._bitbuf = 0
             self._bitcount = 0
 
     def write_bytes(self, data: bytes) -> None:
         """Append raw bytes; the stream must be byte-aligned."""
-        if self._bitcount:
+        if self._bitcount & 7:
             raise DeflateError("write_bytes requires byte alignment")
+        if self._bitcount:
+            self._out += self._bitbuf.to_bytes(self._bitcount >> 3, "little")
+            self._bitbuf = 0
+            self._bitcount = 0
         self._out.extend(data)
 
     @property
@@ -55,7 +76,12 @@ class BitWriter:
 
 
 class BitReader:
-    """Reads an LSB-first bit stream from a bytes-like object."""
+    """Reads an LSB-first bit stream from a bytes-like object.
+
+    ``_bitbuf`` buffers bits loaded from ``_data``; refills pull up to
+    eight bytes per ``int.from_bytes`` call.  ``bits_consumed`` stays
+    exact regardless of how far ahead the refill ran.
+    """
 
     def __init__(self, data: bytes, start: int = 0) -> None:
         self._data = data
@@ -64,21 +90,30 @@ class BitReader:
         self._bitcount = 0
 
     def _fill(self, need: int) -> None:
-        while self._bitcount < need:
-            if self._pos >= len(self._data):
+        """Buffer at least ``need`` bits or raise on stream end."""
+        bitcount = self._bitcount
+        while bitcount < need:
+            chunk = self._data[self._pos:self._pos + 8]
+            if not chunk:
                 raise DeflateError("unexpected end of DEFLATE stream")
-            self._bitbuf |= self._data[self._pos] << self._bitcount
-            self._pos += 1
-            self._bitcount += 8
+            self._bitbuf |= int.from_bytes(chunk, "little") << bitcount
+            self._pos += len(chunk)
+            bitcount += len(chunk) << 3
+        self._bitcount = bitcount
 
     def read_bits(self, nbits: int) -> int:
         """Consume and return ``nbits`` bits as an LSB-first integer."""
-        if nbits == 0:
-            return 0
-        self._fill(nbits)
+        bitcount = self._bitcount
+        if bitcount < nbits:
+            chunk = self._data[self._pos:self._pos + 8]
+            self._bitbuf |= int.from_bytes(chunk, "little") << bitcount
+            self._pos += len(chunk)
+            bitcount += len(chunk) << 3
+            if bitcount < nbits:
+                raise DeflateError("unexpected end of DEFLATE stream")
         value = self._bitbuf & ((1 << nbits) - 1)
         self._bitbuf >>= nbits
-        self._bitcount -= nbits
+        self._bitcount = bitcount - nbits
         return value
 
     def peek_bits(self, nbits: int) -> int:
@@ -87,16 +122,23 @@ class BitReader:
         Near the end of the stream fewer bits may be available; missing
         high bits read as zero, which suits canonical Huffman peeking.
         """
-        while self._bitcount < nbits and self._pos < len(self._data):
-            self._bitbuf |= self._data[self._pos] << self._bitcount
-            self._pos += 1
-            self._bitcount += 8
+        data = self._data
+        while self._bitcount < nbits and self._pos < len(data):
+            chunk = data[self._pos:self._pos + 8]
+            self._bitbuf |= int.from_bytes(chunk, "little") << self._bitcount
+            self._pos += len(chunk)
+            self._bitcount += len(chunk) << 3
         return self._bitbuf & ((1 << nbits) - 1)
 
     def skip_bits(self, nbits: int) -> None:
-        """Consume ``nbits`` previously peeked bits."""
+        """Consume ``nbits`` previously peeked bits.
+
+        Asking for more bits than the stream holds means a truncated
+        stream (zero-padded peeks can look decodable), so the error is
+        the uniform end-of-stream one.
+        """
         if nbits > self._bitcount:
-            raise DeflateError("skip past end of DEFLATE stream")
+            raise DeflateError("unexpected end of DEFLATE stream")
         self._bitbuf >>= nbits
         self._bitcount -= nbits
 
@@ -111,15 +153,19 @@ class BitReader:
         if self._bitcount & 7:
             raise DeflateError("read_bytes requires byte alignment")
         out = bytearray()
-        while self._bitcount >= 8 and n > 0:
-            out.append(self._bitbuf & 0xFF)
-            self._bitbuf >>= 8
-            self._bitcount -= 8
-            n -= 1
+        buffered = min(self._bitcount >> 3, n)
+        if buffered:
+            out += (self._bitbuf
+                    & ((1 << (buffered << 3)) - 1)).to_bytes(buffered,
+                                                             "little")
+            self._bitbuf >>= buffered << 3
+            self._bitcount -= buffered << 3
+            n -= buffered
         if n > 0:
             if self._pos + n > len(self._data):
-                raise DeflateError("unexpected end of stream in stored data")
-            out.extend(self._data[self._pos:self._pos + n])
+                raise DeflateError("unexpected end of DEFLATE stream "
+                                   "in stored data")
+            out += self._data[self._pos:self._pos + n]
             self._pos += n
         return bytes(out)
 

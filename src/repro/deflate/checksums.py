@@ -4,13 +4,23 @@ These mirror the checksums the gzip (RFC 1952) and zlib (RFC 1950)
 containers carry, and the ones the NX accelerator computes inline with the
 data pipe.  Both are incremental: ``crc32(b, crc32(a))`` equals
 ``crc32(a + b)``, matching the stdlib ``zlib`` calling convention.
+
+The CRC uses the slicing-by-4 formulation (four derived tables, one
+32-bit word folded per step, words loaded through a little-endian
+``memoryview`` cast); Adler-32 batches each chunk through
+``itertools.accumulate`` — Python's arbitrary-precision ints make the
+deferred modulo exact at any chunk size, unlike C's NMAX-bounded sums.
 """
 
 from __future__ import annotations
 
+import sys
+from itertools import accumulate
+
 _CRC_POLY = 0xEDB88320  # reflected IEEE 802.3 polynomial
 _ADLER_MOD = 65521  # largest prime below 2**16
-_ADLER_NMAX = 5552  # max bytes before the sums can overflow 32 bits
+_ADLER_NMAX = 5552  # zlib's 8-bit overflow bound (kept for reference)
+_ADLER_CHUNK = 1 << 16  # bounds the prefix-sum list, not the arithmetic
 
 
 def _build_crc_table() -> tuple[int, ...]:
@@ -26,11 +36,34 @@ def _build_crc_table() -> tuple[int, ...]:
 _CRC_TABLE = _build_crc_table()
 
 
+def _derive_slice_tables() -> tuple[tuple[int, ...], ...]:
+    """Tables T1..T3 with ``Tk[b] = crc of byte b followed by k zeros``."""
+    t0 = _CRC_TABLE
+    tables = [t0]
+    for _ in range(3):
+        prev = tables[-1]
+        tables.append(tuple(t0[c & 0xFF] ^ (c >> 8) for c in prev))
+    return tuple(tables)
+
+
+_T0, _T1, _T2, _T3 = _derive_slice_tables()
+
+
 def crc32(data: bytes, value: int = 0) -> int:
     """Update a CRC-32 with ``data`` and return the new checksum."""
     crc = (value & 0xFFFFFFFF) ^ 0xFFFFFFFF
+    n = len(data)
+    i = 0
+    if n >= 16 and sys.byteorder == "little":
+        t0, t1, t2, t3 = _T0, _T1, _T2, _T3
+        nwords = n >> 2
+        i = nwords << 2
+        for word in memoryview(data)[:i].cast("I"):
+            x = crc ^ word
+            crc = (t3[x & 0xFF] ^ t2[(x >> 8) & 0xFF]
+                   ^ t1[(x >> 16) & 0xFF] ^ t0[x >> 24])
     table = _CRC_TABLE
-    for byte in data:
+    for byte in data[i:]:
         crc = table[(crc ^ byte) & 0xFF] ^ (crc >> 8)
     return crc ^ 0xFFFFFFFF
 
@@ -39,15 +72,14 @@ def adler32(data: bytes, value: int = 1) -> int:
     """Update an Adler-32 with ``data`` and return the new checksum."""
     s1 = value & 0xFFFF
     s2 = (value >> 16) & 0xFFFF
+    n = len(data)
     pos = 0
-    remaining = len(data)
-    while remaining:
-        chunk = min(remaining, _ADLER_NMAX)
-        for byte in data[pos:pos + chunk]:
-            s1 += byte
-            s2 += s1
-        s1 %= _ADLER_MOD
-        s2 %= _ADLER_MOD
-        pos += chunk
-        remaining -= chunk
+    while pos < n:
+        chunk = data[pos:pos + _ADLER_CHUNK]
+        # acc[k] = s1 + sum of the first k bytes, so the new s2 is
+        # s2 + sum(acc[1:]) and the new s1 is acc[-1].
+        acc = list(accumulate(chunk, initial=s1))
+        s2 = (s2 + sum(acc) - s1) % _ADLER_MOD
+        s1 = acc[-1] % _ADLER_MOD
+        pos += len(chunk)
     return (s2 << 16) | s1

@@ -10,8 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..errors import DeflateError
-from .bitio import BitWriter
+from ..errors import DeflateError, HuffmanError
+from .bitio import _LOW64, BitWriter
 from .constants import (
     BTYPE_DYNAMIC,
     BTYPE_FIXED,
@@ -32,7 +32,7 @@ from .constants import (
     fixed_dist_lengths,
     fixed_litlen_lengths,
 )
-from .huffman import HuffmanEncoder, limited_code_lengths
+from .huffman import HuffmanEncoder, fixed_encoders, limited_code_lengths
 from .matcher import (MatchStats, Token, tokenize,
                       tokenize_huffman_only, tokenize_rle)
 
@@ -215,19 +215,71 @@ def _emit_dynamic_header(writer: BitWriter, ops: list, hlit: int, hdist: int,
 
 def _emit_tokens(writer: BitWriter, tokens: list[Token],
                  lit_enc: HuffmanEncoder, dist_enc: HuffmanEncoder) -> None:
+    """Emit the token payload of one block — the compressor's hot loop.
+
+    Length code + extra bits are pre-merged into one ``(bits, nbits)``
+    pair per match length (3..258), and the distance code + extra bits
+    merge at emit time, so a match costs two bit-buffer accumulations
+    and a literal costs one.  The writer's accumulator lives in locals
+    and is flushed in 8-byte chunks, exactly like ``write_bits`` would.
+    """
+    lit_codes = lit_enc.codes
+    lit_lengths = lit_enc.lengths
+    len_bits = [0] * 259
+    len_nbits = [0] * 259
+    for length in range(3, 259):
+        lcode = LENGTH_TO_CODE[length]
+        nb = lit_lengths[lcode]
+        if nb:
+            len_bits[length] = (lit_codes[lcode]
+                                | ((length - LENGTH_BASE[lcode - 257]) << nb))
+            len_nbits[length] = nb + LENGTH_EXTRA_BITS[lcode - 257]
+    dist_codes = dist_enc.codes
+    dist_lengths = dist_enc.lengths
+    dist_base = DIST_BASE
+    dist_extra = DIST_EXTRA_BITS
+    dist_to_code = DIST_TO_CODE
+
+    out = writer._out
+    bitbuf = writer._bitbuf
+    bitcount = writer._bitcount
     for tok in tokens:
-        if isinstance(tok, int):
-            lit_enc.encode(writer, tok)
+        if type(tok) is int:
+            nb = lit_lengths[tok]
+            if not nb:
+                raise HuffmanError(f"symbol {tok} has no code")
+            bitbuf |= lit_codes[tok] << bitcount
+            bitcount += nb
         else:
             length, dist = tok
-            lcode = LENGTH_TO_CODE[length]
-            lit_enc.encode(writer, lcode)
-            writer.write_bits(length - LENGTH_BASE[lcode - 257],
-                              LENGTH_EXTRA_BITS[lcode - 257])
-            dcode = DIST_TO_CODE[dist]
-            dist_enc.encode(writer, dcode)
-            writer.write_bits(dist - DIST_BASE[dcode], DIST_EXTRA_BITS[dcode])
-    lit_enc.encode(writer, END_OF_BLOCK)
+            nb = len_nbits[length]
+            if not nb:
+                raise HuffmanError(
+                    f"symbol {LENGTH_TO_CODE[length]} has no code")
+            bitbuf |= len_bits[length] << bitcount
+            bitcount += nb
+            dcode = dist_to_code[dist]
+            dnb = dist_lengths[dcode]
+            if not dnb:
+                raise HuffmanError(f"symbol {dcode} has no code")
+            bitbuf |= (dist_codes[dcode]
+                       | ((dist - dist_base[dcode]) << dnb)) << bitcount
+            bitcount += dnb + dist_extra[dcode]
+        if bitcount >= 64:
+            out += (bitbuf & _LOW64).to_bytes(8, "little")
+            bitbuf >>= 64
+            bitcount -= 64
+    nb = lit_lengths[END_OF_BLOCK]
+    if not nb:
+        raise HuffmanError(f"symbol {END_OF_BLOCK} has no code")
+    bitbuf |= lit_codes[END_OF_BLOCK] << bitcount
+    bitcount += nb
+    if bitcount >= 64:
+        out += (bitbuf & _LOW64).to_bytes(8, "little")
+        bitbuf >>= 64
+        bitcount -= 64
+    writer._bitbuf = bitbuf
+    writer._bitcount = bitcount
 
 
 def _emit_stored(writer: BitWriter, raw: bytes, final: bool) -> None:
@@ -289,8 +341,7 @@ def emit_block(writer: BitWriter, plan: BlockPlan, final: bool) -> None:
     writer.write_bits(1 if final else 0, 1)
     writer.write_bits(plan.btype, 2)
     if plan.btype == BTYPE_FIXED:
-        lit_enc = HuffmanEncoder(fixed_litlen_lengths())
-        dist_enc = HuffmanEncoder(fixed_dist_lengths())
+        lit_enc, dist_enc = fixed_encoders()
     else:
         ops, hlit, hdist = encode_code_lengths(plan.litlen_lengths,
                                                plan.dist_lengths)
@@ -343,9 +394,10 @@ def deflate(data: bytes, level: int = 6,
         return CompressResult(data=writer.getvalue(),
                               stats=MatchStats(literals=len(data)),
                               blocks=[BTYPE_STORED])
-    if level == 0:
-        tokens, stats = tokenize_huffman_only(data)
-    if strategy == "huffman_only":
+    if level == 0 or strategy == "huffman_only":
+        # A continuable level-0 unit cannot be a stored block (the
+        # trailing Z_FULL_FLUSH marker already is one); entropy-only
+        # coding is the cheapest continuable encoding.
         tokens, stats = tokenize_huffman_only(data)
     elif strategy == "rle":
         tokens, stats = tokenize_rle(data)

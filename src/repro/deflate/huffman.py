@@ -8,18 +8,40 @@ Three pieces live here:
 * :func:`canonical_codes` — RFC 1951 canonical code assignment from a list
   of code lengths;
 * :class:`HuffmanEncoder` / :class:`HuffmanDecoder` — bit-level symbol
-  encode/decode against a canonical code, with a small root lookup table
-  for fast decoding of short (common) codes.
+  encode/decode against a canonical code.
+
+The decoder's fast path is a flat ``array('H')`` lookup table covering
+codes up to ``_ROOT_BITS`` bits, each entry packing ``sym << 5 | length``
+(0 means "not in the table": fall back to the bit-by-bit counting walk of
+Mark Adler's *puff*).  Bit reversal is table-driven, and the table is
+built in a single canonical walk over the ``(length, symbol)``-sorted
+symbols — no second :func:`canonical_codes` pass.  ``decode_run`` is the
+inflate hot loop: it keeps the reader's bit buffer in locals across
+symbols and appends decoded literals straight into the output buffer.
 """
 
 from __future__ import annotations
 
+from array import array
 from collections.abc import Sequence
 
-from ..errors import HuffmanError
+from ..errors import DeflateError, HuffmanError
 from .bitio import BitReader, BitWriter
 
-_ROOT_BITS = 9  # fast decode table covers codes up to this many bits
+_ROOT_BITS = 11  # fast decode table covers codes up to this many bits
+_ROOT_MASK = (1 << _ROOT_BITS) - 1
+
+# 8-bit reversal table; wider reversals compose two byte lookups.
+_REV8 = tuple(
+    sum(((value >> bit) & 1) << (7 - bit) for bit in range(8))
+    for value in range(256)
+)
+
+
+def _reverse_bits(value: int, nbits: int) -> int:
+    """Reverse the low ``nbits`` bits of ``value`` (nbits <= 16)."""
+    rev16 = (_REV8[value & 0xFF] << 8) | _REV8[(value >> 8) & 0xFF]
+    return rev16 >> (16 - nbits)
 
 
 def limited_code_lengths(freqs: Sequence[int], max_length: int) -> list[int]:
@@ -92,14 +114,6 @@ def canonical_codes(lengths: Sequence[int]) -> list[int]:
     return codes
 
 
-def _reverse_bits(value: int, nbits: int) -> int:
-    result = 0
-    for _ in range(nbits):
-        result = (result << 1) | (value & 1)
-        value >>= 1
-    return result
-
-
 def kraft_sum(lengths: Sequence[int]) -> float:
     """Kraft inequality sum; exactly 1.0 for a complete prefix code."""
     return sum(2.0 ** -length for length in lengths if length)
@@ -130,10 +144,10 @@ class HuffmanEncoder:
 class HuffmanDecoder:
     """Decodes one canonical code from a :class:`BitReader`.
 
-    Uses the counting method of Mark Adler's *puff*, fronted by a
-    ``2**_ROOT_BITS`` lookup table for codes short enough to fit.
-    An *incomplete* code is accepted only in the single-code case, which
-    RFC 1951 tolerates for distance codes.
+    Uses the counting method of Mark Adler's *puff*, fronted by a flat
+    ``2**_ROOT_BITS`` packed-``array`` lookup table for codes short
+    enough to fit.  An *incomplete* code is accepted only in the
+    single-code case, which RFC 1951 tolerates for distance codes.
     """
 
     def __init__(self, lengths: Sequence[int]) -> None:
@@ -165,25 +179,93 @@ class HuffmanDecoder:
                 self.symbols[offsets[length]] = sym
                 offsets[length] += 1
 
-        self._build_fast_table(lengths)
+        self._build_fast_table()
 
-    def _build_fast_table(self, lengths: Sequence[int]) -> None:
-        natural = canonical_codes(lengths)
-        self._fast: list[tuple[int, int] | None] = [None] * (1 << _ROOT_BITS)
-        for sym, length in enumerate(lengths):
-            if not length or length > _ROOT_BITS:
-                continue
-            prefix = _reverse_bits(natural[sym], length)
-            step = 1 << length
-            for fill in range(prefix, 1 << _ROOT_BITS, step):
-                self._fast[fill] = (sym, length)
+    def _build_fast_table(self) -> None:
+        """Flat packed root table, built in one canonical walk.
+
+        ``self.symbols`` is already in (length, symbol) canonical order,
+        so walking it while advancing the canonical code counter yields
+        every code without a second :func:`canonical_codes` pass.  Each
+        entry packs ``sym << 5 | code_length``; 0 marks codes longer
+        than ``_ROOT_BITS`` (or unused patterns of an incomplete code).
+        """
+        fast = array("H", bytes(2 << _ROOT_BITS))
+        rev8 = _REV8
+        code = 0
+        index = 0
+        table_size = 1 << _ROOT_BITS
+        for length in range(1, min(self.max_length, _ROOT_BITS) + 1):
+            for _ in range(self.count[length]):
+                sym = self.symbols[index]
+                rev16 = (rev8[code & 0xFF] << 8) | rev8[(code >> 8) & 0xFF]
+                prefix = rev16 >> (16 - length)
+                packed = (sym << 5) | length
+                step = 1 << length
+                for fill in range(prefix, table_size, step):
+                    fast[fill] = packed
+                index += 1
+                code += 1
+            code <<= 1
+        self._fast = fast
 
     def decode(self, reader: BitReader) -> int:
         entry = self._fast[reader.peek_bits(_ROOT_BITS)]
-        if entry is not None:
-            reader.skip_bits(entry[1])
-            return entry[0]
+        if entry:
+            reader.skip_bits(entry & 31)
+            return entry >> 5
         return self._decode_slow(reader)
+
+    def decode_run(self, reader: BitReader, out: bytearray,
+                   limit: int) -> int:
+        """Decode consecutive literal symbols (< 256) into ``out``.
+
+        The inflate hot loop: the reader's bit buffer lives in locals
+        across symbols, refilled eight bytes per ``int.from_bytes`` call,
+        and literals are appended without per-symbol method dispatch.
+        Returns the first symbol >= 256 (length or end-of-block code),
+        or -1 after ``limit`` literals were appended (output cap hit).
+        """
+        data = reader._data
+        pos = reader._pos
+        bitbuf = reader._bitbuf
+        bitcount = reader._bitcount
+        fast = self._fast
+        append = out.append
+        appended = 0
+        while True:
+            if bitcount < 15:
+                chunk = data[pos:pos + 8]
+                bitbuf |= int.from_bytes(chunk, "little") << bitcount
+                pos += len(chunk)
+                bitcount += len(chunk) << 3
+            entry = fast[bitbuf & _ROOT_MASK]
+            if entry:
+                length = entry & 31
+                if length > bitcount:
+                    raise DeflateError("unexpected end of DEFLATE stream")
+                sym = entry >> 5
+                bitbuf >>= length
+                bitcount -= length
+            else:
+                reader._pos = pos
+                reader._bitbuf = bitbuf
+                reader._bitcount = bitcount
+                sym = self._decode_slow(reader)
+                pos = reader._pos
+                bitbuf = reader._bitbuf
+                bitcount = reader._bitcount
+            if sym < 256:
+                append(sym)
+                appended += 1
+                if appended >= limit:
+                    sym = -1
+                else:
+                    continue
+            reader._pos = pos
+            reader._bitbuf = bitbuf
+            reader._bitcount = bitcount
+            return sym
 
     def _decode_slow(self, reader: BitReader) -> int:
         code = 0
@@ -198,3 +280,31 @@ class HuffmanDecoder:
             first = (first + count) << 1
             code <<= 1
         raise HuffmanError("ran out of codes while decoding")
+
+
+_FIXED_DECODERS: tuple[HuffmanDecoder, HuffmanDecoder] | None = None
+_FIXED_ENCODERS: tuple[HuffmanEncoder, HuffmanEncoder] | None = None
+
+
+def fixed_decoders() -> tuple[HuffmanDecoder, HuffmanDecoder]:
+    """Module-level cache of the RFC 1951 fixed-code decoders.
+
+    Fixed blocks are common in small streams; rebuilding the 288-symbol
+    decoder (and its 512-entry root table) per block was pure waste.
+    """
+    global _FIXED_DECODERS
+    if _FIXED_DECODERS is None:
+        from .constants import fixed_dist_lengths, fixed_litlen_lengths
+        _FIXED_DECODERS = (HuffmanDecoder(fixed_litlen_lengths()),
+                           HuffmanDecoder(fixed_dist_lengths()))
+    return _FIXED_DECODERS
+
+
+def fixed_encoders() -> tuple[HuffmanEncoder, HuffmanEncoder]:
+    """Module-level cache of the RFC 1951 fixed-code encoders."""
+    global _FIXED_ENCODERS
+    if _FIXED_ENCODERS is None:
+        from .constants import fixed_dist_lengths, fixed_litlen_lengths
+        _FIXED_ENCODERS = (HuffmanEncoder(fixed_litlen_lengths()),
+                           HuffmanEncoder(fixed_dist_lengths()))
+    return _FIXED_ENCODERS

@@ -3,6 +3,12 @@
 ``inflate`` handles all three block types and validates stream structure
 strictly; it is used both as the software baseline decompressor and as the
 functional core of the NX decompress engine model.
+
+The Huffman-block loop is batch-oriented: literal runs are decoded by
+:meth:`HuffmanDecoder.decode_run` (bit buffer in locals, one append per
+literal), non-overlapping back-references are copied with one slice
+``extend``, and overlapping runs are materialised by periodic repetition
+of the ``dist``-byte seed instead of a per-byte append loop.
 """
 
 from __future__ import annotations
@@ -22,10 +28,10 @@ from .constants import (
     LENGTH_BASE,
     LENGTH_EXTRA_BITS,
     NUM_CODELEN_SYMBOLS,
-    fixed_dist_lengths,
-    fixed_litlen_lengths,
 )
-from .huffman import HuffmanDecoder
+from .huffman import _ROOT_MASK, HuffmanDecoder, fixed_decoders
+
+_BIT_MASKS = tuple((1 << n) - 1 for n in range(32))
 
 
 @dataclass
@@ -40,18 +46,6 @@ class InflateStats:
     @property
     def output_bytes(self) -> int:
         return self.literals + self.match_bytes
-
-
-_FIXED_LIT_DECODER: HuffmanDecoder | None = None
-_FIXED_DIST_DECODER: HuffmanDecoder | None = None
-
-
-def _fixed_decoders() -> tuple[HuffmanDecoder, HuffmanDecoder]:
-    global _FIXED_LIT_DECODER, _FIXED_DIST_DECODER
-    if _FIXED_LIT_DECODER is None:
-        _FIXED_LIT_DECODER = HuffmanDecoder(fixed_litlen_lengths())
-        _FIXED_DIST_DECODER = HuffmanDecoder(fixed_dist_lengths())
-    return _FIXED_LIT_DECODER, _FIXED_DIST_DECODER
 
 
 def _read_dynamic_header(
@@ -90,30 +84,145 @@ def _read_dynamic_header(
 def _inflate_huffman_block(reader: BitReader, out: bytearray,
                            lit_dec: HuffmanDecoder, dist_dec: HuffmanDecoder,
                            stats: InflateStats, max_output: int) -> None:
+    """Decode one Huffman block — the decompressor's hot loop.
+
+    Everything lives in locals: the reader's bit buffer (refilled eight
+    bytes per ``int.from_bytes``, at most once per token since a full
+    token needs <= 48 bits), both flat fast tables, and the stats
+    counters (folded into ``stats`` at end-of-block).  Literal runs spin
+    in an inner loop — a single range test on the packed table entry
+    (``0 < entry < 8192``) classifies "in-table literal".  Only codes
+    longer than the root table fall back to the decoders' counting walk.
+    """
+    data = reader._data
+    pos = reader._pos
+    bitbuf = reader._bitbuf
+    bitcount = reader._bitcount
+    lit_fast = lit_dec._fast
+    dist_fast = dist_dec._fast
+    root_mask = _ROOT_MASK
+    masks = _BIT_MASKS
+    length_base = LENGTH_BASE
+    length_extra = LENGTH_EXTRA_BITS
+    dist_base = DIST_BASE
+    dist_extra = DIST_EXTRA_BITS
+    append = out.append
+    budget = max_output - len(out)
+    literals = 0
+    matches = 0
+    match_bytes = 0
     while True:
-        sym = lit_dec.decode(reader)
-        if sym < 256:
-            out.append(sym)
-            stats.literals += 1
-        elif sym == END_OF_BLOCK:
-            return
+        if bitcount < 48:
+            chunk = data[pos:pos + 8]
+            bitbuf |= int.from_bytes(chunk, "little") << bitcount
+            pos += len(chunk)
+            bitcount += len(chunk) << 3
+        entry = lit_fast[bitbuf & root_mask]
+        while 0 < entry < 8192:  # sym < 256: in-table literal
+            nb = entry & 31
+            if nb > bitcount:
+                raise DeflateError("unexpected end of DEFLATE stream")
+            bitbuf >>= nb
+            bitcount -= nb
+            append(entry >> 5)
+            literals += 1
+            budget -= 1
+            if budget < 0:
+                stats.literals += literals
+                raise OutputOverflow("output exceeds allowed size")
+            if bitcount < 15:
+                chunk = data[pos:pos + 8]
+                bitbuf |= int.from_bytes(chunk, "little") << bitcount
+                pos += len(chunk)
+                bitcount += len(chunk) << 3
+            entry = lit_fast[bitbuf & root_mask]
+        # The inner loop only guarantees 15 buffered bits, a full match
+        # needs up to 40: top up (low bits are untouched, so ``entry``
+        # computed before the refill stays valid).
+        if bitcount < 48:
+            chunk = data[pos:pos + 8]
+            bitbuf |= int.from_bytes(chunk, "little") << bitcount
+            pos += len(chunk)
+            bitcount += len(chunk) << 3
+        if entry:
+            nb = entry & 31
+            if nb > bitcount:
+                raise DeflateError("unexpected end of DEFLATE stream")
+            sym = entry >> 5
+            bitbuf >>= nb
+            bitcount -= nb
         else:
-            if sym > 285:
-                raise DeflateError(f"invalid length symbol {sym}")
-            idx = sym - 257
-            length = LENGTH_BASE[idx] + reader.read_bits(LENGTH_EXTRA_BITS[idx])
-            dsym = dist_dec.decode(reader)
-            if dsym > 29:
-                raise DeflateError(f"invalid distance symbol {dsym}")
-            dist = DIST_BASE[dsym] + reader.read_bits(DIST_EXTRA_BITS[dsym])
-            if dist > len(out):
-                raise DeflateError("back-reference before start of output")
-            start = len(out) - dist
-            for k in range(length):
-                out.append(out[start + k])
-            stats.matches += 1
-            stats.match_bytes += length
-        if len(out) > max_output:
+            reader._pos = pos
+            reader._bitbuf = bitbuf
+            reader._bitcount = bitcount
+            sym = lit_dec._decode_slow(reader)
+            pos = reader._pos
+            bitbuf = reader._bitbuf
+            bitcount = reader._bitcount
+            if sym < 256:
+                append(sym)
+                literals += 1
+                budget -= 1
+                if budget < 0:
+                    stats.literals += literals
+                    raise OutputOverflow("output exceeds allowed size")
+                continue
+        if sym == END_OF_BLOCK:
+            reader._pos = pos
+            reader._bitbuf = bitbuf
+            reader._bitcount = bitcount
+            stats.literals += literals
+            stats.matches += matches
+            stats.match_bytes += match_bytes
+            return
+        if sym > 285:
+            raise DeflateError(f"invalid length symbol {sym}")
+        idx = sym - 257
+        eb = length_extra[idx]
+        if eb > bitcount:
+            raise DeflateError("unexpected end of DEFLATE stream")
+        length = length_base[idx] + (bitbuf & masks[eb])
+        bitbuf >>= eb
+        bitcount -= eb
+        entry = dist_fast[bitbuf & root_mask]
+        if entry:
+            nb = entry & 31
+            if nb > bitcount:
+                raise DeflateError("unexpected end of DEFLATE stream")
+            dsym = entry >> 5
+            bitbuf >>= nb
+            bitcount -= nb
+        else:
+            reader._pos = pos
+            reader._bitbuf = bitbuf
+            reader._bitcount = bitcount
+            dsym = dist_dec._decode_slow(reader)
+            pos = reader._pos
+            bitbuf = reader._bitbuf
+            bitcount = reader._bitcount
+        if dsym > 29:
+            raise DeflateError(f"invalid distance symbol {dsym}")
+        eb = dist_extra[dsym]
+        if eb > bitcount:
+            raise DeflateError("unexpected end of DEFLATE stream")
+        dist = dist_base[dsym] + (bitbuf & masks[eb])
+        bitbuf >>= eb
+        bitcount -= eb
+        start = len(out) - dist
+        if start < 0:
+            raise DeflateError("back-reference before start of output")
+        if dist >= length:
+            out += out[start:start + length]
+        else:
+            # Overlapping run: the copy is periodic with period ``dist``,
+            # so repeat the seed instead of appending byte by byte.
+            seed = bytes(out[start:])
+            out += seed * (length // dist) + seed[:length % dist]
+        matches += 1
+        match_bytes += length
+        budget -= length
+        if budget < 0:
+            stats.literals += literals
             raise OutputOverflow("output exceeds allowed size")
 
 
@@ -152,7 +261,7 @@ def inflate_with_stats(data: bytes, start: int = 0,
             if len(out) > max_output + base:
                 raise OutputOverflow("output exceeds allowed size")
         elif btype == BTYPE_FIXED:
-            lit_dec, dist_dec = _fixed_decoders()
+            lit_dec, dist_dec = fixed_decoders()
             _inflate_huffman_block(reader, out, lit_dec, dist_dec,
                                    stats, max_output + base)
         elif btype == BTYPE_DYNAMIC:
@@ -170,3 +279,8 @@ def inflate(data: bytes) -> bytes:
     """Decode a raw DEFLATE stream and return the output bytes."""
     out, _stats, _bits = inflate_with_stats(data)
     return out
+
+
+def _fixed_decoders() -> tuple[HuffmanDecoder, HuffmanDecoder]:
+    """Back-compat alias; the cache now lives in :mod:`.huffman`."""
+    return fixed_decoders()

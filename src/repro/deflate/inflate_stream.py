@@ -37,10 +37,8 @@ from .constants import (
     LENGTH_BASE,
     LENGTH_EXTRA_BITS,
     NUM_CODELEN_SYMBOLS,
-    fixed_dist_lengths,
-    fixed_litlen_lengths,
 )
-from .huffman import HuffmanDecoder
+from .huffman import HuffmanDecoder, fixed_decoders
 
 _SAFE_BITS = 64  # > any single element (48) and any header slice
 
@@ -178,8 +176,7 @@ class InflateStream:
         if btype == BTYPE_STORED:
             self._state = _State.STORED_LEN
         elif btype == BTYPE_FIXED:
-            self._lit_dec = HuffmanDecoder(fixed_litlen_lengths())
-            self._dist_dec = HuffmanDecoder(fixed_dist_lengths())
+            self._lit_dec, self._dist_dec = fixed_decoders()
             self._state = _State.SYMBOLS
         elif btype == BTYPE_DYNAMIC:
             self._state = _State.DYN_COUNTS

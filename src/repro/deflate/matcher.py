@@ -5,12 +5,28 @@ This mirrors zlib's ``deflate_fast`` (levels 1-3) and ``deflate_slow``
 per-level ``good``/``lazy``/``nice``/``chain`` tuning knobs, so that the
 software baseline's ratio-vs-effort curve has the same shape as zlib's.
 
+The chain layout is zlib's ``head``/``prev`` pair: ``prev`` is a
+preallocated ``array('i')`` ring indexed by ``pos & (WINDOW_SIZE - 1)``,
+while ``head`` maps the *exact* 3-byte trigram (one rolling
+``(k << 8 | byte) & 0xFFFFFF`` update per inserted position) to its most
+recent occurrence.  zlib's lossy 15-bit shift-hash was measured too: its
+bucket collisions force a 3-byte prefix verification on every chain
+candidate — ``MatchStats.chain_probes`` (which the NX timing model
+consumes) is defined against exact chains, so colliding candidates must
+be skipped without counting — and that per-candidate check cost more
+than the dict lookup it saved.  Exact trigram keys keep every chain
+collision-free, so the walk counts every candidate it touches and the
+stats come out identical by construction.  ``_match_length`` settles
+long matches with one slice equality at memcmp speed and short ones
+with a bounded byte scan.
+
 Tokens are produced as plain ints for literals (0..255) and
 ``(length, distance)`` tuples for back-references.
 """
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 
 from .constants import MAX_MATCH, MIN_MATCH, WINDOW_SIZE
@@ -19,6 +35,9 @@ Token = int | tuple[int, int]
 
 _TOO_FAR = 4096  # zlib: a length-3 match farther than this is not worth it
 _WMASK = WINDOW_SIZE - 1
+_KMASK = 0xFFFFFF  # rolling trigram key: the 3 newest bytes, exactly
+
+_EMPTY_PREV = array("i", [-1]) * WINDOW_SIZE
 
 
 @dataclass(frozen=True)
@@ -73,8 +92,8 @@ class HashChainMatcher:
     def __init__(self, config: MatcherConfig) -> None:
         self.config = config
         self.stats = MatchStats()
-        self._head: dict[int, int] = {}
-        self._prev = [-1] * WINDOW_SIZE
+        self._head: dict[int, int] = {}  # trigram -> most recent position
+        self._prev = array("i", _EMPTY_PREV)  # pos & _WMASK -> older position
 
     def tokenize(self, data: bytes, history: bytes = b"") -> list[Token]:
         """Produce the token stream for ``data`` in one pass.
@@ -98,50 +117,64 @@ class HashChainMatcher:
 
     def _prime(self, combined: bytes, start: int) -> None:
         """Insert every history position into the hash chains."""
-        last = min(start, len(combined) - MIN_MATCH + 1)
-        for pos in range(last):
-            self._insert(combined, pos)
+        self._insert_span(combined, 0, start, len(combined))
 
     # -- hash chain ----------------------------------------------------
 
     @staticmethod
-    def _hash(data: bytes, i: int) -> int:
-        return data[i] | (data[i + 1] << 8) | (data[i + 2] << 16)
-
-    def _insert(self, data: bytes, i: int) -> int:
-        """Add position ``i`` to its chain; return the previous head."""
-        h = self._hash(data, i)
-        old = self._head.get(h, -1)
-        self._head[h] = i
-        self._prev[i & _WMASK] = old
-        return old
+    def _key(data: bytes, i: int) -> int:
+        """The exact trigram chain key of the 3 bytes at ``i``."""
+        return (data[i] << 16) | (data[i + 1] << 8) | data[i + 2]
 
     def _longest_match(self, data: bytes, i: int, n: int,
                        current_best: int) -> tuple[int, int]:
         """Search the chain at ``i``; returns (length, distance)."""
-        limit = i - WINDOW_SIZE
-        max_len = min(MAX_MATCH, n - i)
-        if max_len < MIN_MATCH:
+        max_len = n - i
+        if max_len >= MAX_MATCH:
+            max_len = MAX_MATCH
+        elif max_len < MIN_MATCH:
             return 0, 0
-        nice = min(self.config.nice_length, max_len)
-        chain = self.config.max_chain
-        if current_best >= self.config.good_length:
+        config = self.config
+        nice = config.nice_length
+        if nice > max_len:
+            nice = max_len
+        chain = config.max_chain
+        if current_best >= config.good_length:
             chain >>= 2
 
-        candidate = self._insert(data, i)
+        head = self._head
+        prev = self._prev
+        key = (data[i] << 16) | (data[i + 1] << 8) | data[i + 2]
+        candidate = head.get(key, -1)
+        head[key] = i
+        prev[i & _WMASK] = candidate
+
+        limit = i - WINDOW_SIZE
+        if limit < -1:
+            limit = -1  # candidate > limit then also rejects "no chain"
+        match_length = self._match_length
         best_len = current_best
         best_dist = 0
         probes = 0
-        while candidate >= 0 and candidate > limit and chain > 0:
+        check_at = best_len if best_len < max_len else 0
+        check_byte = data[i + check_at]
+        while candidate > limit and chain > 0:
             probes += 1
             chain -= 1
-            length = self._match_length(data, candidate, i, max_len)
-            if length > best_len:
-                best_len = length
-                best_dist = i - candidate
-                if length >= nice:
-                    break
-            candidate = self._prev[candidate & _WMASK]
+            # A candidate can only beat best_len if it also matches at
+            # the byte just past the current best match (zlib's scan-end
+            # filter) — skip the full compare otherwise.
+            if best_len < max_len and data[candidate + check_at] == check_byte:
+                length = match_length(data, candidate, i, max_len)
+                if length > best_len:
+                    best_len = length
+                    best_dist = i - candidate
+                    if length >= nice:
+                        break
+                    if best_len < max_len:
+                        check_at = best_len
+                        check_byte = data[i + check_at]
+            candidate = prev[candidate & _WMASK]
             if candidate >= i:
                 break  # wrapped chain entry from an older epoch
         self.stats.chain_probes += probes
@@ -153,6 +186,14 @@ class HashChainMatcher:
 
     @staticmethod
     def _match_length(data: bytes, cand: int, pos: int, max_len: int) -> int:
+        """Longest common prefix of the two regions.
+
+        One full-width slice compare settles the long-match case at
+        memcmp speed (runs, DNA); on mismatch a bounded byte scan finds
+        the split, which is cheapest for the short matches of text.
+        """
+        if data[cand:cand + max_len] == data[pos:pos + max_len]:
+            return max_len
         length = 0
         while length < max_len and data[cand + length] == data[pos + length]:
             length += 1
@@ -160,8 +201,18 @@ class HashChainMatcher:
 
     def _insert_span(self, data: bytes, start: int, end: int, n: int) -> None:
         last = min(end, n - MIN_MATCH + 1)
+        if start >= last:
+            return
+        head = self._head
+        head_get = head.get
+        prev = self._prev
+        # Rolling key: one shift-or-mask per position keeps the exact
+        # trigram, so no per-position 3-byte reassembly is needed.
+        k = (data[start] << 8) | data[start + 1]
         for j in range(start, last):
-            self._insert(data, j)
+            k = ((k << 8) | data[j + 2]) & _KMASK
+            prev[j & _WMASK] = head_get(k, -1)
+            head[k] = j
 
     # -- strategies ----------------------------------------------------
 

@@ -1,0 +1,97 @@
+"""pigz-style chunked-parallel DEFLATE compression.
+
+The paper's software baseline for multi-core machines is pigz: split the
+input into fixed-size chunks, compress every chunk independently on its
+own core, and concatenate the results into one valid DEFLATE stream.
+Two details make the output a *single* stream rather than a framed
+container:
+
+* every non-final chunk is emitted as a **continuation unit**
+  (``deflate(..., final=False)``): non-final blocks closed by an empty
+  stored block, zlib's Z_FULL_FLUSH, so units land byte-aligned and
+  concatenate seamlessly;
+* each chunk's matcher window is **primed with the last 32 KB of the
+  previous chunk** (the preset-dictionary path), so back-references
+  reach across the seam exactly as a serial compressor's would.
+
+Chunk boundaries depend only on ``chunk_size``, so the output is
+byte-identical for every worker count — parallelism changes wall-clock,
+never bytes.  Workers run in a ``concurrent.futures`` executor
+(processes by default: the kernels are CPU-bound pure Python, so
+threads would serialise on the GIL) and results are reassembled in
+submission order.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Executor, ProcessPoolExecutor
+
+from ..errors import DeflateError
+from .compress import CompressResult, deflate
+from .constants import WINDOW_SIZE
+from .matcher import MatchStats
+
+#: pigz's default chunk size (128 KiB): big enough that the one-window
+#: history overlap is amortised, small enough to keep every core busy.
+DEFAULT_CHUNK_SIZE = 1 << 17
+
+
+def _compress_chunk(chunk: bytes, history: bytes, level: int,
+                    strategy: str, final: bool) -> CompressResult:
+    """Worker entry point; module-level so process pools can pickle it."""
+    return deflate(chunk, level=level, history=history,
+                   strategy=strategy, final=final)
+
+
+def parallel_deflate(data: bytes, level: int = 6, *,
+                     chunk_size: int = DEFAULT_CHUNK_SIZE,
+                     workers: int | None = None,
+                     executor: Executor | None = None,
+                     strategy: str = "default",
+                     history: bytes = b"",
+                     final: bool = True) -> CompressResult:
+    """Compress ``data`` as one raw DEFLATE stream using chunk parallelism.
+
+    ``workers`` caps the process pool (default: ``os.cpu_count()``,
+    never more than the number of chunks; 1 compresses inline with no
+    pool at all).  Pass ``executor`` to reuse a pool across calls — the
+    caller keeps ownership and ``workers`` is ignored.  ``history`` and
+    ``final`` mean what they mean for :func:`deflate`: a preset
+    dictionary priming the first chunk, and whether the stream is
+    terminated or left continuable.  Returns the same
+    :class:`CompressResult` as :func:`deflate`, with stats summed and
+    per-block types concatenated across chunks.
+    """
+    if chunk_size < 1:
+        raise DeflateError(f"chunk_size must be positive, got {chunk_size}")
+    spans = [(start, min(start + chunk_size, len(data)))
+             for start in range(0, len(data), chunk_size)] or [(0, 0)]
+    last = len(spans) - 1
+    jobs = [(data[start:end],
+             history[-WINDOW_SIZE:] if start == 0
+             else data[max(0, start - WINDOW_SIZE):start],
+             level, strategy, final and idx == last)
+            for idx, (start, end) in enumerate(spans)]
+
+    if executor is not None:
+        results = list(executor.map(_compress_chunk, *zip(*jobs)))
+    else:
+        nworkers = min(workers or os.cpu_count() or 1, len(spans))
+        if nworkers <= 1:
+            results = [_compress_chunk(*job) for job in jobs]
+        else:
+            with ProcessPoolExecutor(max_workers=nworkers) as pool:
+                results = list(pool.map(_compress_chunk, *zip(*jobs)))
+
+    out = bytearray()
+    stats = MatchStats()
+    blocks: list[int] = []
+    for result in results:
+        out += result.data
+        stats.literals += result.stats.literals
+        stats.matches += result.stats.matches
+        stats.match_bytes += result.stats.match_bytes
+        stats.chain_probes += result.stats.chain_probes
+        blocks.extend(result.blocks)
+    return CompressResult(data=bytes(out), stats=stats, blocks=blocks)

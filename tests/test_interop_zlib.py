@@ -1,5 +1,6 @@
 """Bidirectional interoperability with CPython's zlib across levels."""
 
+import random
 import zlib
 
 import pytest
@@ -34,6 +35,77 @@ def test_sizes_comparable_to_stdlib(text_20k, json_20k):
         theirs = len(zlib.compress(data, 6)) - 6
         assert ours < theirs * 1.15
         assert theirs < ours * 1.15
+
+
+# -- differential fuzzing ----------------------------------------------------
+#
+# Seeded random payloads spanning the structures the hot-path kernels
+# special-case (long runs for the slice matcher and overlap copier, word
+# soup for literal runs, zero pages, byte noise, stitched mixtures), fed
+# through both directions: our compressor against zlib's decoder at every
+# level and strategy, and zlib's compressor (including its Z_FILTERED /
+# Z_RLE / Z_HUFFMAN_ONLY / Z_FIXED strategies) against our decoder.
+
+
+def _fuzz_payload(rng: random.Random) -> bytes:
+    kind = rng.randrange(5)
+    size = rng.randrange(1, 5000)
+    if kind == 0:  # byte noise, worst case for matching
+        return rng.randbytes(size)
+    if kind == 1:  # long runs of few symbols: slice compare + overlap copy
+        alphabet = rng.randbytes(rng.randrange(1, 4))
+        return b"".join(
+            bytes([alphabet[rng.randrange(len(alphabet))]])
+            * rng.randrange(1, 300) for _ in range(size // 64 + 1))[:size]
+    if kind == 2:  # word soup: text-like literal runs with repeats
+        words = [rng.randbytes(rng.randrange(2, 9)) for _ in range(12)]
+        return b" ".join(rng.choice(words)
+                         for _ in range(size // 5 + 1))[:size]
+    if kind == 3:  # zero page with sparse dirt (the 842 / page-store shape)
+        page = bytearray(size)
+        for _ in range(rng.randrange(8)):
+            page[rng.randrange(size)] = rng.randrange(1, 256)
+        return bytes(page)
+    # stitched self-copy: mid-range back-references
+    seed_len = rng.randrange(1, max(2, size // 2))
+    seed = rng.randbytes(seed_len)
+    out = bytearray(seed)
+    while len(out) < size:
+        start = rng.randrange(len(out))
+        out += out[start:start + rng.randrange(1, 600)] or b"\x00"
+    return bytes(out[:size])
+
+
+@pytest.mark.parametrize("seed", range(24))
+def test_fuzz_ours_to_stdlib(seed):
+    rng = random.Random(0xD00D + seed)
+    data = _fuzz_payload(rng)
+    level = rng.choice([0, 1, 2, 3, 4, 5, 6, 7, 8, 9])
+    strategy = rng.choice(["default", "rle", "huffman_only"])
+    ours = deflate(data, level=level, strategy=strategy).data
+    assert zlib.decompress(ours, -15) == data, (seed, level, strategy)
+
+
+@pytest.mark.parametrize("seed", range(24))
+def test_fuzz_stdlib_to_ours(seed):
+    rng = random.Random(0xFEED + seed)
+    data = _fuzz_payload(rng)
+    level = rng.choice([1, 4, 6, 9])
+    strategy = rng.choice([zlib.Z_DEFAULT_STRATEGY, zlib.Z_FILTERED,
+                           zlib.Z_RLE, zlib.Z_HUFFMAN_ONLY, zlib.Z_FIXED])
+    comp = zlib.compressobj(level, zlib.DEFLATED, -15, 9, strategy)
+    theirs = comp.compress(data) + comp.flush()
+    assert inflate(theirs) == data, (seed, level, strategy)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_fuzz_roundtrip_with_history(seed):
+    rng = random.Random(0xCAFE + seed)
+    history = _fuzz_payload(rng)
+    data = _fuzz_payload(rng)
+    ours = deflate(data, level=6, history=history).data
+    decoder = zlib.decompressobj(wbits=-15, zdict=history[-32768:])
+    assert decoder.decompress(ours) == data, seed
 
 
 def test_stdlib_decodes_nx_output(text_20k, json_20k, random_8k):

@@ -1,0 +1,53 @@
+"""Truncated-stream regression suite.
+
+Every prefix of a valid DEFLATE stream that stops before the final
+end-of-block must raise the uniform ``DeflateError("unexpected end of
+DEFLATE stream")`` — never ``IndexError``, never a silent short result,
+and never a misleading structural error.  The batched refill paths in
+``bitio``/``inflate`` read eight bytes speculatively, so this pins the
+boundary accounting at *every* byte position of representative streams
+covering all three block types, multi-block streams, and the RLE
+strategy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.deflate.compress import deflate
+from repro.deflate.inflate import inflate
+from repro.errors import DeflateError
+from repro.workloads.generators import generate
+
+
+def _streams() -> dict[str, bytes]:
+    text = generate("markov_text", 2000, seed=21)
+    noise = generate("random_bytes", 600, seed=22)
+    streams = {
+        "stored": deflate(noise, level=0).data,
+        "fixed": deflate(b"abcabcabcabc", level=6).data,
+        "dynamic": deflate(text, level=6).data,
+        "multiblock": deflate(text, level=6, block_tokens=64).data,
+        "rle": deflate(b"a" * 400 + text[:400], level=6,
+                       strategy="rle").data,
+    }
+    return streams
+
+
+@pytest.mark.parametrize("name,stream", _streams().items(),
+                         ids=list(_streams()))
+def test_every_byte_truncation_raises(name: str, stream: bytes) -> None:
+    for cut in range(len(stream)):
+        with pytest.raises(DeflateError, match="unexpected end"):
+            inflate(stream[:cut])
+
+
+def test_empty_input_raises() -> None:
+    with pytest.raises(DeflateError, match="unexpected end"):
+        inflate(b"")
+
+
+def test_full_stream_still_decodes() -> None:
+    """The truncation guard must not fire on the intact stream."""
+    text = generate("markov_text", 2000, seed=21)
+    assert inflate(deflate(text, level=6).data) == text

@@ -10,16 +10,48 @@ artefact.
 
 from __future__ import annotations
 
+import json
 import pathlib
 import sys
 
-RESULTS = pathlib.Path(__file__).resolve().parent.parent / "benchmarks" \
-    / "results"
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULTS = REPO_ROOT / "benchmarks" / "results"
+HOTPATH = REPO_ROOT / "BENCH_hotpath.json"
+
+
+def _hotpath_section() -> list[str]:
+    """Render BENCH_hotpath.json (the measured kernel rates) as a table."""
+    if not HOTPATH.exists():
+        return []
+    report = json.loads(HOTPATH.read_text())
+    meta = report.get("meta", {})
+    before = report.get("before", {})
+    lines = ["## hotpath kernels (measured wall-clock)", "",
+             f"Corpus: {meta.get('corpus', '?')}, "
+             f"{meta.get('bytes', '?')} bytes, "
+             f"level {meta.get('level', '?')}.  "
+             "Regenerate with `python benchmarks/bench_hotpath.py`.", "",
+             "| kernel | MB/s | before | speedup |",
+             "|---|---|---|---|"]
+    for key, value in report.get("results", {}).items():
+        if isinstance(value, dict):
+            scaled = ", ".join(f"{w}w: {v}" for w, v in value.items())
+            lines.append(f"| {key} | {scaled} | — | — |")
+            continue
+        old = before.get(key)
+        if isinstance(old, (int, float)) and old:
+            lines.append(f"| {key} | {value} | {old} | "
+                         f"{value / old:.2f}x |")
+        else:
+            lines.append(f"| {key} | {value} | — | — |")
+    lines.append("")
+    return lines
 
 
 def build_report() -> str:
     lines = ["# Benchmark results", "",
              "Regenerate with `pytest benchmarks/ --benchmark-only`.", ""]
+    lines.extend(_hotpath_section())
     if not RESULTS.is_dir():
         lines.append("*(no results yet — run the benches first)*")
         return "\n".join(lines) + "\n"

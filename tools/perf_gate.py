@@ -1,0 +1,101 @@
+"""Performance regression gate for the hot-path kernels.
+
+Usage::
+
+    PYTHONPATH=src python tools/perf_gate.py --tolerance 0.5 [--quick]
+
+Runs ``benchmarks/bench_hotpath.py`` in-process and compares every
+scalar throughput metric against the committed ``BENCH_hotpath.json``
+baseline.  A metric fails the gate when::
+
+    fresh < (1 - tolerance) * committed
+
+The default tolerance is generous (0.5, i.e. "no worse than half the
+committed rate") because shared CI machines are noisy and ``--quick``
+measures a quarter-scale corpus; the gate exists to catch order-of-
+magnitude kernel regressions — an accidental fallback to a slow path,
+a per-byte loop reappearing — not single-digit drift.
+
+``--fresh FILE`` skips the in-process run and gates a previously
+recorded report instead (useful to separate measurement from judgment
+in CI pipelines).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "BENCH_hotpath.json"
+
+
+def gate(fresh: dict, baseline: dict, tolerance: float) -> list[str]:
+    """Return a list of failure messages; empty means the gate passes."""
+    failures: list[str] = []
+    committed = baseline.get("results", {})
+    measured = fresh.get("results", {})
+    for key, base in committed.items():
+        if not isinstance(base, (int, float)) or base <= 0:
+            continue  # worker-scaling dicts and placeholder zeros
+        got = measured.get(key)
+        if not isinstance(got, (int, float)):
+            failures.append(f"{key}: missing from fresh run")
+            continue
+        floor = (1.0 - tolerance) * base
+        if got < floor:
+            failures.append(
+                f"{key}: {got:.3f} MB/s < floor {floor:.3f} "
+                f"(committed {base:.3f}, tolerance {tolerance:.0%})")
+    if not committed:
+        failures.append("baseline has no results section")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tolerance", type=float, default=0.5,
+                        help="allowed fractional slowdown vs the committed "
+                             "baseline (default 0.5)")
+    parser.add_argument("--baseline", type=pathlib.Path,
+                        default=BASELINE_PATH,
+                        help="committed baseline JSON (default repo root)")
+    parser.add_argument("--fresh", type=pathlib.Path, default=None,
+                        help="gate this report instead of running the bench")
+    parser.add_argument("--quick", action="store_true",
+                        help="run the bench on the quarter-scale corpus")
+    args = parser.parse_args(argv)
+
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error("--tolerance must be in [0, 1)")
+    if not args.baseline.exists():
+        print(f"perf gate: no baseline at {args.baseline}; nothing to gate")
+        return 0
+    baseline = json.loads(args.baseline.read_text())
+
+    if args.fresh is not None:
+        fresh = json.loads(args.fresh.read_text())
+    else:
+        sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+        from bench_hotpath import run_bench
+        fresh = run_bench(quick=args.quick)
+
+    failures = gate(fresh, baseline, args.tolerance)
+    for key, value in fresh.get("results", {}).items():
+        base = baseline.get("results", {}).get(key)
+        if isinstance(value, (int, float)) and isinstance(base, (int, float)):
+            print(f"  {key:24s} {value:10.3f} MB/s  "
+                  f"(committed {base:.3f})")
+    if failures:
+        print("perf gate FAILED:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"perf gate passed (tolerance {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,106 @@
+"""Record golden DEFLATE streams + stats for kernel parity testing.
+
+Usage:  PYTHONPATH=src python tools/record_goldens.py
+
+Writes ``tests/data/golden_deflate.json``: SHA-256 of the exact bitstream
+and every ``MatchStats``/``InflateStats`` field for a grid of payloads,
+levels, strategies, and streaming modes.  ``tests/test_golden_parity.py``
+pins the current codec against this file, so any kernel rewrite that
+changes a single emitted byte (or a single chain probe) fails loudly.
+
+Only re-run this when an *intentional* bitstream change lands — the whole
+point of the file is that rewrites keep it byte-identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+
+from repro.deflate.compress import deflate
+from repro.deflate.inflate import inflate_with_stats
+from repro.workloads.generators import generate
+
+OUT = (pathlib.Path(__file__).resolve().parent.parent
+       / "tests" / "data" / "golden_deflate.json")
+
+
+def payloads() -> dict[str, bytes]:
+    return {
+        "empty": b"",
+        "one": b"x",
+        "tiny": b"abcabcabcabc",
+        "zeros": bytes(4096),
+        "text": generate("markov_text", 20000, seed=11),
+        "json": generate("json_records", 20000, seed=12),
+        "random": generate("random_bytes", 8192, seed=13),
+        "binary": generate("binary_executable", 20000, seed=14),
+        "logs": generate("log_lines", 16384, seed=77),
+        "dna": generate("dna_sequence", 8192, seed=78),
+    }
+
+
+def cases() -> list[dict]:
+    """The (payload, deflate-kwargs) grid the parity suite replays."""
+    grid: list[dict] = []
+    for name in payloads():
+        for level in (1, 4, 6, 9):
+            grid.append({"payload": name, "level": level})
+    for strategy in ("rle", "huffman_only"):
+        grid.append({"payload": "text", "level": 6, "strategy": strategy})
+        grid.append({"payload": "zeros", "level": 6, "strategy": strategy})
+    # multi-block, streaming continuation, and preset-dictionary paths
+    grid.append({"payload": "text", "level": 6, "block_tokens": 256})
+    grid.append({"payload": "text", "level": 6, "final": False})
+    grid.append({"payload": "json", "level": 6, "history": "text"})
+    grid.append({"payload": "text", "level": 0})
+    return grid
+
+
+def record_case(case: dict, data_by_name: dict[str, bytes]) -> dict:
+    kwargs = {k: v for k, v in case.items() if k != "payload"}
+    if "history" in kwargs:
+        kwargs["history"] = data_by_name[kwargs["history"]]
+    data = data_by_name[case["payload"]]
+    result = deflate(data, **kwargs)
+    stats = result.stats
+    entry = {
+        **case,
+        "sha256": hashlib.sha256(result.data).hexdigest(),
+        "compressed_len": len(result.data),
+        "blocks": result.blocks,
+        "stats": {
+            "literals": stats.literals,
+            "matches": stats.matches,
+            "match_bytes": stats.match_bytes,
+            "chain_probes": stats.chain_probes,
+        },
+    }
+    history = case.get("history")
+    hist_bytes = data_by_name[history] if history else b""
+    if case.get("final", True):
+        out, istats, bits = inflate_with_stats(result.data,
+                                               history=hist_bytes)
+        assert out == data, case
+        entry["inflate_stats"] = {
+            "literals": istats.literals,
+            "matches": istats.matches,
+            "match_bytes": istats.match_bytes,
+            "blocks": istats.blocks,
+            "bits_consumed": bits,
+        }
+    return entry
+
+
+def main() -> int:
+    data_by_name = payloads()
+    entries = [record_case(case, data_by_name) for case in cases()]
+    OUT.parent.mkdir(parents=True, exist_ok=True)
+    OUT.write_text(json.dumps(entries, indent=1) + "\n")
+    print(f"wrote {OUT} ({len(entries)} cases)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
