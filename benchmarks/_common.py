@@ -1,18 +1,27 @@
-"""Shared reporting for the experiment benches.
+"""Shared reporting and stage timing for the experiment benches.
 
 Every bench renders its paper-style table through here: printed to
 stdout (visible with ``pytest -s`` or when run as a script) and written
 to ``benchmarks/results/<experiment>.txt`` so the table survives pytest's
 output capture.  EXPERIMENTS.md is assembled from these files.
+
+Timing goes through :class:`StageRecorder` — the span API from
+:mod:`repro.obs.trace` on a *private* tracer, so benches get the same
+nested per-stage attribution the production telemetry produces without
+ever touching the process-global ``TRACE`` switch.  ``report`` persists
+the recorder's per-stage summary as ``<experiment>.stages.json`` next to
+the table; ``tools/collect_results.py`` renders the breakdown.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 from repro.backend import create_backend
 from repro.core.metrics import Table
 from repro.nx.params import POWER9
+from repro.obs.trace import Span, Tracer
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -28,8 +37,61 @@ def resolve_engine(name: str = "nx", machine=POWER9, **kwargs):
     return create_backend(name, machine=machine, **kwargs)
 
 
+class StageRecorder:
+    """Span-timed bench stages on a private, always-enabled tracer.
+
+    ``stage`` opens one nested span (use as a context manager);
+    ``best_of`` is the repeated-measurement primitive the benches used
+    to hand-roll with ``perf_counter`` pairs.  ``summary`` aggregates
+    wall-clock per stage name and ``write`` persists it for the
+    collector.
+    """
+
+    def __init__(self) -> None:
+        self._tracer = Tracer()
+        self._tracer.enable()
+
+    def stage(self, name: str, **attrs: object) -> Span:
+        """Open one timed stage span (nests like any span)."""
+        return self._tracer.span(name, **attrs)
+
+    def best_of(self, fn, repeats: int, name: str = "run",
+                **attrs: object) -> float:
+        """Best wall-clock seconds over ``repeats`` runs (noise floor)."""
+        best = float("inf")
+        for _ in range(repeats):
+            with self.stage(name, **attrs) as span:
+                fn()
+            best = min(best, span.duration_s)
+        return best
+
+    def summary(self) -> dict[str, dict]:
+        """Per-stage aggregate: run count, total and best seconds."""
+        stages: dict[str, dict] = {}
+        for span in self._tracer.finished():
+            agg = stages.setdefault(span.name, {"count": 0,
+                                                "total_s": 0.0,
+                                                "best_s": float("inf")})
+            agg["count"] += 1
+            agg["total_s"] += span.duration_s
+            agg["best_s"] = min(agg["best_s"], span.duration_s)
+        for agg in stages.values():
+            agg["total_s"] = round(agg["total_s"], 6)
+            agg["best_s"] = round(agg["best_s"], 6)
+        return stages
+
+    def write(self, experiment: str) -> pathlib.Path:
+        """Persist the per-stage breakdown next to the result table."""
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{experiment}.stages.json"
+        path.write_text(json.dumps(self.summary(), indent=2,
+                                   sort_keys=True) + "\n")
+        return path
+
+
 def report(experiment: str, table: Table, title: str,
-           notes: str = "", figure: str = "") -> str:
+           notes: str = "", figure: str = "",
+           stages: StageRecorder | None = None) -> str:
     """Render, print, and persist one experiment table (+ figure)."""
     RESULTS_DIR.mkdir(exist_ok=True)
     text = table.render(title=title)
@@ -38,6 +100,8 @@ def report(experiment: str, table: Table, title: str,
     if figure:
         text += "\n\n" + figure
     (RESULTS_DIR / f"{experiment}.txt").write_text(text + "\n")
+    if stages is not None:
+        stages.write(experiment)
     print()
     print(text)
     return text

@@ -24,8 +24,8 @@ import argparse
 import json
 import pathlib
 import sys
-import time
 
+from _common import StageRecorder
 from repro.deflate.checksums import adler32, crc32
 from repro.deflate.compress import deflate
 from repro.deflate.inflate import inflate
@@ -37,15 +37,14 @@ RESULT_PATH = REPO_ROOT / "BENCH_hotpath.json"
 
 _MB = 1e6
 
+#: Span-timed stages (private tracer; survives across run_bench calls so
+#: ``main`` can persist the per-stage breakdown).
+_STAGES = StageRecorder()
 
-def _best_of(fn, repeats: int) -> float:
+
+def _best_of(fn, repeats: int, name: str = "kernel") -> float:
     """Best wall-clock seconds over ``repeats`` runs (noise floor)."""
-    best = float("inf")
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - t0)
-    return best
+    return _STAGES.best_of(fn, repeats, name=name)
 
 
 def _mbps(nbytes: int, seconds: float) -> float:
@@ -62,15 +61,20 @@ def run_bench(quick: bool = False, level: int = 6,
 
     results: dict = {}
     results["deflate_l6_mbps"] = _mbps(
-        len(corpus), _best_of(lambda: deflate(corpus, level=level), repeats))
+        len(corpus), _best_of(lambda: deflate(corpus, level=level), repeats,
+                              name="deflate_l6"))
     results["inflate_mbps"] = _mbps(
-        len(corpus), _best_of(lambda: inflate(payload), repeats))
+        len(corpus), _best_of(lambda: inflate(payload), repeats,
+                              name="inflate"))
     results["tokenize_l6_mbps"] = _mbps(
-        len(corpus), _best_of(lambda: tokenize(corpus, level), repeats))
+        len(corpus), _best_of(lambda: tokenize(corpus, level), repeats,
+                              name="tokenize_l6"))
     results["crc32_mbps"] = _mbps(
-        len(corpus), _best_of(lambda: crc32(corpus), repeats))
+        len(corpus), _best_of(lambda: crc32(corpus), repeats,
+                              name="crc32"))
     results["adler32_mbps"] = _mbps(
-        len(corpus), _best_of(lambda: adler32(corpus), repeats))
+        len(corpus), _best_of(lambda: adler32(corpus), repeats,
+                              name="adler32"))
 
     # Chunked-parallel compressor scaling (absent on pre-kernel trees).
     try:
@@ -82,7 +86,8 @@ def run_bench(quick: bool = False, level: int = 6,
         for nworkers in workers:
             seconds = _best_of(
                 lambda: parallel_deflate(corpus, level=level,
-                                         workers=nworkers), repeats)
+                                         workers=nworkers), repeats,
+                name=f"parallel_deflate_{nworkers}w")
             scaling[str(nworkers)] = round(_mbps(len(corpus), seconds), 3)
         results["parallel_deflate_mbps"] = scaling
 
@@ -146,6 +151,7 @@ def main(argv: list[str] | None = None) -> int:
     if not args.no_write:
         args.out.write_text(json.dumps(report, indent=2) + "\n")
         print(f"wrote {args.out}")
+        print(f"stages: {_STAGES.write('hotpath')}")
     return 0
 
 

@@ -1,0 +1,159 @@
+"""Telemetry overhead: the cost of the disabled (and enabled) tracer.
+
+The observability layer promises *near-zero* cost while disabled: every
+hot-path site guards its instrumentation behind one attribute check
+(``if TRACE.enabled``).  This bench puts a number on that promise by
+interleaving, in one process, the raw kernel cores
+(:func:`deflate_core` / :func:`inflate_core`, which carry no guard at
+all) against the guarded public wrappers with telemetry off — the
+interleaving cancels thermal/frequency drift between the two series.
+It also measures traced throughput so the *enabled* cost is visible.
+
+Results are written to ``BENCH_obs.json`` at the repo root;
+``tools/perf_gate.py`` enforces the documented <2 % ceiling on the
+disabled-path overhead.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py           # full
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py --quick   # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+from repro import obs
+from repro.deflate.compress import deflate, deflate_core
+from repro.deflate.inflate import inflate_core, inflate_with_stats
+from repro.workloads.corpus import corpus_bytes
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_obs.json"
+
+_MB = 1e6
+
+
+def _interleaved_best(raw_fn, guarded_fn,
+                      repeats: int) -> tuple[float, float]:
+    """Best-of seconds for both callables, alternating runs.
+
+    Alternation keeps both series exposed to the same machine state, so
+    the difference isolates the guard cost rather than drift.
+    """
+    best_raw = best_guarded = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        raw_fn()
+        best_raw = min(best_raw, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        guarded_fn()
+        best_guarded = min(best_guarded, time.perf_counter() - t0)
+    return best_raw, best_guarded
+
+
+def _overhead_pct(raw_s: float, guarded_s: float) -> float:
+    """Guard cost as a percentage of the raw kernel time, floored at 0
+    (negative differences are measurement noise, not speedups)."""
+    if raw_s <= 0:
+        return 0.0
+    return max(0.0, (guarded_s - raw_s) / raw_s * 100.0)
+
+
+def run_bench(quick: bool = False, level: int = 6) -> dict:
+    """Measure disabled-guard overhead and traced throughput."""
+    scale = 0.25 if quick else 1.0
+    repeats = 3 if quick else 9
+    corpus = corpus_bytes("calgary-like", scale=scale)
+
+    was_tracing = obs.tracing_enabled()
+    was_metrics = obs.metrics_enabled()
+    obs.disable()
+
+    payload = deflate(corpus, level=level).data
+
+    raw_s, guarded_s = _interleaved_best(
+        lambda: deflate_core(corpus, level=level),
+        lambda: deflate(corpus, level=level), repeats)
+    deflate_overhead = _overhead_pct(raw_s, guarded_s)
+    deflate_off_mbps = len(corpus) / _MB / guarded_s
+
+    raw_s, guarded_s = _interleaved_best(
+        lambda: inflate_core(payload),
+        lambda: inflate_with_stats(payload), repeats)
+    inflate_overhead = _overhead_pct(raw_s, guarded_s)
+    inflate_off_mbps = len(corpus) / _MB / guarded_s
+
+    # Enabled cost: same kernel with spans recorded, for the record
+    # (tracing is opt-in, so this is informational, not gated).
+    obs.enable()
+    obs.tracer().reset()
+    traced_s = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        deflate(corpus, level=level)
+        traced_s = min(traced_s, time.perf_counter() - t0)
+    spans_recorded = len(obs.tracer().finished())
+    obs.reset()
+    obs.disable()
+    if was_tracing or was_metrics:
+        obs.enable(trace=was_tracing, metrics=was_metrics)
+
+    results = {
+        "deflate_l6_off_overhead_pct": round(deflate_overhead, 3),
+        "inflate_off_overhead_pct": round(inflate_overhead, 3),
+        "deflate_l6_off_mbps": round(deflate_off_mbps, 3),
+        "inflate_off_mbps": round(inflate_off_mbps, 3),
+        "deflate_l6_traced_mbps": round(len(corpus) / _MB / traced_s, 3),
+        "spans_per_traced_deflate": spans_recorded // repeats,
+    }
+    meta = {
+        "corpus": "calgary-like",
+        "scale": scale,
+        "bytes": len(corpus),
+        "level": level,
+        "repeats": repeats,
+        "quick": quick,
+        "python": sys.version.split()[0],
+    }
+    return {"meta": meta, "results": results}
+
+
+def render(report: dict) -> str:
+    meta = report["meta"]
+    lines = [f"telemetry overhead on {meta['bytes']} bytes "
+             f"({meta['corpus']}, level {meta['level']}, "
+             f"best of {meta['repeats']})"]
+    for key, value in report["results"].items():
+        unit = "%" if key.endswith("_pct") else (
+            " MB/s" if key.endswith("_mbps") else "")
+        lines.append(f"  {key:32s} {value:10.3f}{unit}"
+                     if isinstance(value, float)
+                     else f"  {key:32s} {value:>10}{unit}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller corpus, fewer repeats (CI smoke)")
+    parser.add_argument("--no-write", action="store_true",
+                        help="print results without updating the JSON")
+    parser.add_argument("--out", type=pathlib.Path, default=RESULT_PATH,
+                        help="output JSON path (default repo root)")
+    args = parser.parse_args(argv)
+
+    report = run_bench(quick=args.quick)
+    print(render(report))
+    if not args.no_write:
+        args.out.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

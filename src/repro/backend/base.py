@@ -27,6 +27,9 @@ import abc
 from dataclasses import dataclass
 from typing import ClassVar
 
+from ..obs.metrics import REGISTRY as _REGISTRY
+from ..obs.metrics import record_job
+from ..obs.trace import TRACE as _TRACE
 from ..sysstack.driver import DriverResult
 
 
@@ -84,6 +87,18 @@ def _strategy_value(strategy: object) -> str:
     return getattr(strategy, "value", strategy)
 
 
+def _annotate(span, result: DriverResult) -> None:
+    """Attach completion accounting to a ``backend.submit`` span."""
+    stats = result.stats
+    span.set(out_bytes=len(result.output),
+             modelled_s=stats.elapsed_seconds,
+             submissions=stats.submissions)
+    if stats.translation_faults:
+        span.set(faults=stats.translation_faults)
+    if stats.fallback_to_software:
+        span.event("fallback.software")
+
+
 class CompressionBackend(abc.ABC):
     """One way of executing compression jobs (software or modelled HW)."""
 
@@ -105,18 +120,45 @@ class CompressionBackend(abc.ABC):
         meaningful when ``capabilities().streaming`` is true.
         """
         fmt = fmt or self.capabilities().default_format
-        result = self._compress(data, _strategy_value(strategy), fmt,
-                                history, final)
-        self._stats.record(result, len(data))
+        if _TRACE.enabled:
+            with _TRACE.span("backend.submit", backend=self.name,
+                             op="compress", fmt=fmt,
+                             nbytes=len(data)) as span:
+                result = self._compress(data, _strategy_value(strategy),
+                                        fmt, history, final)
+                _annotate(span, result)
+        else:
+            result = self._compress(data, _strategy_value(strategy), fmt,
+                                    history, final)
+        self._record(result, len(data), "compress")
         return result
 
     def decompress(self, payload: bytes, *, fmt: str | None = None,
                    history: bytes = b"") -> DriverResult:
         """Decompress ``payload`` produced in the same wire format."""
         fmt = fmt or self.capabilities().default_format
-        result = self._decompress(payload, fmt, history)
-        self._stats.record(result, len(payload))
+        if _TRACE.enabled:
+            with _TRACE.span("backend.submit", backend=self.name,
+                             op="decompress", fmt=fmt,
+                             nbytes=len(payload)) as span:
+                result = self._decompress(payload, fmt, history)
+                _annotate(span, result)
+        else:
+            result = self._decompress(payload, fmt, history)
+        self._record(result, len(payload), "decompress")
         return result
+
+    def _record(self, result: DriverResult, nbytes_in: int,
+                op: str) -> None:
+        """Session accounting plus (when enabled) the global registry."""
+        self._stats.record(result, nbytes_in)
+        if _REGISTRY.enabled:
+            record_job("backend", op=op, nbytes_in=nbytes_in,
+                       nbytes_out=len(result.output),
+                       seconds=result.stats.elapsed_seconds,
+                       faults=result.stats.translation_faults,
+                       fallback=result.stats.fallback_to_software,
+                       backend=self.name)
 
     @abc.abstractmethod
     def capabilities(self) -> BackendCapabilities:

@@ -20,6 +20,8 @@ from ..errors import AcceleratorError, ChecksumError, ConfigError, \
 from ..nx.dht import DhtStrategy
 from ..nx.params import Z15, MachineParams, get_machine
 from ..nx.z15 import ConditionCode, Dfltcc, ParameterBlock
+from ..obs.metrics import REGISTRY as _REGISTRY
+from ..obs.trace import TRACE as _TRACE
 from ..perf.cost import accelerator_effective_gbps
 from ..sysstack.driver import DriverResult, SubmissionStats
 from .base import BackendCapabilities, CompressionBackend
@@ -80,6 +82,13 @@ class DfltccBackend(CompressionBackend):
                 break
             if result.cc is not ConditionCode.PARTIAL:
                 raise AcceleratorError(f"unexpected CC {result.cc!r}")
+        if _TRACE.enabled and invocations > 1:
+            # The CC=3 re-issue loop: how many CMPR issues this job took.
+            _TRACE.event("dfltcc.reissue", invocations=invocations)
+        if _REGISTRY.enabled:
+            _REGISTRY.counter("repro_backend_dfltcc_invocations_total",
+                              "DFLTCC instruction issues").inc(
+                invocations, fn="cmpr")
         if fmt == "raw":
             output = bytes(body)
         elif history or not final:
@@ -109,10 +118,16 @@ class DfltccBackend(CompressionBackend):
             if result.cc is ConditionCode.DONE:
                 break
             if result.cc is ConditionCode.OP1_FULL:
+                if _TRACE.enabled:
+                    _TRACE.event("overflow.target", length=capacity)
                 capacity *= 2
                 continue
             raise AcceleratorError(f"unexpected CC {result.cc!r}")
         _verify_container(payload, result.produced, fmt)
+        if _REGISTRY.enabled:
+            _REGISTRY.counter("repro_backend_dfltcc_invocations_total",
+                              "DFLTCC instruction issues").inc(
+                invocations, fn="xpnd")
         stats = SubmissionStats(submissions=invocations,
                                 elapsed_seconds=result.seconds)
         return DriverResult(output=result.produced, csb=None, stats=stats)

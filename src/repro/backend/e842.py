@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from ..e842.engine import Engine842, Engine842Params
 from ..errors import ConfigError
+from ..obs.trace import TRACE as _TRACE
 from ..sysstack.driver import DriverResult, SubmissionStats
 from .base import BackendCapabilities, CompressionBackend
 
@@ -51,6 +52,9 @@ class E842Backend(CompressionBackend):
                   history: bytes, final: bool) -> DriverResult:
         self._check(fmt, history, final)
         result = self.engine.compress(data)
+        if _TRACE.enabled:
+            _TRACE.event("e842.pipe", op="compress",
+                         seconds=result.seconds)
         stats = SubmissionStats(submissions=1,
                                 elapsed_seconds=result.seconds)
         return DriverResult(output=result.data, csb=None, stats=stats,

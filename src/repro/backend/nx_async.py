@@ -22,6 +22,8 @@ from ..nx.dht import DhtStrategy
 from ..nx.params import POWER9, MachineParams, get_machine
 from ..perf.cost import accelerator_effective_gbps
 from ..sysstack.crb import Op
+from ..obs.metrics import REGISTRY as _REGISTRY
+from ..obs.metrics import record_job
 from ..sysstack.driver import (DEFAULT_MAX_RETRIES, AsyncNxDriver,
                                DriverResult, PendingJob)
 from ..sysstack.mmu import AddressSpace, FaultInjector
@@ -111,15 +113,28 @@ class NxAsyncBackend(CompressionBackend):
         """Drain completions; finished jobs are folded into ``stats()``."""
         finished = self.driver.poll()
         for job in finished:
-            self._stats.record(job.result, job.data_len)
+            self._account_async(job)
         return finished
 
     def wait_all(self) -> list[PendingJob]:
         """Poll until every in-flight job on this backend completes."""
         finished = self.driver.wait_all()
         for job in finished:
-            self._stats.record(job.result, job.data_len)
+            self._account_async(job)
         return finished
+
+    def _account_async(self, job: PendingJob) -> None:
+        """Async completions bypass the base record hook — mirror it."""
+        self._stats.record(job.result, job.data_len)
+        if _REGISTRY.enabled:
+            op = ("compress" if job.op in (Op.COMPRESS, Op.COMPRESS_842)
+                  else "decompress")
+            record_job("backend", op=op, nbytes_in=job.data_len,
+                       nbytes_out=len(job.result.output),
+                       seconds=job.result.stats.elapsed_seconds,
+                       faults=job.result.stats.translation_faults,
+                       fallback=job.result.stats.fallback_to_software,
+                       backend=self.name)
 
     @property
     def in_flight(self) -> int:

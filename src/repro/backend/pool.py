@@ -21,13 +21,16 @@ identically over ``nx`` and ``dfltcc`` backends.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from ..errors import ConfigError
 from ..nx.params import POWER9, MachineParams, Topology, get_machine
+from ..obs.metrics import REGISTRY as _REGISTRY
+from ..obs.trace import TRACE as _TRACE
 from ..perf.routing import MultiChipRouter, RoutingResult, choose_chip
 from ..sysstack.driver import DriverResult
-from .base import BackendStats, CompressionBackend
+from .base import CompressionBackend
 from .registry import create_backend, default_backend
 
 #: Pool routing policies (superset of the DES policies: adds the
@@ -37,6 +40,26 @@ ROUTING_POLICIES = ("local", "round_robin", "least_loaded",
 
 #: Pseudo chip index for the software-fallback instance.
 SOFTWARE = -1
+
+
+@dataclass(frozen=True)
+class PoolStats:
+    """One immutable, mutually consistent snapshot of pool activity.
+
+    Built under the pool's lock in a single pass, so ``requests`` /
+    ``bytes_*`` / ``dispatch_counts`` / ``in_flight`` all describe the
+    same instant even while another thread is batch-submitting.
+    """
+
+    requests: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    modelled_seconds: float = 0.0
+    faults: int = 0
+    fallbacks: int = 0
+    dispatch_counts: tuple[int, ...] = ()
+    software_jobs: int = 0
+    in_flight: int = 0
 
 
 @dataclass
@@ -86,6 +109,7 @@ class AcceleratorPool:
         self._open: list[PoolJob] = []
         self._by_pending: dict[tuple[int, int], PoolJob] = {}
         self._next_index = 0
+        self._lock = threading.Lock()
 
     # -- instance management -------------------------------------------------
 
@@ -140,25 +164,40 @@ class AcceleratorPool:
         return loads
 
     def _dispatch(self, chip: int) -> None:
-        if chip == SOFTWARE:
-            self.software_jobs += 1
+        with self._lock:
+            if chip == SOFTWARE:
+                self.software_jobs += 1
+            else:
+                self.dispatch_counts[chip] += 1
+        if _REGISTRY.enabled:
+            target = "software" if chip == SOFTWARE else str(chip)
+            _REGISTRY.counter("repro_pool_dispatch_total",
+                              "jobs routed per chip").inc(1, chip=target)
+
+    def _route_traced(self, nbytes: int, home: int) -> int:
+        """Route + dispatch accounting, under a ``pool.route`` span."""
+        if _TRACE.enabled:
+            with _TRACE.span("pool.route", policy=self.policy,
+                             nbytes=nbytes, home=home) as span:
+                chip = self.route(nbytes, home)
+                span.set(chip="software" if chip == SOFTWARE else chip)
         else:
-            self.dispatch_counts[chip] += 1
+            chip = self.route(nbytes, home)
+        self._dispatch(chip)
+        return chip
 
     # -- synchronous operations ----------------------------------------------
 
     def compress(self, data: bytes, *, strategy: object = "auto",
                  fmt: str | None = None, history: bytes = b"",
                  final: bool = True, home: int = 0) -> DriverResult:
-        chip = self.route(len(data), home)
-        self._dispatch(chip)
+        chip = self._route_traced(len(data), home)
         return self.backend_for(chip).compress(
             data, strategy=strategy, fmt=fmt, history=history, final=final)
 
     def decompress(self, payload: bytes, *, fmt: str | None = None,
                    history: bytes = b"", home: int = 0) -> DriverResult:
-        chip = self.route(len(payload), home)
-        self._dispatch(chip)
+        chip = self._route_traced(len(payload), home)
         return self.backend_for(chip).decompress(payload, fmt=fmt,
                                                  history=history)
 
@@ -174,21 +213,24 @@ class AcceleratorPool:
 
     def _submit(self, kind: str, data: bytes, strategy: object,
                 fmt: str | None, home: int) -> PoolJob:
-        chip = self.route(len(data), home)
-        self._dispatch(chip)
+        chip = self._route_traced(len(data), home)
         backend = self.backend_for(chip)
-        job = PoolJob(index=self._next_index, chip=chip,
-                      nbytes=len(data), kind=kind)
-        self._next_index += 1
+        with self._lock:
+            job = PoolJob(index=self._next_index, chip=chip,
+                          nbytes=len(data), kind=kind)
+            self._next_index += 1
         if chip != SOFTWARE and hasattr(backend, "submit"):
             pending = backend.submit(kind, data, strategy=strategy, fmt=fmt)
-            self._pending_bytes[chip] += len(data)
-            self._by_pending[(chip, pending.sequence)] = job
+            with self._lock:
+                self._pending_bytes[chip] += len(data)
+                self._by_pending[(chip, pending.sequence)] = job
+            self._publish_in_flight()
         elif kind == "compress":
             job.result = backend.compress(data, strategy=strategy, fmt=fmt)
         else:
             job.result = backend.decompress(data, fmt=fmt)
-        self._open.append(job)
+        with self._lock:
+            self._open.append(job)
         return job
 
     def poll(self) -> list[PoolJob]:
@@ -198,12 +240,16 @@ class AcceleratorPool:
             if instance is None or not hasattr(instance, "poll"):
                 continue
             for pending in instance.poll():
-                job = self._by_pending.pop((chip, pending.sequence), None)
-                if job is None:
-                    continue
-                job.result = pending.result
-                self._pending_bytes[chip] -= job.nbytes
+                with self._lock:
+                    job = self._by_pending.pop((chip, pending.sequence),
+                                               None)
+                    if job is None:
+                        continue
+                    job.result = pending.result
+                    self._pending_bytes[chip] -= job.nbytes
                 finished.append(job)
+        if finished:
+            self._publish_in_flight()
         return finished
 
     def wait_all(self) -> list[DriverResult]:
@@ -213,36 +259,61 @@ class AcceleratorPool:
                     or not instance.in_flight):
                 continue
             for pending in instance.wait_all():
-                job = self._by_pending.pop((chip, pending.sequence), None)
-                if job is None:
-                    continue
-                job.result = pending.result
-                self._pending_bytes[chip] -= job.nbytes
-        results = [job.result for job in self._open]
-        self._open = []
+                with self._lock:
+                    job = self._by_pending.pop((chip, pending.sequence),
+                                               None)
+                    if job is None:
+                        continue
+                    job.result = pending.result
+                    self._pending_bytes[chip] -= job.nbytes
+        with self._lock:
+            results = [job.result for job in self._open]
+            self._open = []
+        self._publish_in_flight()
         return results
 
     @property
     def in_flight(self) -> int:
-        return len(self._by_pending)
+        with self._lock:
+            return len(self._by_pending)
+
+    def _publish_in_flight(self) -> None:
+        if _REGISTRY.enabled:
+            _REGISTRY.gauge("repro_pool_in_flight",
+                            "batch jobs awaiting completion").set(
+                self.in_flight)
 
     # -- aggregate accounting ------------------------------------------------
 
-    def stats(self) -> BackendStats:
-        """Totals across every instance (including software fallback)."""
-        total = BackendStats()
-        instances = [i for i in self._instances if i is not None]
-        if self._software is not None:
-            instances.append(self._software)
-        for instance in instances:
-            part = instance.stats()
-            total.requests += part.requests
-            total.bytes_in += part.bytes_in
-            total.bytes_out += part.bytes_out
-            total.modelled_seconds += part.modelled_seconds
-            total.faults += part.faults
-            total.fallbacks += part.fallbacks
-        return total
+    def stats(self) -> PoolStats:
+        """One consistent, immutable snapshot across every instance.
+
+        All counters — per-instance totals, dispatch/software counts,
+        in-flight depth — are read in a single critical section, so a
+        snapshot taken mid-batch never shows e.g. a dispatch without its
+        matching request total.
+        """
+        with self._lock:
+            instances = [i for i in self._instances if i is not None]
+            if self._software is not None:
+                instances.append(self._software)
+            requests = bytes_in = bytes_out = faults = fallbacks = 0
+            modelled = 0.0
+            for instance in instances:
+                part = instance.stats()
+                requests += part.requests
+                bytes_in += part.bytes_in
+                bytes_out += part.bytes_out
+                modelled += part.modelled_seconds
+                faults += part.faults
+                fallbacks += part.fallbacks
+            return PoolStats(
+                requests=requests, bytes_in=bytes_in, bytes_out=bytes_out,
+                modelled_seconds=modelled, faults=faults,
+                fallbacks=fallbacks,
+                dispatch_counts=tuple(self.dispatch_counts),
+                software_jobs=self.software_jobs,
+                in_flight=len(self._by_pending))
 
     # -- capacity planning ---------------------------------------------------
 

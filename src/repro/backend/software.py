@@ -14,6 +14,7 @@ from ..deflate import (deflate, gzip_compress, gzip_decompress,
                        inflate_with_stats, zlib_compress, zlib_decompress)
 from ..errors import ConfigError
 from ..nx.params import POWER9, MachineParams, get_machine
+from ..obs.trace import TRACE as _TRACE
 from ..perf.cost import SoftwareCostModel
 from ..sysstack.driver import DriverResult, SubmissionStats
 from .base import BackendCapabilities, CompressionBackend
@@ -64,6 +65,8 @@ class SoftwareZlibBackend(CompressionBackend):
             output = gzip_compress(data, level=self.level)
         else:
             raise ConfigError(f"software backend does not produce {fmt!r}")
+        if _TRACE.enabled:
+            _TRACE.event("software.deflate", level=self.level)
         seconds = self._cost.compress_seconds(len(data), level=self.level)
         stats = SubmissionStats(submissions=1, elapsed_seconds=seconds)
         return DriverResult(output=output, csb=None, stats=stats)

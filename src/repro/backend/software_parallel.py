@@ -28,6 +28,7 @@ from ..deflate import (adler32, crc32, gzip_decompress, inflate_with_stats,
 from ..deflate.parallel import DEFAULT_CHUNK_SIZE, parallel_deflate
 from ..errors import ConfigError
 from ..nx.params import POWER9, MachineParams, get_machine
+from ..obs.trace import TRACE as _TRACE
 from ..perf.cost import SoftwareCostModel
 from ..sysstack.driver import DriverResult, SubmissionStats
 from .base import BackendCapabilities, CompressionBackend
@@ -88,6 +89,8 @@ class SoftwareParallelBackend(CompressionBackend):
                 f"software-parallel backend does not produce {fmt!r}")
         nchunks = max(1, -(-len(data) // self.chunk_size))
         used = min(self.workers, nchunks)
+        if _TRACE.enabled:
+            _TRACE.event("parallel.chunks", chunks=nchunks, workers=used)
         seconds = self._cost.compress_seconds(
             len(data), level=self.level) / used
         stats = SubmissionStats(submissions=nchunks, elapsed_seconds=seconds)

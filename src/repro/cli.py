@@ -8,6 +8,12 @@ Commands:
 * ``backends``   — list registered backends and their capabilities
 * ``advise``     — offload advice for a request size
 * ``ratio``      — compare codec ratios on a file or named generator
+* ``stats``      — telemetry snapshot: metrics registry + engine health
+
+Telemetry is off by default; ``repro --trace <command>`` records spans
+for every job and writes a Chrome ``trace_event`` JSON (open it in
+Perfetto or chrome://tracing), and ``--metrics`` prints a Prometheus
+snapshot of the metrics registry after the command.
 
 Every engine acquisition goes through the backend registry: pick the
 execution path with ``--backend`` and fan jobs across chips with
@@ -24,7 +30,6 @@ import sys
 
 from .backend import (ROUTING_POLICIES, AcceleratorPool,
                       backend_capabilities, backend_names)
-from .core.api import NxGzip
 from .core.metrics import Table, human_bytes
 from .core.offload import OffloadAdvisor
 from .errors import ReproError
@@ -56,6 +61,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="IBM POWER9/z15 compression accelerator model")
+    parser.add_argument("--trace", action="store_true",
+                        help="record job spans and write a Chrome "
+                             "trace_event JSON after the command")
+    parser.add_argument("--trace-out", type=pathlib.Path, default=None,
+                        help="trace output path "
+                             "(default: repro-trace.json)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print a Prometheus metrics snapshot "
+                             "after the command")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_comp = sub.add_parser("compress", help="compress a file")
@@ -96,6 +110,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_self = sub.add_parser("selftest",
                             help="known-answer vectors through both pipes")
     _add_machine_arg(p_self)
+
+    p_stats = sub.add_parser(
+        "stats", help="telemetry snapshot: metrics + accelerator health")
+    p_stats.add_argument("--machine", default=None,
+                         choices=sorted(MACHINES),
+                         help="probe one machine's engines "
+                              "(default: all)")
+    p_stats.add_argument("--format", default="both",
+                         choices=["json", "prometheus", "both"],
+                         help="snapshot rendering (default: both)")
     return parser
 
 
@@ -113,27 +137,23 @@ def _load_source(source: str) -> tuple[str, bytes]:
 
 def _run_session(args: argparse.Namespace, kind: str,
                  data: bytes) -> tuple[bytes, float]:
-    """Execute one request via the pool (``--pool-chips > 1``) or a
-    single-backend session; returns (output bytes, modelled seconds)."""
+    """Execute one request through the accelerator pool; returns
+    (output bytes, modelled seconds).  A single chip still routes
+    through the pool so every CLI job shares one code path (and one
+    span taxonomy: pool.route → backend.submit → …)."""
     if getattr(args, "pool_chips", 1) < 1:
         raise ReproError(f"--pool-chips must be >= 1, got {args.pool_chips}")
-    if getattr(args, "pool_chips", 1) > 1:
-        with AcceleratorPool(args.machine, chips=args.pool_chips,
-                             policy=args.pool_policy,
-                             backend=args.backend) as pool:
-            if kind == "compress":
-                result = pool.compress(data, strategy=args.strategy,
-                                       fmt=args.fmt)
-            else:
-                result = pool.decompress(data, fmt=args.fmt)
-        return result.output, result.stats.elapsed_seconds
-    with NxGzip(args.machine, backend=args.backend) as session:
+    with AcceleratorPool(args.machine,
+                         chips=getattr(args, "pool_chips", 1),
+                         policy=getattr(args, "pool_policy",
+                                        "round_robin"),
+                         backend=args.backend or "nx") as pool:
         if kind == "compress":
-            result = session.compress(data, strategy=args.strategy,
-                                      fmt=args.fmt)
+            result = pool.compress(data, strategy=args.strategy,
+                                   fmt=args.fmt)
         else:
-            result = session.decompress(data, fmt=args.fmt)
-    return result.data, result.modelled_seconds
+            result = pool.decompress(data, fmt=args.fmt)
+    return result.output, result.stats.elapsed_seconds
 
 
 def cmd_compress(args: argparse.Namespace) -> int:
@@ -256,6 +276,23 @@ def cmd_selftest(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def cmd_stats(args: argparse.Namespace) -> int:
+    from . import obs
+    from .nx.selftest import run_selftest
+
+    obs.enable(trace=False, metrics=True)
+    machines = [args.machine] if args.machine else sorted(MACHINES)
+    for name in machines:
+        # Populate the per-engine health gauges the snapshot reports.
+        run_selftest(get_machine(name), raise_on_failure=False)
+    registry = obs.registry()
+    if args.format in ("json", "both"):
+        print(registry.to_json())
+    if args.format in ("prometheus", "both"):
+        print(registry.to_prometheus())
+    return 0
+
+
 _COMMANDS = {
     "compress": cmd_compress,
     "decompress": cmd_decompress,
@@ -264,16 +301,39 @@ _COMMANDS = {
     "advise": cmd_advise,
     "ratio": cmd_ratio,
     "selftest": cmd_selftest,
+    "stats": cmd_stats,
 }
+
+
+def _finish_telemetry(args: argparse.Namespace) -> None:
+    """Export whatever `--trace`/`--metrics` asked for, even on errors."""
+    from . import obs
+
+    if args.trace:
+        out = args.trace_out or pathlib.Path("repro-trace.json")
+        obs.export_chrome_trace(out)
+        jsonl = out.with_suffix(".spans.jsonl")
+        obs.export_spans_jsonl(jsonl)
+        print(f"trace: {out} (Perfetto / chrome://tracing); "
+              f"spans: {jsonl}")
+    if args.metrics and args.command != "stats":
+        print(obs.registry().to_prometheus())
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.trace or args.metrics:
+        from . import obs
+
+        obs.enable(trace=args.trace, metrics=True)
     try:
-        return _COMMANDS[args.command](args)
+        code = _COMMANDS[args.command](args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        code = 1
+    if args.trace or args.metrics:
+        _finish_telemetry(args)
+    return code
 
 
 if __name__ == "__main__":

@@ -16,6 +16,9 @@ from ..backend.registry import create_backend
 from ..deflate import gzip_decompress, inflate, zlib_decompress
 from ..errors import ConfigError
 from ..nx.params import POWER9, MachineParams, get_machine
+from ..obs.metrics import REGISTRY as _REGISTRY
+from ..obs.metrics import record_job
+from ..obs.trace import TRACE as _TRACE
 from ..sysstack.driver import DriverResult
 
 
@@ -105,8 +108,16 @@ class NxGzip:
     def compress(self, data: bytes, strategy: str = "auto",
                  fmt: str = "gzip") -> CompressedBuffer:
         """Compress ``data``; ``fmt`` is raw | zlib | gzip."""
-        result = self.backend.compress(data, strategy=strategy, fmt=fmt)
-        self._account(len(data), len(result.output), result)
+        if _TRACE.enabled:
+            with _TRACE.span("api.compress", backend=self.backend_name,
+                             fmt=fmt, nbytes=len(data)) as span:
+                result = self.backend.compress(data, strategy=strategy,
+                                               fmt=fmt)
+                span.set(out_bytes=len(result.output),
+                         modelled_s=result.stats.elapsed_seconds)
+        else:
+            result = self.backend.compress(data, strategy=strategy, fmt=fmt)
+        self._account(len(data), len(result.output), result, "compress")
         return CompressedBuffer(data=result.output,
                                 modelled_seconds=result.stats.elapsed_seconds,
                                 driver=result)
@@ -114,24 +125,43 @@ class NxGzip:
     def decompress(self, payload: bytes,
                    fmt: str = "gzip") -> CompressedBuffer:
         """Decompress ``payload`` produced in the same wire format."""
-        result = self.backend.decompress(payload, fmt=fmt)
-        self._account(len(payload), len(result.output), result)
+        if _TRACE.enabled:
+            with _TRACE.span("api.decompress", backend=self.backend_name,
+                             fmt=fmt, nbytes=len(payload)) as span:
+                result = self.backend.decompress(payload, fmt=fmt)
+                span.set(out_bytes=len(result.output),
+                         modelled_s=result.stats.elapsed_seconds)
+        else:
+            result = self.backend.decompress(payload, fmt=fmt)
+        self._account(len(payload), len(result.output), result, "decompress")
         return CompressedBuffer(data=result.output,
                                 modelled_seconds=result.stats.elapsed_seconds,
                                 driver=result)
 
     def compress_842(self, data: bytes) -> CompressedBuffer:
         """Compress through the 842 pipes (memory-compression format)."""
-        result = self.backend.compress(data, fmt="842")
-        self._account(len(data), len(result.output), result)
+        if _TRACE.enabled:
+            with _TRACE.span("api.compress", backend=self.backend_name,
+                             fmt="842", nbytes=len(data)) as span:
+                result = self.backend.compress(data, fmt="842")
+                span.set(out_bytes=len(result.output))
+        else:
+            result = self.backend.compress(data, fmt="842")
+        self._account(len(data), len(result.output), result, "compress")
         return CompressedBuffer(data=result.output,
                                 modelled_seconds=result.stats.elapsed_seconds,
                                 driver=result)
 
     def decompress_842(self, payload: bytes) -> CompressedBuffer:
         """Decompress an 842 stream produced by :meth:`compress_842`."""
-        result = self.backend.decompress(payload, fmt="842")
-        self._account(len(payload), len(result.output), result)
+        if _TRACE.enabled:
+            with _TRACE.span("api.decompress", backend=self.backend_name,
+                             fmt="842", nbytes=len(payload)) as span:
+                result = self.backend.decompress(payload, fmt="842")
+                span.set(out_bytes=len(result.output))
+        else:
+            result = self.backend.decompress(payload, fmt="842")
+        self._account(len(payload), len(result.output), result, "decompress")
         return CompressedBuffer(data=result.output,
                                 modelled_seconds=result.stats.elapsed_seconds,
                                 driver=result)
@@ -144,9 +174,19 @@ class NxGzip:
         The streaming layer calls this per chunk so faults/fallbacks on
         streaming requests land in :attr:`stats` like every other path.
         """
-        result = self.backend.compress(chunk, strategy=strategy, fmt="raw",
-                                       history=history, final=final)
-        self._account(len(chunk), len(result.output), result)
+        if _TRACE.enabled:
+            with _TRACE.span("api.compress_chunk",
+                             backend=self.backend_name,
+                             nbytes=len(chunk), final=final) as span:
+                result = self.backend.compress(chunk, strategy=strategy,
+                                               fmt="raw", history=history,
+                                               final=final)
+                span.set(out_bytes=len(result.output))
+        else:
+            result = self.backend.compress(chunk, strategy=strategy,
+                                           fmt="raw", history=history,
+                                           final=final)
+        self._account(len(chunk), len(result.output), result, "compress")
         return result
 
     def compress_stream(self, strategy: str = "auto",
@@ -173,13 +213,22 @@ class NxGzip:
 
     # -- helpers -----------------------------------------------------------
 
-    def _account(self, nin: int, nout: int, result: DriverResult) -> None:
+    def _account(self, nin: int, nout: int, result: DriverResult,
+                 op: str = "compress") -> None:
         self.stats.requests += 1
         self.stats.bytes_in += nin
         self.stats.bytes_out += nout
         self.stats.modelled_seconds += result.stats.elapsed_seconds
         self.stats.faults += result.stats.translation_faults
         self.stats.fallbacks += int(result.stats.fallback_to_software)
+        if _REGISTRY.enabled:
+            # SessionStats stays the per-session view; the registry is
+            # the cross-session aggregate fed from the same point.
+            record_job("api", op=op, nbytes_in=nin, nbytes_out=nout,
+                       seconds=result.stats.elapsed_seconds,
+                       faults=result.stats.translation_faults,
+                       fallback=result.stats.fallback_to_software,
+                       backend=self.backend_name)
 
 
 def software_decompress(payload: bytes, fmt: str = "gzip") -> bytes:

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import DeflateError, HuffmanError
+from ..obs.trace import TRACE as _TRACE
 from .bitio import _LOW64, BitWriter
 from .constants import (
     BTYPE_DYNAMIC,
@@ -386,6 +387,23 @@ def deflate(data: bytes, level: int = 6,
     ``final=False`` emits a continuable unit: non-final blocks followed
     by an empty stored block (zlib's Z_FULL_FLUSH byte alignment).
     """
+    if _TRACE.enabled:
+        with _TRACE.span("deflate.kernel", nbytes=len(data),
+                         level=level) as span:
+            result = deflate_core(data, level, block_tokens, history,
+                                  strategy, final)
+            span.set(out_bytes=len(result.data),
+                     literals=result.stats.literals,
+                     matches=result.stats.matches)
+            return result
+    return deflate_core(data, level, block_tokens, history, strategy, final)
+
+
+def deflate_core(data: bytes, level: int = 6,
+                 block_tokens: int = DEFAULT_BLOCK_TOKENS,
+                 history: bytes = b"", strategy: str = "default",
+                 final: bool = True) -> CompressResult:
+    """:func:`deflate` without the telemetry guard (overhead baseline)."""
     if strategy not in ("default", "huffman_only", "rle"):
         raise DeflateError(f"unknown strategy {strategy!r}")
     if level == 0 and final:

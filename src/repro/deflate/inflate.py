@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import DeflateError, OutputOverflow
+from ..obs.trace import TRACE as _TRACE
 from .bitio import BitReader
 from .constants import (
     BTYPE_DYNAMIC,
@@ -237,6 +238,18 @@ def inflate_with_stats(data: bytes, start: int = 0,
     Returns ``(output, stats, bits_consumed)`` so container layers can
     find the trailing checksum.
     """
+    if _TRACE.enabled:
+        with _TRACE.span("inflate.kernel", nbytes=len(data)) as span:
+            result = inflate_core(data, start, max_output, history)
+            span.set(out_bytes=len(result[0]))
+            return result
+    return inflate_core(data, start, max_output, history)
+
+
+def inflate_core(data: bytes, start: int = 0,
+                 max_output: int = 1 << 31,
+                 history: bytes = b"") -> tuple[bytes, InflateStats, int]:
+    """:func:`inflate_with_stats` without the telemetry guard."""
     reader = BitReader(data, start=start)
     from .constants import WINDOW_SIZE as _W
 

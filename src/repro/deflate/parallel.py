@@ -28,6 +28,7 @@ import os
 from concurrent.futures import Executor, ProcessPoolExecutor
 
 from ..errors import DeflateError
+from ..obs.trace import TRACE as _TRACE
 from .compress import CompressResult, deflate
 from .constants import WINDOW_SIZE
 from .matcher import MatchStats
@@ -74,15 +75,27 @@ def parallel_deflate(data: bytes, level: int = 6, *,
              level, strategy, final and idx == last)
             for idx, (start, end) in enumerate(spans)]
 
-    if executor is not None:
-        results = list(executor.map(_compress_chunk, *zip(*jobs)))
-    else:
-        nworkers = min(workers or os.cpu_count() or 1, len(spans))
-        if nworkers <= 1:
-            results = [_compress_chunk(*job) for job in jobs]
+    obs_span = (_TRACE.span("deflate.parallel", nbytes=len(data),
+                            level=level, chunks=len(spans))
+                if _TRACE.enabled else None)
+    try:
+        if executor is not None:
+            results = list(executor.map(_compress_chunk, *zip(*jobs)))
+            if obs_span is not None:
+                obs_span.set(workers="caller-executor")
         else:
-            with ProcessPoolExecutor(max_workers=nworkers) as pool:
-                results = list(pool.map(_compress_chunk, *zip(*jobs)))
+            nworkers = min(workers or os.cpu_count() or 1, len(spans))
+            if obs_span is not None:
+                obs_span.set(workers=nworkers)
+            if nworkers <= 1:
+                # Inline path: each chunk's deflate.kernel span nests here.
+                results = [_compress_chunk(*job) for job in jobs]
+            else:
+                with ProcessPoolExecutor(max_workers=nworkers) as pool:
+                    results = list(pool.map(_compress_chunk, *zip(*jobs)))
+    finally:
+        if obs_span is not None:
+            obs_span.__exit__(None, None, None)
 
     out = bytearray()
     stats = MatchStats()

@@ -23,6 +23,7 @@ from ..deflate.constants import BTYPE_DYNAMIC, BTYPE_FIXED, BTYPE_STORED
 from ..deflate.containers import wrap_gzip, wrap_zlib
 from ..deflate.matcher import MatchStats, Token
 from ..errors import AcceleratorError
+from ..obs.trace import TRACE as _TRACE
 from .dht import (
     DhtResult,
     DhtStrategy,
@@ -119,32 +120,43 @@ class NxCompressor:
             raise AcceleratorError(
                 "container formats require a final (complete) stream")
 
-        scan = self._pipeline.scan(data, history=history)
+        traced = _TRACE.enabled
+        if traced:
+            with _TRACE.span("engine.match", nbytes=len(data)) as span:
+                scan = self._pipeline.scan(data, history=history)
+                span.set(matches=scan.stats.matches,
+                         literals=scan.stats.literals,
+                         stalls=scan.conflict_stalls)
+        else:
+            scan = self._pipeline.scan(data, history=history)
         blocks = _split_by_input_bytes(scan.tokens, data, self.block_bytes)
 
-        writer = BitWriter()
-        block_types: list[int] = []
-        dht_sources: list[str] = []
-        dht_cycles = 0
         canned_name = None
         if strategy in (DhtStrategy.CANNED, DhtStrategy.AUTO):
             canned_name = select_canned(data)
 
-        for idx, (tokens, raw) in enumerate(blocks):
-            plan, dht = self._plan_block(tokens, raw, strategy, canned_name)
-            last = idx == len(blocks) - 1
-            emit_block(writer, plan, final=final and last)
-            block_types.append(plan.btype)
-            dht_sources.append(dht.source if dht else "stored")
-            dht_cycles += dht.generation_cycles if dht else 0
-        if not final:
-            # Z_FULL_FLUSH: empty stored block byte-aligns the stream.
-            writer.write_bits(0, 1)
-            writer.write_bits(0, 2)
-            writer.align_to_byte()
-            writer.write_bytes(b"\x00\x00\xff\xff")
+        # Plan every block first, then emit the planned stream — the two
+        # hardware phases (DHT selection/generation vs encoder drain).
+        if traced:
+            with _TRACE.span("engine.huffman", blocks=len(blocks),
+                             strategy=strategy.value) as span:
+                plans = [self._plan_block(tokens, raw, strategy, canned_name)
+                         for tokens, raw in blocks]
+                span.set(dht_cycles=sum(
+                    dht.generation_cycles if dht else 0
+                    for _, dht in plans))
+        else:
+            plans = [self._plan_block(tokens, raw, strategy, canned_name)
+                     for tokens, raw in blocks]
 
-        body = writer.getvalue()
+        if traced:
+            with _TRACE.span("engine.emit", blocks=len(plans)) as span:
+                body, block_types, dht_sources, dht_cycles = (
+                    _emit_planned(plans, final))
+                span.set(out_bytes=len(body))
+        else:
+            body, block_types, dht_sources, dht_cycles = (
+                _emit_planned(plans, final))
         if fmt == "gzip":
             payload = wrap_gzip(body, data)
         elif fmt == "zlib":
@@ -255,6 +267,28 @@ def _header_bits(dht: DhtResult) -> int:
     cl_lengths = limited_code_lengths(cl_freq, MAX_CODELEN_CODE_LENGTH)
     cl_lengths = _ensure_decodable(cl_freq, cl_lengths, (0, 18))
     return dynamic_header_cost_bits(ops, cl_lengths)
+
+
+def _emit_planned(plans: list[tuple[BlockPlan, DhtResult | None]],
+                  final: bool) -> tuple[bytes, list[int], list[str], int]:
+    """Encode a planned block sequence into one DEFLATE body."""
+    writer = BitWriter()
+    block_types: list[int] = []
+    dht_sources: list[str] = []
+    dht_cycles = 0
+    for idx, (plan, dht) in enumerate(plans):
+        last = idx == len(plans) - 1
+        emit_block(writer, plan, final=final and last)
+        block_types.append(plan.btype)
+        dht_sources.append(dht.source if dht else "stored")
+        dht_cycles += dht.generation_cycles if dht else 0
+    if not final:
+        # Z_FULL_FLUSH: empty stored block byte-aligns the stream.
+        writer.write_bits(0, 1)
+        writer.write_bits(0, 2)
+        writer.align_to_byte()
+        writer.write_bytes(b"\x00\x00\xff\xff")
+    return writer.getvalue(), block_types, dht_sources, dht_cycles
 
 
 def _split_by_input_bytes(tokens: list[Token], raw: bytes,

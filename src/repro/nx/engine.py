@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import OutputOverflow, TranslationFault
+from ..obs.trace import TRACE as _TRACE
 from ..sysstack.crb import CcCode, Crb, Csb, Op
 from ..sysstack.mmu import AddressSpace
 from .compressor import NxCompressor, NxCompressResult
@@ -63,6 +64,19 @@ class NxEngine:
 
     def execute(self, crb: Crb, space: AddressSpace) -> JobOutcome:
         """Run one coprocessor job to completion, fault, or overflow."""
+        if _TRACE.enabled:
+            with _TRACE.span("engine.run", op=crb.function.op.name,
+                             nbytes=crb.source.total_length) as span:
+                outcome = self._execute(crb, space)
+                span.set(cc=outcome.csb.cc.name,
+                         busy_s=outcome.busy_seconds)
+                if outcome.faulted_address is not None:
+                    span.event("fault.translation",
+                               address=outcome.faulted_address)
+                return outcome
+        return self._execute(crb, space)
+
+    def _execute(self, crb: Crb, space: AddressSpace) -> JobOutcome:
         self.counters.jobs += 1
         reject = self._validate(crb)
         if reject is not None:

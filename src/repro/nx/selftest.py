@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from ..deflate.checksums import crc32
 from ..errors import AcceleratorError
+from ..obs.metrics import REGISTRY as _REGISTRY
 from .compressor import NxCompressor
 from .decompressor import NxDecompressor
 from .dht import DhtStrategy
@@ -36,15 +37,20 @@ class SelfTestReport:
     vectors_run: int
     strategies_run: int
     passed: bool
+    compress_passed: bool = True
+    decompress_passed: bool = True
 
 
 def run_selftest(machine: MachineParams,
                  raise_on_failure: bool = True) -> SelfTestReport:
     """Push every vector through every strategy and verify roundtrips."""
+    from ..deflate import inflate
+
     compressor = NxCompressor(machine.engine)
     decompressor = NxDecompressor(machine.engine)
     strategies = list(DhtStrategy)
     failures = []
+    compress_ok = decompress_ok = True
     for name, plaintext in _VECTORS:
         expected_crc = crc32(plaintext)
         for strategy in strategies:
@@ -53,11 +59,33 @@ def run_selftest(machine: MachineParams,
             restored = decompressor.decompress(payload).data
             if restored != plaintext or crc32(restored) != expected_crc:
                 failures.append((name, strategy))
+                # Attribute the failure: if the reference software
+                # decoder can't restore the payload either, the
+                # compressor produced a bad stream; otherwise the
+                # decompressor misread a good one.
+                try:
+                    reference = inflate(payload)
+                except Exception:
+                    reference = None
+                if reference != plaintext:
+                    compress_ok = False
+                else:
+                    decompress_ok = False
     passed = not failures
+    if _REGISTRY.enabled:
+        gauge = _REGISTRY.gauge(
+            "repro_nx_selftest_pass",
+            "1 if the engine's known-answer vectors round-trip")
+        gauge.set(float(compress_ok), machine=machine.name,
+                  engine="compress")
+        gauge.set(float(decompress_ok), machine=machine.name,
+                  engine="decompress")
     if not passed and raise_on_failure:
         raise AcceleratorError(
             f"self-test failed on {machine.name}: {failures}")
     return SelfTestReport(machine=machine.name,
                           vectors_run=len(_VECTORS),
                           strategies_run=len(strategies),
-                          passed=passed)
+                          passed=passed,
+                          compress_passed=compress_ok,
+                          decompress_passed=decompress_ok)

@@ -1,0 +1,95 @@
+"""End-to-end job telemetry: spans, metrics, and trace export.
+
+The observability layer the ROADMAP's production north star needs:
+
+* :mod:`repro.obs.trace` — hierarchical spans following every job across
+  the stack (``api.compress`` → ``pool.route`` → ``backend.submit`` →
+  ``vas.paste`` → ``engine.run`` → ``csb.complete``), with fault /
+  resubmit / fallback events as annotations;
+* :mod:`repro.obs.metrics` — a process-global registry of counters,
+  gauges, and fixed-bucket histograms, snapshot-able as JSON and
+  Prometheus text;
+* :mod:`repro.obs.export` — JSON-lines span log and Chrome
+  ``trace_event`` JSON (opens directly in Perfetto).
+
+Telemetry is **off by default** and costs one attribute check per
+instrumented site while off.  Turn it on per process::
+
+    from repro import obs
+    obs.enable()                      # spans + metrics
+    ...
+    obs.export_chrome_trace("run.trace.json")
+    print(obs.registry().to_prometheus())
+
+or from the CLI with ``repro --trace compress file`` / ``repro stats``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from .export import (spans_to_chrome_trace, spans_to_jsonl,
+                     write_chrome_trace, write_spans_jsonl)
+from .metrics import (LATENCY_BUCKETS, RATIO_BUCKETS, SIZE_BUCKETS,
+                      REGISTRY, Counter, Gauge, Histogram, MetricsRegistry,
+                      record_job)
+from .trace import NULL_SPAN, TRACE, Span, SpanEvent, Tracer
+
+__all__ = [
+    "enable", "disable", "reset", "tracing_enabled", "metrics_enabled",
+    "tracer", "registry", "export_chrome_trace", "export_spans_jsonl",
+    "Tracer", "Span", "SpanEvent", "MetricsRegistry",
+    "Counter", "Gauge", "Histogram", "record_job",
+    "TRACE", "REGISTRY", "NULL_SPAN",
+    "spans_to_chrome_trace", "spans_to_jsonl",
+    "write_chrome_trace", "write_spans_jsonl",
+    "LATENCY_BUCKETS", "SIZE_BUCKETS", "RATIO_BUCKETS",
+]
+
+
+def enable(*, trace: bool = True, metrics: bool = True) -> None:
+    """Turn on span collection and/or registry recording, process-wide."""
+    if trace:
+        TRACE.enable()
+    if metrics:
+        REGISTRY.enabled = True
+
+
+def disable() -> None:
+    """Stop collecting; already-collected spans/metrics are retained."""
+    TRACE.disable()
+    REGISTRY.enabled = False
+
+
+def reset() -> None:
+    """Drop collected spans and metric values (keeps enabled flags)."""
+    TRACE.reset()
+    REGISTRY.reset()
+
+
+def tracing_enabled() -> bool:
+    return TRACE.enabled
+
+
+def metrics_enabled() -> bool:
+    return REGISTRY.enabled
+
+
+def tracer() -> Tracer:
+    """The process-global tracer the stack instruments against."""
+    return TRACE
+
+
+def registry() -> MetricsRegistry:
+    """The process-global metrics registry."""
+    return REGISTRY
+
+
+def export_chrome_trace(path: str | pathlib.Path) -> pathlib.Path:
+    """Write the global tracer's spans as Perfetto-openable JSON."""
+    return write_chrome_trace(TRACE, path)
+
+
+def export_spans_jsonl(path: str | pathlib.Path) -> pathlib.Path:
+    """Write the global tracer's spans as a JSON-lines log."""
+    return write_spans_jsonl(TRACE.finished(), path)

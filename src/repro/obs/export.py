@@ -1,0 +1,90 @@
+"""Span exporters: JSON-lines log and Chrome ``trace_event`` JSON.
+
+The Chrome format is the one Perfetto / ``chrome://tracing`` opens
+directly: complete events (``ph: "X"``) with microsecond timestamps,
+one timeline row per trace (job), plus instant events (``ph: "i"``) for
+the span annotations — so a parallel-deflate or DES run renders as the
+familiar flame chart with faults and resubmits visible as markers.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Iterable
+
+from .trace import Span, Tracer
+
+#: Process name Perfetto shows for the repro timeline.
+PROCESS_NAME = "repro"
+
+
+def spans_to_jsonl(spans: Iterable[Span]) -> str:
+    """One JSON object per line, in span-finish order."""
+    return "".join(json.dumps(span.to_dict(), sort_keys=True) + "\n"
+                   for span in spans)
+
+
+def write_spans_jsonl(spans: Iterable[Span],
+                      path: str | pathlib.Path) -> pathlib.Path:
+    path = pathlib.Path(path)
+    path.write_text(spans_to_jsonl(spans))
+    return path
+
+
+def spans_to_chrome_trace(spans: Iterable[Span],
+                          epoch_perf_s: float = 0.0) -> dict:
+    """Build a ``trace_event`` JSON document from finished spans.
+
+    ``epoch_perf_s`` (the tracer's enable-time ``perf_counter``) rebases
+    timestamps so the trace starts near zero.  Each trace id becomes one
+    thread row, so concurrent jobs stack as parallel timelines.
+    """
+    events: list[dict] = []
+    tids: set[int] = set()
+    for span in spans:
+        ts_us = (span.start_s - epoch_perf_s) * 1e6
+        args = {"span_id": span.span_id, "parent_id": span.parent_id}
+        args.update(span.attrs)
+        tids.add(span.trace_id)
+        events.append({
+            "name": span.name,
+            "cat": span.name.split(".", 1)[0],
+            "ph": "X",
+            "ts": ts_us,
+            "dur": span.duration_s * 1e6,
+            "pid": 1,
+            "tid": span.trace_id,
+            "args": args,
+        })
+        for event in span.events:
+            events.append({
+                "name": event.name,
+                "cat": "event",
+                "ph": "i",
+                "s": "t",
+                "ts": (event.timestamp_s - epoch_perf_s) * 1e6,
+                "pid": 1,
+                "tid": span.trace_id,
+                "args": dict(event.attrs),
+            })
+    meta = [{"name": "process_name", "ph": "M", "pid": 1,
+             "args": {"name": PROCESS_NAME}}]
+    meta.extend({"name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
+                 "args": {"name": f"job {tid}"}} for tid in sorted(tids))
+    return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tracer_or_spans: Tracer | Iterable[Span],
+                       path: str | pathlib.Path) -> pathlib.Path:
+    """Write a Perfetto-openable trace; accepts a tracer or raw spans."""
+    if isinstance(tracer_or_spans, Tracer):
+        spans = tracer_or_spans.finished()
+        epoch = tracer_or_spans.epoch_perf_s
+    else:
+        spans = list(tracer_or_spans)
+        epoch = min((span.start_s for span in spans), default=0.0)
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(spans_to_chrome_trace(spans, epoch),
+                               indent=None, sort_keys=True))
+    return path

@@ -1,0 +1,301 @@
+"""Process-global metrics registry: counters, gauges, histograms.
+
+Naming convention: ``repro_<layer>_<name>`` with Prometheus-style unit
+suffixes (``_total`` for counters, ``_seconds``/``_bytes`` on
+histograms), so a snapshot reads like the paper's measurement tables —
+``repro_api_requests_total``, ``repro_vas_paste_rejections_total``,
+``repro_backend_faults_total`` — and scrapes cleanly into any
+Prometheus-compatible collector via :meth:`MetricsRegistry.to_prometheus`.
+
+All three metric kinds support optional labels (``inc(1, chip="0")``);
+histograms use fixed upper-bound buckets chosen at registration so
+observation is O(#buckets) with zero per-sample allocation beyond the
+bucket scan.  Like the tracer, the global :data:`REGISTRY` starts
+disabled: hot-path instrumentation guards on ``REGISTRY.enabled``;
+explicit callers (the self-test, the CLI) may record regardless.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from bisect import bisect_left
+
+#: Default latency buckets (seconds): 1 us .. 10 s, decade thirds.
+LATENCY_BUCKETS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 10.0)
+
+#: Default size buckets (bytes): 256 B .. 64 MB, powers of four.
+SIZE_BUCKETS = (256.0, 1024.0, 4096.0, 16384.0, 65536.0, 262144.0,
+                1048576.0, 4194304.0, 16777216.0, 67108864.0)
+
+#: Default compression-ratio buckets (input/output, bigger is better).
+RATIO_BUCKETS = (0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 16.0, 32.0)
+
+_LabelKey = tuple  # sorted (key, value) pairs
+
+
+def _label_key(labels: dict[str, str]) -> _LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: _LabelKey, extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in key]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+class _Metric:
+    """Common label-fanout machinery for one named metric family."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, lock: threading.Lock) -> None:
+        self.name = name
+        self.help = help
+        self._lock = lock
+        self._values: dict[_LabelKey, object] = {}
+
+    def label_keys(self) -> list[_LabelKey]:
+        with self._lock:
+            return sorted(self._values)
+
+
+class Counter(_Metric):
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        return float(self._values.get(_label_key(labels), 0.0))
+
+    def snapshot_values(self) -> list[dict]:
+        return [{"labels": dict(key), "value": value}
+                for key, value in sorted(self._values.items())]
+
+    def prometheus_lines(self) -> list[str]:
+        return [f"{self.name}{_render_labels(key)} {_num(value)}"
+                for key, value in sorted(self._values.items())]
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (queue depth, pass/fail)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: str) -> None:
+        with self._lock:
+            self._values[_label_key(labels)] = float(value)
+
+    def add(self, amount: float, **labels: str) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        return float(self._values.get(_label_key(labels), 0.0))
+
+    snapshot_values = Counter.snapshot_values
+    prometheus_lines = Counter.prometheus_lines
+
+
+class _HistogramState:
+    __slots__ = ("counts", "sum", "count")
+
+    def __init__(self, nbuckets: int) -> None:
+        self.counts = [0] * (nbuckets + 1)  # +1 for the +Inf bucket
+        self.sum = 0.0
+        self.count = 0
+
+
+class Histogram(_Metric):
+    """Fixed-bucket distribution (latency, sizes, ratios)."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str, lock: threading.Lock,
+                 buckets: tuple[float, ...] = LATENCY_BUCKETS) -> None:
+        super().__init__(name, help, lock)
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        if not self.buckets:
+            raise ValueError(f"histogram {name!r} needs at least one bucket")
+
+    def observe(self, value: float, **labels: str) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            state = self._values.get(key)
+            if state is None:
+                state = self._values[key] = _HistogramState(
+                    len(self.buckets))
+            state.counts[bisect_left(self.buckets, value)] += 1
+            state.sum += value
+            state.count += 1
+
+    def state(self, **labels: str) -> _HistogramState | None:
+        return self._values.get(_label_key(labels))
+
+    def snapshot_values(self) -> list[dict]:
+        out = []
+        for key, state in sorted(self._values.items()):
+            out.append({
+                "labels": dict(key),
+                "buckets": [[edge, count] for edge, count
+                            in zip(self.buckets, state.counts)],
+                "inf": state.counts[-1],
+                "sum": state.sum,
+                "count": state.count,
+            })
+        return out
+
+    def prometheus_lines(self) -> list[str]:
+        lines = []
+        for key, state in sorted(self._values.items()):
+            cumulative = 0
+            for edge, count in zip(self.buckets, state.counts):
+                cumulative += count
+                le = 'le="%s"' % _num(edge)
+                lines.append(f"{self.name}_bucket"
+                             f"{_render_labels(key, le)} {cumulative}")
+            inf = 'le="+Inf"'
+            lines.append(f"{self.name}_bucket"
+                         f"{_render_labels(key, inf)} {state.count}")
+            lines.append(f"{self.name}_sum{_render_labels(key)} "
+                         f"{_num(state.sum)}")
+            lines.append(f"{self.name}_count{_render_labels(key)} "
+                         f"{state.count}")
+        return lines
+
+
+def _num(value: float) -> str:
+    """Render without a trailing .0 for integral values."""
+    as_int = int(value)
+    return str(as_int) if value == as_int else repr(float(value))
+
+
+class MetricsRegistry:
+    """Name-keyed metric families with JSON and Prometheus snapshots."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._lock = threading.Lock()
+        self._metrics: dict[str, _Metric] = {}
+
+    # -- registration (get-or-create) --------------------------------------
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(name, help, Counter)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(name, help, Gauge)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: tuple[float, ...] = LATENCY_BUCKETS) -> Histogram:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = Histogram(
+                    name, help, self._lock, buckets=buckets)
+        if not isinstance(metric, Histogram):
+            raise TypeError(f"{name!r} is a {metric.kind}, not a histogram")
+        return metric
+
+    def _get_or_create(self, name: str, help: str, cls: type) -> _Metric:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = cls(name, help, self._lock)
+        if type(metric) is not cls:
+            raise TypeError(f"{name!r} is a {metric.kind}, "
+                            f"not a {cls.kind}")
+        return metric
+
+    def get(self, name: str) -> _Metric | None:
+        return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def reset(self) -> None:
+        """Drop every registered family (tests and fresh runs)."""
+        with self._lock:
+            self._metrics = {}
+
+    # -- snapshots ---------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-able view of every family, stably ordered by name."""
+        out: dict = {}
+        for name in self.names():
+            metric = self._metrics[name]
+            entry: dict = {"type": metric.kind, "help": metric.help,
+                           "values": metric.snapshot_values()}
+            if isinstance(metric, Histogram):
+                entry["bucket_edges"] = list(metric.buckets)
+            out[name] = entry
+        return out
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (0.0.4)."""
+        lines: list[str] = []
+        for name in self.names():
+            metric = self._metrics[name]
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            lines.extend(metric.prometheus_lines())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+#: The process-global registry the instrumented stack records into.
+REGISTRY = MetricsRegistry()
+
+
+# -- shared recording helpers --------------------------------------------
+#
+# The three pre-existing stats dataclasses (SessionStats, BackendStats,
+# MatchStats) stay the cheap per-handle views; these helpers are the one
+# place their recording points also publish into the global registry, so
+# a metrics snapshot aggregates every layer consistently.
+
+def record_job(layer: str, *, op: str, nbytes_in: int, nbytes_out: int,
+               seconds: float, faults: int = 0, fallback: bool = False,
+               **labels: str) -> None:
+    """Fold one completed request into the global registry."""
+    REGISTRY.counter(f"repro_{layer}_requests_total",
+                     "completed requests").inc(1, op=op, **labels)
+    REGISTRY.counter(f"repro_{layer}_bytes_in_total",
+                     "input bytes").inc(nbytes_in, op=op, **labels)
+    REGISTRY.counter(f"repro_{layer}_bytes_out_total",
+                     "output bytes").inc(nbytes_out, op=op, **labels)
+    REGISTRY.histogram(f"repro_{layer}_job_seconds",
+                       "modelled per-job latency",
+                       buckets=LATENCY_BUCKETS).observe(
+        seconds, op=op, **labels)
+    REGISTRY.histogram(f"repro_{layer}_job_bytes",
+                       "per-job input size",
+                       buckets=SIZE_BUCKETS).observe(
+        nbytes_in, op=op, **labels)
+    if op == "compress" and nbytes_out:
+        REGISTRY.histogram(f"repro_{layer}_ratio",
+                           "compression ratio (in/out)",
+                           buckets=RATIO_BUCKETS).observe(
+            nbytes_in / nbytes_out, **labels)
+    if faults:
+        REGISTRY.counter(f"repro_{layer}_faults_total",
+                         "accelerator page-translation faults").inc(
+            faults, **labels)
+    if fallback:
+        REGISTRY.counter(f"repro_{layer}_fallbacks_total",
+                         "software fallbacks after retry exhaustion").inc(
+            1, **labels)

@@ -1,0 +1,240 @@
+"""Low-overhead hierarchical span tracing for accelerator jobs.
+
+One :class:`Span` covers one timed region of one job's journey through
+the stack; spans nest via a per-thread stack, so the instrumented call
+chain — ``api.compress`` → ``pool.route`` → ``backend.submit`` →
+``vas.paste`` → ``engine.run`` → ``csb.complete`` — comes out as a tree
+without any layer knowing about any other.  Fault retries, software
+fallbacks, and paste rejections attach to the innermost open span as
+*events* (point-in-time annotations), mirroring how the paper's
+engineers attributed per-job latency to queueing, DMA, and fault
+service.
+
+Cost model: the module-level :data:`TRACE` singleton starts disabled.
+Hot paths guard instrumentation behind its ``enabled`` attribute — one
+attribute load — and non-hot paths may call :meth:`Tracer.span`
+unconditionally, which returns the shared allocation-free
+:data:`NULL_SPAN` while disabled.  Timing uses ``perf_counter`` so span
+durations are wall-clock and monotonic; a paired epoch captured at
+enable time lets exporters reconstruct absolute timestamps.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+#: Finished-span ring limit: tracing a long run must not grow without
+#: bound, so beyond this the oldest spans are dropped (and counted).
+DEFAULT_MAX_SPANS = 100_000
+
+
+@dataclass
+class SpanEvent:
+    """A point-in-time annotation inside a span (fault, resubmit, ...)."""
+
+    name: str
+    timestamp_s: float
+    attrs: dict
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "ts_s": self.timestamp_s,
+                "attrs": self.attrs}
+
+
+class Span:
+    """One timed region of one job; nests under the thread's open span."""
+
+    __slots__ = ("name", "trace_id", "span_id", "parent_id", "start_s",
+                 "end_s", "attrs", "events", "_tracer")
+
+    def __init__(self, name: str, trace_id: int, span_id: int,
+                 parent_id: int | None, start_s: float,
+                 tracer: "Tracer") -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_s = start_s
+        self.end_s = 0.0
+        self.attrs: dict = {}
+        self.events: list[SpanEvent] = []
+        self._tracer = tracer
+
+    @property
+    def duration_s(self) -> float:
+        return max(0.0, self.end_s - self.start_s)
+
+    def set(self, **attrs: object) -> "Span":
+        """Attach result attributes (bytes out, modelled seconds, ...)."""
+        self.attrs.update(attrs)
+        return self
+
+    def event(self, name: str, **attrs: object) -> None:
+        """Record a point annotation (fault, resubmit, fallback, ...)."""
+        self.events.append(SpanEvent(name=name,
+                                     timestamp_s=time.perf_counter(),
+                                     attrs=attrs))
+
+    def to_dict(self) -> dict:
+        """JSON-able form (the JSON-lines exporter writes one per line)."""
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "attrs": self.attrs,
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    # -- context manager ---------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.end_s = time.perf_counter()
+        self._tracer._finish(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.name!r}, trace={self.trace_id}, "
+                f"id={self.span_id}, parent={self.parent_id})")
+
+
+class _NullSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: object) -> "_NullSpan":
+        return self
+
+    def event(self, name: str, **attrs: object) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+
+#: The single no-op span every disabled-path ``span()`` call returns.
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Produces spans and collects the finished ones.
+
+    The global :data:`TRACE` instance is what the stack instruments
+    against; independent instances (e.g. a bench's private stage
+    recorder) are fully supported and never touch global state.
+    """
+
+    def __init__(self, max_spans: int = DEFAULT_MAX_SPANS) -> None:
+        self.enabled = False
+        self.max_spans = max_spans
+        self.spans: list[Span] = []
+        self.dropped = 0
+        self.epoch_time_s = 0.0       # time.time() at enable
+        self.epoch_perf_s = 0.0       # matching perf_counter()
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._next_trace = 1
+        self._next_span = 1
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def enable(self) -> None:
+        self.epoch_time_s = time.time()
+        self.epoch_perf_s = time.perf_counter()
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop collected spans (keeps the enabled flag as-is)."""
+        with self._lock:
+            self.spans = []
+            self.dropped = 0
+        self._local.stack = []
+
+    # -- span production ---------------------------------------------------
+
+    def span(self, name: str, **attrs: object) -> Span | _NullSpan:
+        """Open a span under the thread's current one; use as a context
+        manager.  Returns :data:`NULL_SPAN` while disabled."""
+        if not self.enabled:
+            return NULL_SPAN
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        with self._lock:
+            span_id = self._next_span
+            self._next_span += 1
+            if stack:
+                parent = stack[-1]
+                trace_id = parent.trace_id
+                parent_id = parent.span_id
+            else:
+                trace_id = self._next_trace
+                self._next_trace += 1
+                parent_id = None
+        span = Span(name=name, trace_id=trace_id, span_id=span_id,
+                    parent_id=parent_id, start_s=time.perf_counter(),
+                    tracer=self)
+        if attrs:
+            span.attrs.update(attrs)
+        stack.append(span)
+        return span
+
+    def event(self, name: str, **attrs: object) -> None:
+        """Annotate the innermost open span (no-op with none open)."""
+        if not self.enabled:
+            return
+        stack = getattr(self._local, "stack", None)
+        if stack:
+            stack[-1].event(name, **attrs)
+
+    def current(self) -> Span | None:
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    def _finish(self, span: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif stack and span in stack:  # mis-nested exit: unwind to it
+            while stack and stack.pop() is not span:
+                pass
+        with self._lock:
+            if len(self.spans) >= self.max_spans:
+                del self.spans[0]
+                self.dropped += 1
+            self.spans.append(span)
+
+    # -- inspection --------------------------------------------------------
+
+    def finished(self, name: str | None = None) -> list[Span]:
+        """Completed spans, optionally filtered by name."""
+        with self._lock:
+            spans = list(self.spans)
+        if name is None:
+            return spans
+        return [span for span in spans if span.name == name]
+
+    def trace_tree(self, trace_id: int) -> dict[int | None, list[Span]]:
+        """One trace's spans grouped by parent (children in end order)."""
+        children: dict[int | None, list[Span]] = {}
+        for span in self.finished():
+            if span.trace_id == trace_id:
+                children.setdefault(span.parent_id, []).append(span)
+        return children
+
+
+#: The process-global tracer every instrumented layer guards against.
+TRACE = Tracer()

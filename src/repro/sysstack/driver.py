@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from ..errors import JobError
+from ..obs.trace import TRACE as _TRACE
 from ..sysstack.crb import (CRB_FLAG_CONTINUED, CcCode, Crb,
                             Csb, FunctionCode, Op)
 from ..sysstack.dde import Dde
@@ -123,6 +124,7 @@ class NxDriver:
             history_dde = Dde.direct(hist_va, len(history))
 
         flags = 0 if final else CRB_FLAG_CONTINUED
+        traced = _TRACE.enabled
         for _attempt in range(self.max_retries + 1):
             crb = Crb(function=FunctionCode(op=op, strategy=strategy,
                                             fmt=fmt),
@@ -132,10 +134,22 @@ class NxDriver:
             stats.submissions += 1
             stats.elapsed_seconds += machine.submit_overhead_us * 1e-6
 
-            while not self.accelerator.vas.paste(self._window_id, crb):
-                stats.paste_rejections += 1
-                stats.elapsed_seconds += PASTE_RETRY_SECONDS
-                self.accelerator.drain(self.space)  # let the engine catch up
+            if traced:
+                rejected_before = stats.paste_rejections
+                with _TRACE.span("vas.paste", attempt=_attempt,
+                                 window=self._window_id) as paste_span:
+                    while not self.accelerator.vas.paste(self._window_id,
+                                                         crb):
+                        stats.paste_rejections += 1
+                        stats.elapsed_seconds += PASTE_RETRY_SECONDS
+                        self.accelerator.drain(self.space)
+                    paste_span.set(rejections=stats.paste_rejections
+                                   - rejected_before)
+            else:
+                while not self.accelerator.vas.paste(self._window_id, crb):
+                    stats.paste_rejections += 1
+                    stats.elapsed_seconds += PASTE_RETRY_SECONDS
+                    self.accelerator.drain(self.space)  # engine catch-up
 
             stats.elapsed_seconds += machine.dispatch_overhead_us * 1e-6
             completed = self.accelerator.drain(self.space)
@@ -145,6 +159,20 @@ class NxDriver:
             stats.elapsed_seconds += machine.completion_overhead_us * 1e-6
 
             csb = outcome.csb
+            if traced:
+                with _TRACE.span("csb.complete", attempt=_attempt,
+                                 cc=csb.cc.name) as complete_span:
+                    if csb.cc is CcCode.TRANSLATION:
+                        complete_span.event(
+                            "fault.translation",
+                            address=csb.fault_address)
+                        complete_span.event("resubmit",
+                                            attempt=_attempt + 1)
+                    elif csb.cc is CcCode.TARGET_SPACE:
+                        complete_span.event("overflow.target",
+                                            length=target.length)
+                        complete_span.event("resubmit",
+                                            attempt=_attempt + 1)
             if csb.cc is CcCode.SUCCESS:
                 output = self.space.read(target.address, csb.target_written)
                 return DriverResult(output=output, csb=csb, stats=stats,
@@ -164,6 +192,7 @@ class NxDriver:
         # Retry budget exhausted: the production library falls back to
         # running zlib on the calling core.
         stats.fallback_to_software = True
+        _TRACE.event("fallback.software", retries=stats.submissions)
         output, sw_seconds = _software_fallback(op, data, machine)
         stats.elapsed_seconds += sw_seconds
         return DriverResult(output=output, csb=None, stats=stats)
@@ -220,6 +249,18 @@ class AsyncNxDriver(NxDriver):
 
     def _paste_with_backoff(self, job: PendingJob) -> None:
         job.stats.submissions += 1
+        if _TRACE.enabled:
+            rejected_before = job.stats.paste_rejections
+            with _TRACE.span("vas.paste", sequence=job.sequence,
+                             window=self._window_id) as span:
+                while not self.accelerator.vas.paste(self._window_id,
+                                                     job.crb):
+                    job.stats.paste_rejections += 1
+                    job.stats.elapsed_seconds += PASTE_RETRY_SECONDS
+                    self.poll()
+                span.set(rejections=job.stats.paste_rejections
+                         - rejected_before)
+            return
         while not self.accelerator.vas.paste(self._window_id, job.crb):
             job.stats.paste_rejections += 1
             job.stats.elapsed_seconds += PASTE_RETRY_SECONDS
@@ -252,6 +293,8 @@ class AsyncNxDriver(NxDriver):
                 finished.append(job)
             elif csb.cc is CcCode.TRANSLATION:
                 job.stats.translation_faults += 1
+                _TRACE.event("fault.translation", sequence=job.sequence,
+                             address=csb.fault_address)
                 self.space.touch(csb.fault_address)
                 job.stats.elapsed_seconds += PAGE_TOUCH_SECONDS
                 self._paste_with_backoff(job)

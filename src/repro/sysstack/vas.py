@@ -15,6 +15,7 @@ from collections import deque
 from dataclasses import dataclass
 
 from ..errors import VasError
+from ..obs.metrics import REGISTRY as _REGISTRY
 from .crb import CRB_BYTES, Crb
 
 
@@ -98,10 +99,22 @@ class Vas:
                 else self.rx_fifo)
         if window.credits_available <= 0 or len(fifo) >= self.rx_fifo_depth:
             window.pastes_rejected += 1
+            if _REGISTRY.enabled:
+                _REGISTRY.counter(
+                    "repro_vas_paste_rejections_total",
+                    "credit/FIFO-rejected pastes (CR0 busy)").inc(
+                    1, priority=window.priority)
             return False
         window.outstanding += 1
         window.pastes_accepted += 1
         fifo.append(PasteRecord(window_id=window_id, raw_crb=raw))
+        if _REGISTRY.enabled:
+            _REGISTRY.counter("repro_vas_pastes_total",
+                              "accepted CRB pastes").inc(
+                1, priority=window.priority)
+            _REGISTRY.gauge("repro_vas_rx_fifo_depth",
+                            "pending CRBs in the receive FIFOs").set(
+                len(self.rx_fifo) + len(self.rx_fifo_high))
         return True
 
     def pop_request(self) -> PasteRecord | None:
@@ -110,13 +123,18 @@ class Vas:
                        and (not self.rx_fifo_high
                             or self._consecutive_high
                             >= self.starvation_bound))
+        record = None
         if take_normal:
             self._consecutive_high = 0
-            return self.rx_fifo.popleft()
-        if self.rx_fifo_high:
+            record = self.rx_fifo.popleft()
+        elif self.rx_fifo_high:
             self._consecutive_high += 1
-            return self.rx_fifo_high.popleft()
-        return None
+            record = self.rx_fifo_high.popleft()
+        if record is not None and _REGISTRY.enabled:
+            _REGISTRY.gauge("repro_vas_rx_fifo_depth",
+                            "pending CRBs in the receive FIFOs").set(
+                len(self.rx_fifo) + len(self.rx_fifo_high))
+        return record
 
     def return_credit(self, window_id: int) -> None:
         """Job completed: release the window credit."""

@@ -17,6 +17,7 @@ import sys
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 RESULTS = REPO_ROOT / "benchmarks" / "results"
 HOTPATH = REPO_ROOT / "BENCH_hotpath.json"
+OBS = REPO_ROOT / "BENCH_obs.json"
 
 
 def _hotpath_section() -> list[str]:
@@ -48,13 +49,54 @@ def _hotpath_section() -> list[str]:
     return lines
 
 
+def _obs_section() -> list[str]:
+    """Render BENCH_obs.json (telemetry overhead) as a table."""
+    if not OBS.exists():
+        return []
+    report = json.loads(OBS.read_text())
+    meta = report.get("meta", {})
+    lines = ["## telemetry overhead (measured wall-clock)", "",
+             f"Corpus: {meta.get('corpus', '?')}, "
+             f"{meta.get('bytes', '?')} bytes, "
+             f"level {meta.get('level', '?')}.  Regenerate with "
+             "`python benchmarks/bench_obs_overhead.py`; gated by "
+             "`tools/perf_gate.py --max-obs-overhead`.", "",
+             "| metric | value |",
+             "|---|---|"]
+    for key, value in report.get("results", {}).items():
+        unit = " %" if key.endswith("_pct") else (
+            " MB/s" if key.endswith("_mbps") else "")
+        lines.append(f"| {key} | {value}{unit} |")
+    lines.append("")
+    return lines
+
+
+def _stages_section(path: pathlib.Path) -> list[str]:
+    """Per-stage span breakdown recorded next to one result table."""
+    stages = json.loads(path.read_text())
+    if not stages:
+        return []
+    lines = ["Per-stage breakdown (span-timed):", "",
+             "| stage | runs | best s | total s |",
+             "|---|---|---|---|"]
+    for name in sorted(stages):
+        agg = stages[name]
+        lines.append(f"| {name} | {agg.get('count', '?')} | "
+                     f"{agg.get('best_s', '?')} | "
+                     f"{agg.get('total_s', '?')} |")
+    lines.append("")
+    return lines
+
+
 def build_report() -> str:
     lines = ["# Benchmark results", "",
              "Regenerate with `pytest benchmarks/ --benchmark-only`.", ""]
     lines.extend(_hotpath_section())
+    lines.extend(_obs_section())
     if not RESULTS.is_dir():
         lines.append("*(no results yet — run the benches first)*")
         return "\n".join(lines) + "\n"
+    rendered_stage_files = set()
     for path in sorted(RESULTS.glob("*.txt")):
         lines.append(f"## {path.stem}")
         lines.append("")
@@ -62,6 +104,17 @@ def build_report() -> str:
         lines.append(path.read_text().rstrip())
         lines.append("```")
         lines.append("")
+        stages_path = path.with_suffix(".stages.json")
+        if stages_path.exists():
+            rendered_stage_files.add(stages_path)
+            lines.extend(_stages_section(stages_path))
+    for stages_path in sorted(RESULTS.glob("*.stages.json")):
+        if stages_path in rendered_stage_files:
+            continue
+        lines.append(f"## {stages_path.name.removesuffix('.stages.json')}"
+                     " (stages)")
+        lines.append("")
+        lines.extend(_stages_section(stages_path))
     return "\n".join(lines) + "\n"
 
 

@@ -1,0 +1,70 @@
+"""CI smoke test for the observability layer.
+
+Runs a traced parallel-deflate round-trip, exports the Chrome trace,
+and asserts the trace parses and contains the expected span taxonomy.
+The telemetry-overhead ceiling itself is enforced separately by
+``tools/perf_gate.py --obs-only``.
+
+Usage::
+
+    PYTHONPATH=src python tools/obs_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+
+from repro import obs
+from repro.backend import AcceleratorPool
+from repro.deflate.inflate import inflate
+from repro.deflate.parallel import parallel_deflate
+from repro.nx.params import POWER9
+from repro.workloads.generators import generate
+
+
+def main() -> int:
+    corpus = generate("markov_text", 262144, seed=21)
+
+    obs.enable()
+    result = parallel_deflate(corpus, level=6, workers=2)
+    if inflate(result.data) != corpus:
+        print("obs smoke FAILED: parallel-deflate round-trip mismatch")
+        return 1
+
+    # One pooled job so the backend/pool metric families populate too.
+    with AcceleratorPool(POWER9, chips=1) as pool:
+        pooled = pool.compress(corpus[:20000])
+        if pool.decompress(pooled.output).output != corpus[:20000]:
+            print("obs smoke FAILED: pooled round-trip mismatch")
+            return 1
+
+    with tempfile.NamedTemporaryFile(suffix=".trace.json",
+                                     delete=False) as handle:
+        trace_path = handle.name
+    obs.export_chrome_trace(trace_path)
+    doc = json.loads(open(trace_path).read())
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        print("obs smoke FAILED: trace has no events")
+        return 1
+    names = {e["name"] for e in events if e.get("ph") == "X"}
+    expected = {"deflate.parallel", "pool.route", "backend.submit",
+                "vas.paste", "engine.run", "csb.complete"}
+    if not expected <= names:
+        print(f"obs smoke FAILED: missing spans {expected - names}")
+        return 1
+
+    snapshot = obs.registry().to_prometheus()
+    obs.disable()
+    obs.reset()
+
+    spans = len(events)
+    metric_lines = len(snapshot.splitlines())
+    print(f"obs smoke passed: {len(corpus)} bytes round-tripped, "
+          f"{spans} trace events, {metric_lines} metric lines")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

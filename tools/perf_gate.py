@@ -19,6 +19,12 @@ a per-byte loop reappearing — not single-digit drift.
 ``--fresh FILE`` skips the in-process run and gates a previously
 recorded report instead (useful to separate measurement from judgment
 in CI pipelines).
+
+The gate also bounds the telemetry layer: a fresh
+``benchmarks/bench_obs_overhead.py`` run must show the disabled-tracer
+guard costing under ``--max-obs-overhead`` percent (default 2.0, the
+documented ceiling) on the deflate/inflate hot paths.  ``--skip-obs``
+omits that half; ``--obs-only`` runs nothing else.
 """
 
 from __future__ import annotations
@@ -30,6 +36,7 @@ import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 BASELINE_PATH = REPO_ROOT / "BENCH_hotpath.json"
+OBS_BASELINE_PATH = REPO_ROOT / "BENCH_obs.json"
 
 
 def gate(fresh: dict, baseline: dict, tolerance: float) -> list[str]:
@@ -54,6 +61,30 @@ def gate(fresh: dict, baseline: dict, tolerance: float) -> list[str]:
     return failures
 
 
+def gate_obs(fresh: dict, max_overhead_pct: float) -> list[str]:
+    """Ceiling check on the disabled-telemetry guard cost.
+
+    Unlike the throughput gate this is absolute, not relative to a
+    committed baseline: the <2 % promise is part of the observability
+    design, so the fresh measurement alone decides.
+    """
+    failures: list[str] = []
+    results = fresh.get("results", {})
+    checked = 0
+    for key, value in results.items():
+        if not key.endswith("_off_overhead_pct"):
+            continue
+        checked += 1
+        if not isinstance(value, (int, float)):
+            failures.append(f"{key}: not a number ({value!r})")
+        elif value > max_overhead_pct:
+            failures.append(
+                f"{key}: {value:.3f}% > ceiling {max_overhead_pct:.1f}%")
+    if not checked:
+        failures.append("obs report has no *_off_overhead_pct metrics")
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--tolerance", type=float, default=0.5,
@@ -66,34 +97,63 @@ def main(argv: list[str] | None = None) -> int:
                         help="gate this report instead of running the bench")
     parser.add_argument("--quick", action="store_true",
                         help="run the bench on the quarter-scale corpus")
+    parser.add_argument("--max-obs-overhead", type=float, default=2.0,
+                        help="ceiling (percent) on the disabled-telemetry "
+                             "guard cost (default 2.0)")
+    parser.add_argument("--fresh-obs", type=pathlib.Path, default=None,
+                        help="gate this obs report instead of running "
+                             "the overhead bench")
+    parser.add_argument("--skip-obs", action="store_true",
+                        help="skip the telemetry-overhead half")
+    parser.add_argument("--obs-only", action="store_true",
+                        help="only gate the telemetry overhead")
     args = parser.parse_args(argv)
 
     if not 0.0 <= args.tolerance < 1.0:
         parser.error("--tolerance must be in [0, 1)")
-    if not args.baseline.exists():
-        print(f"perf gate: no baseline at {args.baseline}; nothing to gate")
-        return 0
-    baseline = json.loads(args.baseline.read_text())
+    if args.skip_obs and args.obs_only:
+        parser.error("--skip-obs and --obs-only are mutually exclusive")
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
-    if args.fresh is not None:
-        fresh = json.loads(args.fresh.read_text())
-    else:
-        sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
-        from bench_hotpath import run_bench
-        fresh = run_bench(quick=args.quick)
+    failures: list[str] = []
+    if not args.obs_only:
+        if not args.baseline.exists():
+            print(f"perf gate: no baseline at {args.baseline}; "
+                  "nothing to gate")
+        else:
+            baseline = json.loads(args.baseline.read_text())
+            if args.fresh is not None:
+                fresh = json.loads(args.fresh.read_text())
+            else:
+                from bench_hotpath import run_bench
+                fresh = run_bench(quick=args.quick)
+            failures += gate(fresh, baseline, args.tolerance)
+            for key, value in fresh.get("results", {}).items():
+                base = baseline.get("results", {}).get(key)
+                if isinstance(value, (int, float)) \
+                        and isinstance(base, (int, float)):
+                    print(f"  {key:24s} {value:10.3f} MB/s  "
+                          f"(committed {base:.3f})")
 
-    failures = gate(fresh, baseline, args.tolerance)
-    for key, value in fresh.get("results", {}).items():
-        base = baseline.get("results", {}).get(key)
-        if isinstance(value, (int, float)) and isinstance(base, (int, float)):
-            print(f"  {key:24s} {value:10.3f} MB/s  "
-                  f"(committed {base:.3f})")
+    if not args.skip_obs:
+        if args.fresh_obs is not None:
+            fresh_obs = json.loads(args.fresh_obs.read_text())
+        else:
+            from bench_obs_overhead import run_bench as run_obs_bench
+            fresh_obs = run_obs_bench(quick=args.quick)
+        failures += gate_obs(fresh_obs, args.max_obs_overhead)
+        for key, value in fresh_obs.get("results", {}).items():
+            if key.endswith("_off_overhead_pct"):
+                print(f"  {key:32s} {value:8.3f} %  "
+                      f"(ceiling {args.max_obs_overhead:.1f} %)")
+
     if failures:
         print("perf gate FAILED:")
         for failure in failures:
             print(f"  {failure}")
         return 1
-    print(f"perf gate passed (tolerance {args.tolerance:.0%})")
+    print(f"perf gate passed (tolerance {args.tolerance:.0%}, "
+          f"obs ceiling {args.max_obs_overhead:.1f}%)")
     return 0
 
 
