@@ -107,44 +107,62 @@ class CompressionBackend(abc.ABC):
 
     def __init__(self) -> None:
         self._stats = BackendStats()
+        #: Per-call deadline (modelled seconds), set by the public
+        #: methods for the duration of one ``_compress``/``_decompress``
+        #: call.  Backends that can bound their waiting (the NX driver
+        #: paths) consult it; the rest ignore it.
+        self._call_deadline_s: float | None = None
 
     # -- the protocol --------------------------------------------------------
 
     def compress(self, data: bytes, *, strategy: object = "auto",
                  fmt: str | None = None, history: bytes = b"",
-                 final: bool = True) -> DriverResult:
+                 final: bool = True,
+                 deadline_s: float | None = None) -> DriverResult:
         """Compress ``data``; ``fmt`` defaults to the backend's native one.
 
         ``history`` primes the match window for continuation requests
         and ``final=False`` asks for a continuable raw stream — only
         meaningful when ``capabilities().streaming`` is true.
+        ``deadline_s`` bounds the modelled time the backend may spend
+        *waiting* (retries, fault fixups); past it the call raises
+        :class:`~repro.errors.DeadlineExceeded`.
         """
         fmt = fmt or self.capabilities().default_format
-        if _TRACE.enabled:
-            with _TRACE.span("backend.submit", backend=self.name,
-                             op="compress", fmt=fmt,
-                             nbytes=len(data)) as span:
-                result = self._compress(data, _strategy_value(strategy),
-                                        fmt, history, final)
-                _annotate(span, result)
-        else:
-            result = self._compress(data, _strategy_value(strategy), fmt,
-                                    history, final)
+        self._call_deadline_s = deadline_s
+        try:
+            if _TRACE.enabled:
+                with _TRACE.span("backend.submit", backend=self.name,
+                                 op="compress", fmt=fmt,
+                                 nbytes=len(data)) as span:
+                    result = self._compress(data, _strategy_value(strategy),
+                                            fmt, history, final)
+                    _annotate(span, result)
+            else:
+                result = self._compress(data, _strategy_value(strategy), fmt,
+                                        history, final)
+        finally:
+            self._call_deadline_s = None
         self._record(result, len(data), "compress")
         return result
 
     def decompress(self, payload: bytes, *, fmt: str | None = None,
-                   history: bytes = b"") -> DriverResult:
+                   history: bytes = b"",
+                   deadline_s: float | None = None) -> DriverResult:
         """Decompress ``payload`` produced in the same wire format."""
         fmt = fmt or self.capabilities().default_format
-        if _TRACE.enabled:
-            with _TRACE.span("backend.submit", backend=self.name,
-                             op="decompress", fmt=fmt,
-                             nbytes=len(payload)) as span:
+        self._call_deadline_s = deadline_s
+        try:
+            if _TRACE.enabled:
+                with _TRACE.span("backend.submit", backend=self.name,
+                                 op="decompress", fmt=fmt,
+                                 nbytes=len(payload)) as span:
+                    result = self._decompress(payload, fmt, history)
+                    _annotate(span, result)
+            else:
                 result = self._decompress(payload, fmt, history)
-                _annotate(span, result)
-        else:
-            result = self._decompress(payload, fmt, history)
+        finally:
+            self._call_deadline_s = None
         self._record(result, len(payload), "decompress")
         return result
 

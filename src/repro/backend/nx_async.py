@@ -49,7 +49,9 @@ class NxAsyncBackend(CompressionBackend):
     def __init__(self, machine: MachineParams | str = POWER9,
                  fault_probability: float = 0.0, seed: int = 0,
                  engine=None, max_retries: int = DEFAULT_MAX_RETRIES,
-                 credits: int | None = None) -> None:
+                 credits: int | None = None,
+                 retry_policy=None,
+                 deadline_s: float | None = None) -> None:
         super().__init__()
         if isinstance(machine, str):
             machine = get_machine(machine)
@@ -60,7 +62,9 @@ class NxAsyncBackend(CompressionBackend):
             fault_injector=FaultInjector(fault_probability, seed=seed))
         self.accelerator = NxAccelerator(machine)
         self.driver = AsyncNxDriver(self.accelerator, self.space,
-                                    max_retries=max_retries)
+                                    max_retries=max_retries,
+                                    retry_policy=retry_policy,
+                                    deadline_s=deadline_s)
         self.driver.open(credits)
         self._caps = BackendCapabilities(
             name=self.name,
@@ -88,17 +92,20 @@ class NxAsyncBackend(CompressionBackend):
                   history: bytes, final: bool) -> DriverResult:
         op, _, driver_fmt = _ops_for(fmt)
         return self.driver.run(op, data, strategy=strategy, fmt=driver_fmt,
-                               history=history, final=final)
+                               history=history, final=final,
+                               deadline_s=self._call_deadline_s)
 
     def _decompress(self, payload: bytes, fmt: str,
                     history: bytes) -> DriverResult:
         _, op, driver_fmt = _ops_for(fmt)
-        return self.driver.run(op, payload, fmt=driver_fmt, history=history)
+        return self.driver.run(op, payload, fmt=driver_fmt, history=history,
+                               deadline_s=self._call_deadline_s)
 
     # -- asynchronous batch surface ------------------------------------------
 
     def submit(self, kind: str, data: bytes, *, strategy: object = "auto",
-               fmt: str | None = None) -> PendingJob:
+               fmt: str | None = None,
+               deadline_s: float | None = None) -> PendingJob:
         """Paste one request without waiting; poll for its completion."""
         if kind not in _COMPRESS_OPS:
             raise ConfigError(f"unknown job kind {kind!r}")
@@ -107,7 +114,7 @@ class NxAsyncBackend(CompressionBackend):
         op = cop if kind == "compress" else dop
         strategy = getattr(strategy, "value", strategy)
         return self.driver.submit(op, data, strategy=strategy,
-                                  fmt=driver_fmt)
+                                  fmt=driver_fmt, deadline_s=deadline_s)
 
     def poll(self) -> list[PendingJob]:
         """Drain completions; finished jobs are folded into ``stats()``."""
@@ -125,6 +132,8 @@ class NxAsyncBackend(CompressionBackend):
 
     def _account_async(self, job: PendingJob) -> None:
         """Async completions bypass the base record hook — mirror it."""
+        if job.result is None:  # failed jobs carry no result to account
+            return
         self._stats.record(job.result, job.data_len)
         if _REGISTRY.enabled:
             op = ("compress" if job.op in (Op.COMPRESS, Op.COMPRESS_842)
@@ -135,6 +144,10 @@ class NxAsyncBackend(CompressionBackend):
                        faults=job.result.stats.translation_faults,
                        fallback=job.result.stats.fallback_to_software,
                        backend=self.name)
+
+    def cancel_pending(self) -> list[PendingJob]:
+        """Abandon in-flight jobs and reclaim their window credits."""
+        return self.driver.cancel_pending()
 
     @property
     def in_flight(self) -> int:

@@ -17,19 +17,38 @@ Batch submission rides the asynchronous paste/drain machinery when the
 per-chip backend provides it (``submit``/``poll``/``wait_all``), and
 falls back to synchronous execution when it does not, so the pool works
 identically over ``nx`` and ``dfltcc`` backends.
+
+The pool is also where resilience lives (the RAS discipline of the z15
+part — a shared accelerator fails *per request*, never per tenant):
+
+* every chip has a :class:`~repro.resilience.health.CircuitBreaker`;
+  consecutive failures quarantine the chip and ``route()`` excludes it,
+  half-open chips must pass known-answer probes
+  (:func:`~repro.nx.selftest.probe_backend`) before user jobs return;
+* a hardware failure is *rescued* — the job reruns on the calling core
+  so the caller still gets correct bytes — unless
+  ``allow_software_rescue=False``, in which case an all-open pool
+  raises :class:`~repro.errors.ChipUnavailable`;
+* ``verify=True`` re-inflates every compressed payload and CRC-checks
+  it before returning (verify-after-compress); a mismatch counts as a
+  chip failure and the payload is re-encoded in software.
 """
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-from ..errors import ConfigError
+from ..errors import (AcceleratorError, ChipUnavailable, ConfigError,
+                      DeadlineExceeded)
 from ..nx.params import POWER9, MachineParams, Topology, get_machine
 from ..obs.metrics import REGISTRY as _REGISTRY
 from ..obs.trace import TRACE as _TRACE
 from ..perf.routing import MultiChipRouter, RoutingResult, choose_chip
-from ..sysstack.driver import DriverResult
+from ..resilience.health import HealthConfig, HealthTracker
+from ..resilience.verify import (decode_payload, note_mismatch,
+                                 software_compress, verify_payload)
+from ..sysstack.driver import DriverResult, SubmissionStats
 from .base import CompressionBackend
 from .registry import create_backend, default_backend
 
@@ -40,6 +59,19 @@ ROUTING_POLICIES = ("local", "round_robin", "least_loaded",
 
 #: Pseudo chip index for the software-fallback instance.
 SOFTWARE = -1
+
+
+def _hardware_clean(result: DriverResult) -> bool:
+    """Did the hardware serve this without misbehaving?
+
+    Translation faults and target regrowth are *protocol*, not failure;
+    hangs, spurious CCs, and retry-exhausted software fallbacks are the
+    breaker-relevant signals.
+    """
+    stats = result.stats
+    return not (stats.fallback_to_software
+                or getattr(stats, "engine_hangs", 0)
+                or getattr(stats, "spurious_ccs", 0))
 
 
 @dataclass(frozen=True)
@@ -60,21 +92,37 @@ class PoolStats:
     dispatch_counts: tuple[int, ...] = ()
     software_jobs: int = 0
     in_flight: int = 0
+    rescues: int = 0
+    verify_failures: int = 0
+    breaker_opens: int = 0
+    breaker_states: tuple[str, ...] = ()
 
 
 @dataclass
 class PoolJob:
-    """One batch-submitted request and where it was routed."""
+    """One batch-submitted request and where it was routed.
+
+    The original payload is retained until completion so a job whose
+    chip fails mid-flight can be rescued in software.  ``error`` is set
+    when the job terminally failed (and no rescue was possible).
+    """
 
     index: int
     chip: int
     nbytes: int
     kind: str
     result: DriverResult | None = None
+    payload: bytes = field(default=b"", repr=False)
+    fmt: str | None = None
+    error: Exception | None = None
 
     @property
     def done(self) -> bool:
-        return self.result is not None
+        return self.result is not None or self.error is not None
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
 
 
 class AcceleratorPool:
@@ -85,6 +133,9 @@ class AcceleratorPool:
                  backend: str | None = None,
                  software_threshold: int = 16384,
                  cross_chip_penalty_us: float = 0.5,
+                 health: HealthConfig | None = None,
+                 verify: bool = False,
+                 allow_software_rescue: bool = True,
                  **backend_kwargs) -> None:
         if isinstance(machine, str):
             machine = get_machine(machine)
@@ -99,6 +150,9 @@ class AcceleratorPool:
         self.backend_name = backend or default_backend(machine)
         self.software_threshold = software_threshold
         self.cross_chip_penalty_us = cross_chip_penalty_us
+        self.health = HealthTracker(chips, health)
+        self.verify = verify
+        self.allow_software_rescue = allow_software_rescue
         self._backend_kwargs = backend_kwargs
         self._instances: list[CompressionBackend | None] = [None] * chips
         self._software: CompressionBackend | None = None
@@ -106,6 +160,8 @@ class AcceleratorPool:
         self._pending_bytes = [0] * chips
         self.dispatch_counts = [0] * chips
         self.software_jobs = 0
+        self.rescues = 0
+        self.verify_failures = 0
         self._open: list[PoolJob] = []
         self._by_pending: dict[tuple[int, int], PoolJob] = {}
         self._next_index = 0
@@ -144,14 +200,30 @@ class AcceleratorPool:
     # -- routing -------------------------------------------------------------
 
     def route(self, nbytes: int, home: int = 0) -> int:
-        """Pick the chip (or :data:`SOFTWARE`) for an ``nbytes`` job."""
-        if self.policy == "size_threshold":
-            if nbytes < self.software_threshold:
+        """Pick the chip (or :data:`SOFTWARE`) for an ``nbytes`` job.
+
+        Quarantined chips (breaker OPEN) are never returned: the policy
+        kernel's pick is remapped deterministically onto the healthy
+        subset.  With every breaker open the job goes to software, or —
+        when ``allow_software_rescue`` is off — :class:`ChipUnavailable`
+        is raised so the caller can shed load instead.
+        """
+        if (self.policy == "size_threshold"
+                and nbytes < self.software_threshold):
+            return SOFTWARE
+        available = self.health.available_chips()
+        if not available:
+            if self.allow_software_rescue:
+                _TRACE.event("pool.all_chips_down")
                 return SOFTWARE
-            return choose_chip("round_robin", home, self._loads(),
-                               self._rr_state)
-        return choose_chip(self.policy, home, self._loads(),
-                           self._rr_state)
+            raise ChipUnavailable(
+                "every chip's circuit breaker is open")
+        policy = ("round_robin" if self.policy == "size_threshold"
+                  else self.policy)
+        chip = choose_chip(policy, home, self._loads(), self._rr_state)
+        if chip not in available:
+            chip = available[chip % len(available)]
+        return chip
 
     def _loads(self) -> list[float]:
         """Per-chip pending bytes plus bytes already served (live proxy
@@ -175,31 +247,164 @@ class AcceleratorPool:
                               "jobs routed per chip").inc(1, chip=target)
 
     def _route_traced(self, nbytes: int, home: int) -> int:
-        """Route + dispatch accounting, under a ``pool.route`` span."""
+        """Route + probes + dispatch accounting, under a span."""
         if _TRACE.enabled:
             with _TRACE.span("pool.route", policy=self.policy,
                              nbytes=nbytes, home=home) as span:
-                chip = self.route(nbytes, home)
+                chip = self._route_healthy(nbytes, home)
                 span.set(chip="software" if chip == SOFTWARE else chip)
         else:
-            chip = self.route(nbytes, home)
+            chip = self._route_healthy(nbytes, home)
         self._dispatch(chip)
         return chip
+
+    def _route_healthy(self, nbytes: int, home: int) -> int:
+        """One routing tick; half-open picks must pass their probes."""
+        self.health.tick()
+        for _ in range(self.chips + 1):
+            chip = self.route(nbytes, home)
+            if chip == SOFTWARE or self._probe(chip):
+                return chip
+        # Every half-open candidate failed its probe this tick.
+        if self.allow_software_rescue:
+            _TRACE.event("pool.all_chips_down")
+            return SOFTWARE
+        raise ChipUnavailable("no chip passed its recovery probe")
+
+    def _probe(self, chip: int) -> bool:
+        """Run known-answer probes while ``chip`` is half-open.
+
+        Returns True when the chip may serve the user job (CLOSED, or
+        it passed enough probes to close); False re-opens the breaker.
+        """
+        if not self.health.needs_probe(chip):
+            return True
+        from ..nx.selftest import probe_backend
+
+        backend = self.backend_for(chip)
+        while self.health.needs_probe(chip):
+            if not hasattr(backend, "accelerator"):
+                # Software-ish backend: nothing hardware to probe.
+                self.health.record_success(chip)
+                continue
+            if probe_backend(backend):
+                self.health.record_success(chip)
+            else:
+                self.health.record_failure(chip)  # half-open -> open
+                return False
+        return True
 
     # -- synchronous operations ----------------------------------------------
 
     def compress(self, data: bytes, *, strategy: object = "auto",
                  fmt: str | None = None, history: bytes = b"",
-                 final: bool = True, home: int = 0) -> DriverResult:
+                 final: bool = True, home: int = 0,
+                 deadline_s: float | None = None,
+                 verify: bool | None = None) -> DriverResult:
         chip = self._route_traced(len(data), home)
-        return self.backend_for(chip).compress(
-            data, strategy=strategy, fmt=fmt, history=history, final=final)
+        backend = self.backend_for(chip)
+        fmt = fmt or backend.capabilities().default_format
+        try:
+            result = backend.compress(data, strategy=strategy, fmt=fmt,
+                                      history=history, final=final,
+                                      deadline_s=deadline_s)
+        except DeadlineExceeded:
+            # A late chip is a sick chip, but the deadline is the
+            # caller's contract — no software rescue behind its back.
+            self._note_health(chip, healthy=False)
+            raise
+        except AcceleratorError as exc:
+            if chip == SOFTWARE:
+                raise
+            self._note_health(chip, healthy=False)
+            result = self._rescue("compress", data, fmt, exc)
+        else:
+            self._note_health(chip, healthy=_hardware_clean(result))
+        do_verify = self.verify if verify is None else verify
+        if do_verify and final and not history:
+            result = self._verified(chip, data, fmt, result)
+        return result
 
     def decompress(self, payload: bytes, *, fmt: str | None = None,
-                   history: bytes = b"", home: int = 0) -> DriverResult:
+                   history: bytes = b"", home: int = 0,
+                   deadline_s: float | None = None) -> DriverResult:
         chip = self._route_traced(len(payload), home)
-        return self.backend_for(chip).decompress(payload, fmt=fmt,
-                                                 history=history)
+        backend = self.backend_for(chip)
+        fmt = fmt or backend.capabilities().default_format
+        try:
+            result = backend.decompress(payload, fmt=fmt, history=history,
+                                        deadline_s=deadline_s)
+        except DeadlineExceeded:
+            self._note_health(chip, healthy=False)
+            raise
+        except AcceleratorError as exc:
+            if chip == SOFTWARE:
+                raise
+            self._note_health(chip, healthy=False)
+            result = self._rescue("decompress", payload, fmt, exc)
+        else:
+            self._note_health(chip, healthy=_hardware_clean(result))
+        return result
+
+    # -- resilience plumbing -------------------------------------------------
+
+    def _note_health(self, chip: int, healthy: bool) -> None:
+        if chip == SOFTWARE:
+            return
+        if healthy:
+            self.health.record_success(chip)
+        else:
+            self.health.record_failure(chip)
+
+    def _rescue(self, kind: str, data: bytes, fmt: str,
+                cause: Exception) -> DriverResult:
+        """Re-run a failed hardware job on the calling core.
+
+        Raises the original ``cause`` when rescue is disabled — the
+        caller asked for fail-fast semantics.
+        """
+        if not self.allow_software_rescue:
+            raise cause
+        with self._lock:
+            self.rescues += 1
+        _TRACE.event("pool.rescue", kind=kind, cause=type(cause).__name__)
+        if _REGISTRY.enabled:
+            _REGISTRY.counter(
+                "repro_resilience_rescues_total",
+                "hardware jobs re-run in software after a failure").inc(
+                1, kind=kind)
+        stats = SubmissionStats(fallback_to_software=True)
+        if kind == "compress":
+            output, seconds = software_compress(data, fmt=fmt,
+                                                machine=self.machine)
+        else:
+            from ..perf.cost import SoftwareCostModel
+
+            output = decode_payload(data, fmt)
+            seconds = SoftwareCostModel(self.machine).decompress_seconds(
+                len(output))
+        stats.elapsed_seconds = seconds
+        return DriverResult(output=output, csb=None, stats=stats)
+
+    def _verified(self, chip: int, original: bytes, fmt: str,
+                  result: DriverResult) -> DriverResult:
+        """Verify-after-compress: CRC-checked round trip or re-encode."""
+        if verify_payload(original, result.output, fmt):
+            return result
+        backend_name = ("software" if chip == SOFTWARE
+                        else self.backend_name)
+        note_mismatch(backend_name, fmt, len(original))
+        with self._lock:
+            self.verify_failures += 1
+        self._note_health(chip, healthy=False)
+        output, seconds = software_compress(original, fmt=fmt,
+                                            machine=self.machine)
+        with self._lock:
+            self.rescues += 1
+        stats = result.stats
+        stats.fallback_to_software = True
+        stats.elapsed_seconds += seconds
+        return DriverResult(output=output, csb=None, stats=stats)
 
     # -- asynchronous batch submission ---------------------------------------
 
@@ -215,9 +420,11 @@ class AcceleratorPool:
                 fmt: str | None, home: int) -> PoolJob:
         chip = self._route_traced(len(data), home)
         backend = self.backend_for(chip)
+        fmt = fmt or backend.capabilities().default_format
         with self._lock:
             job = PoolJob(index=self._next_index, chip=chip,
-                          nbytes=len(data), kind=kind)
+                          nbytes=len(data), kind=kind, payload=data,
+                          fmt=fmt)
             self._next_index += 1
         if chip != SOFTWARE and hasattr(backend, "submit"):
             pending = backend.submit(kind, data, strategy=strategy, fmt=fmt)
@@ -225,6 +432,10 @@ class AcceleratorPool:
                 self._pending_bytes[chip] += len(data)
                 self._by_pending[(chip, pending.sequence)] = job
             self._publish_in_flight()
+            # The paste itself may have resolved the job (software
+            # fallback on a wedged window, deadline, permanent CC).
+            if pending.done:
+                self._finish_pending(chip, pending)
         elif kind == "compress":
             job.result = backend.compress(data, strategy=strategy, fmt=fmt)
         else:
@@ -233,39 +444,67 @@ class AcceleratorPool:
             self._open.append(job)
         return job
 
+    def _finish_pending(self, chip: int, pending) -> PoolJob | None:
+        """Resolve one driver completion into its pool job.
+
+        Failed hardware jobs are rescued in software (the caller still
+        gets correct bytes) except for deadline failures, which stay
+        failed — rescuing would blow the caller's latency contract.
+        """
+        with self._lock:
+            job = self._by_pending.pop((chip, pending.sequence), None)
+            if job is None:
+                return None
+            self._pending_bytes[chip] -= job.nbytes
+        if pending.result is None:
+            error = pending.error or AcceleratorError(
+                "pending job resolved with neither result nor error")
+            self._note_health(chip, healthy=False)
+            if (self.allow_software_rescue
+                    and not isinstance(error, DeadlineExceeded)):
+                try:
+                    job.result = self._rescue(job.kind, job.payload,
+                                              job.fmt, error)
+                except Exception as exc:  # bad input: fails anywhere
+                    job.error = exc
+            else:
+                job.error = error
+        else:
+            self._note_health(chip,
+                              healthy=_hardware_clean(pending.result))
+            job.result = pending.result
+            if self.verify and job.kind == "compress":
+                job.result = self._verified(chip, job.payload, job.fmt,
+                                            job.result)
+        return job
+
     def poll(self) -> list[PoolJob]:
-        """Drain every chip once; returns jobs that completed."""
+        """Drain every chip once; returns jobs that resolved."""
         finished: list[PoolJob] = []
         for chip, instance in enumerate(self._instances):
             if instance is None or not hasattr(instance, "poll"):
                 continue
             for pending in instance.poll():
-                with self._lock:
-                    job = self._by_pending.pop((chip, pending.sequence),
-                                               None)
-                    if job is None:
-                        continue
-                    job.result = pending.result
-                    self._pending_bytes[chip] -= job.nbytes
-                finished.append(job)
+                job = self._finish_pending(chip, pending)
+                if job is not None:
+                    finished.append(job)
         if finished:
             self._publish_in_flight()
         return finished
 
-    def wait_all(self) -> list[DriverResult]:
-        """Complete every open job; results in submission order."""
+    def wait_all(self) -> list[DriverResult | None]:
+        """Complete every open job; results in submission order.
+
+        A job that terminally failed (deadline, unrescuable input)
+        yields ``None`` in its slot; its exception is on the
+        :class:`PoolJob` handle returned at submit time.
+        """
         for chip, instance in enumerate(self._instances):
             if (instance is None or not hasattr(instance, "wait_all")
                     or not instance.in_flight):
                 continue
             for pending in instance.wait_all():
-                with self._lock:
-                    job = self._by_pending.pop((chip, pending.sequence),
-                                               None)
-                    if job is None:
-                        continue
-                    job.result = pending.result
-                    self._pending_bytes[chip] -= job.nbytes
+                self._finish_pending(chip, pending)
         with self._lock:
             results = [job.result for job in self._open]
             self._open = []
@@ -313,7 +552,12 @@ class AcceleratorPool:
                 fallbacks=fallbacks,
                 dispatch_counts=tuple(self.dispatch_counts),
                 software_jobs=self.software_jobs,
-                in_flight=len(self._by_pending))
+                in_flight=len(self._by_pending),
+                rescues=self.rescues,
+                verify_failures=self.verify_failures,
+                breaker_opens=self.health.total_opens(),
+                breaker_states=tuple(
+                    b.state.name for b in self.health.breakers))
 
     # -- capacity planning ---------------------------------------------------
 

@@ -9,6 +9,7 @@ Commands:
 * ``advise``     — offload advice for a request size
 * ``ratio``      — compare codec ratios on a file or named generator
 * ``stats``      — telemetry snapshot: metrics registry + engine health
+* ``chaos``      — seeded fault-injection survival campaign
 
 Telemetry is off by default; ``repro --trace <command>`` records spans
 for every job and writes a Chrome ``trace_event`` JSON (open it in
@@ -79,6 +80,13 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=["gzip", "zlib", "raw"])
     p_comp.add_argument("--strategy", default="auto",
                         choices=["auto", "fixed", "dynamic", "canned"])
+    p_comp.add_argument("--verify", action="store_true",
+                        help="verify-after-compress: re-inflate and "
+                             "CRC-check before writing; mismatches are "
+                             "re-encoded in software")
+    p_comp.add_argument("--deadline-ms", type=float, default=None,
+                        help="per-job deadline in modelled milliseconds "
+                             "(bounds retry/wait time)")
     _add_machine_arg(p_comp)
     _add_backend_args(p_comp, pool=True)
 
@@ -87,6 +95,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_dec.add_argument("-o", "--output", type=pathlib.Path)
     p_dec.add_argument("--fmt", default="gzip",
                        choices=["gzip", "zlib", "raw"])
+    p_dec.add_argument("--deadline-ms", type=float, default=None,
+                       help="per-job deadline in modelled milliseconds")
     _add_machine_arg(p_dec)
     _add_backend_args(p_dec, pool=True)
 
@@ -120,6 +130,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument("--format", default="both",
                          choices=["json", "prometheus", "both"],
                          help="snapshot rendering (default: both)")
+
+    p_chaos = sub.add_parser(
+        "chaos", help="seeded fault-injection survival campaign")
+    p_chaos.add_argument("--seed", type=int, default=7,
+                         help="campaign seed (default: 7)")
+    p_chaos.add_argument("--jobs", type=int, default=200,
+                         help="jobs per scenario (default: 200)")
+    p_chaos.add_argument("--chips", type=int, default=2,
+                         help="pool size (default: 2)")
+    p_chaos.add_argument("--max-size", type=int, default=4096,
+                         help="largest job payload in bytes")
+    p_chaos.add_argument("--scenario", default=None,
+                         help="run only this named scenario")
+    _add_machine_arg(p_chaos)
     return parser
 
 
@@ -143,16 +167,20 @@ def _run_session(args: argparse.Namespace, kind: str,
     span taxonomy: pool.route → backend.submit → …)."""
     if getattr(args, "pool_chips", 1) < 1:
         raise ReproError(f"--pool-chips must be >= 1, got {args.pool_chips}")
+    deadline_ms = getattr(args, "deadline_ms", None)
+    deadline_s = deadline_ms * 1e-3 if deadline_ms is not None else None
     with AcceleratorPool(args.machine,
                          chips=getattr(args, "pool_chips", 1),
                          policy=getattr(args, "pool_policy",
                                         "round_robin"),
-                         backend=args.backend or "nx") as pool:
+                         backend=args.backend or "nx",
+                         verify=getattr(args, "verify", False)) as pool:
         if kind == "compress":
             result = pool.compress(data, strategy=args.strategy,
-                                   fmt=args.fmt)
+                                   fmt=args.fmt, deadline_s=deadline_s)
         else:
-            result = pool.decompress(data, fmt=args.fmt)
+            result = pool.decompress(data, fmt=args.fmt,
+                                     deadline_s=deadline_s)
     return result.output, result.stats.elapsed_seconds
 
 
@@ -293,6 +321,23 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from .resilience.chaos import default_plans, run_campaign
+
+    plans = default_plans(args.jobs)
+    if args.scenario is not None:
+        if args.scenario not in plans:
+            print(f"error: unknown scenario {args.scenario!r}; "
+                  f"have {sorted(plans)}", file=sys.stderr)
+            return 2
+        plans = {args.scenario: plans[args.scenario]}
+    report = run_campaign(seed=args.seed, jobs=args.jobs,
+                          chips=args.chips, machine=args.machine,
+                          plans=plans, max_size=args.max_size)
+    print(report.render())
+    return 0 if report.survived else 1
+
+
 _COMMANDS = {
     "compress": cmd_compress,
     "decompress": cmd_decompress,
@@ -302,6 +347,7 @@ _COMMANDS = {
     "ratio": cmd_ratio,
     "selftest": cmd_selftest,
     "stats": cmd_stats,
+    "chaos": cmd_chaos,
 }
 
 

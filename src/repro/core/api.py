@@ -19,6 +19,8 @@ from ..nx.params import POWER9, MachineParams, get_machine
 from ..obs.metrics import REGISTRY as _REGISTRY
 from ..obs.metrics import record_job
 from ..obs.trace import TRACE as _TRACE
+from ..resilience.verify import (note_mismatch, software_compress,
+                                 verify_payload)
 from ..sysstack.driver import DriverResult
 
 
@@ -68,11 +70,23 @@ class NxGzip:
         Registry name of the execution backend ("nx", "dfltcc",
         "software", "842").  Defaults to the NX driver stack, which
         models both machines' gzip engines.
+    verify:
+        Verify-after-compress: re-inflate every compressed payload and
+        CRC-check it against the input before returning; on a mismatch
+        the buffer is re-encoded in software (and the failure is
+        published to metrics), so callers always receive bytes that
+        round-trip.
+    deadline_s:
+        Default per-job deadline in modelled seconds; bounds the time a
+        request may spend *waiting* (retries, fault fixups) before
+        :class:`~repro.errors.DeadlineExceeded` is raised.
     """
 
     def __init__(self, machine: MachineParams | str = POWER9,
                  fault_probability: float = 0.0, seed: int = 0,
-                 backend: str | None = None, **backend_kwargs) -> None:
+                 backend: str | None = None, verify: bool = False,
+                 deadline_s: float | None = None,
+                 **backend_kwargs) -> None:
         if isinstance(machine, str):
             machine = get_machine(machine)
         self.machine = machine
@@ -86,7 +100,10 @@ class NxGzip:
                 f"backend {self.backend_name!r} does not model it")
         self.backend = create_backend(self.backend_name, machine=machine,
                                       **backend_kwargs)
+        self.verify = verify
+        self.deadline_s = deadline_s
         self.stats = SessionStats()
+        self.verify_failures = 0
 
     # -- backward-compatible views of the nx driver stack --------------------
 
@@ -106,37 +123,66 @@ class NxGzip:
     # -- public operations ---------------------------------------------------
 
     def compress(self, data: bytes, strategy: str = "auto",
-                 fmt: str = "gzip") -> CompressedBuffer:
-        """Compress ``data``; ``fmt`` is raw | zlib | gzip."""
+                 fmt: str = "gzip",
+                 deadline_s: float | None = None,
+                 verify: bool | None = None) -> CompressedBuffer:
+        """Compress ``data``; ``fmt`` is raw | zlib | gzip.
+
+        ``deadline_s`` / ``verify`` override the session defaults for
+        this one call.
+        """
+        deadline_s = deadline_s if deadline_s is not None else self.deadline_s
         if _TRACE.enabled:
             with _TRACE.span("api.compress", backend=self.backend_name,
                              fmt=fmt, nbytes=len(data)) as span:
                 result = self.backend.compress(data, strategy=strategy,
-                                               fmt=fmt)
+                                               fmt=fmt,
+                                               deadline_s=deadline_s)
                 span.set(out_bytes=len(result.output),
                          modelled_s=result.stats.elapsed_seconds)
         else:
-            result = self.backend.compress(data, strategy=strategy, fmt=fmt)
+            result = self.backend.compress(data, strategy=strategy, fmt=fmt,
+                                           deadline_s=deadline_s)
+        result = self._maybe_verify(data, fmt, result, verify)
         self._account(len(data), len(result.output), result, "compress")
         return CompressedBuffer(data=result.output,
                                 modelled_seconds=result.stats.elapsed_seconds,
                                 driver=result)
 
     def decompress(self, payload: bytes,
-                   fmt: str = "gzip") -> CompressedBuffer:
+                   fmt: str = "gzip",
+                   deadline_s: float | None = None) -> CompressedBuffer:
         """Decompress ``payload`` produced in the same wire format."""
+        deadline_s = deadline_s if deadline_s is not None else self.deadline_s
         if _TRACE.enabled:
             with _TRACE.span("api.decompress", backend=self.backend_name,
                              fmt=fmt, nbytes=len(payload)) as span:
-                result = self.backend.decompress(payload, fmt=fmt)
+                result = self.backend.decompress(payload, fmt=fmt,
+                                                 deadline_s=deadline_s)
                 span.set(out_bytes=len(result.output),
                          modelled_s=result.stats.elapsed_seconds)
         else:
-            result = self.backend.decompress(payload, fmt=fmt)
+            result = self.backend.decompress(payload, fmt=fmt,
+                                             deadline_s=deadline_s)
         self._account(len(payload), len(result.output), result, "decompress")
         return CompressedBuffer(data=result.output,
                                 modelled_seconds=result.stats.elapsed_seconds,
                                 driver=result)
+
+    def _maybe_verify(self, data: bytes, fmt: str, result: DriverResult,
+                      verify: bool | None) -> DriverResult:
+        """Verify-after-compress; mismatches are re-encoded in software."""
+        do_verify = self.verify if verify is None else verify
+        if not do_verify or verify_payload(data, result.output, fmt):
+            return result
+        self.verify_failures += 1
+        note_mismatch(self.backend_name, fmt, len(data))
+        output, seconds = software_compress(data, fmt=fmt,
+                                            machine=self.machine)
+        stats = result.stats
+        stats.fallback_to_software = True
+        stats.elapsed_seconds += seconds
+        return DriverResult(output=output, csb=None, stats=stats)
 
     def compress_842(self, data: bytes) -> CompressedBuffer:
         """Compress through the 842 pipes (memory-compression format)."""
@@ -147,6 +193,7 @@ class NxGzip:
                 span.set(out_bytes=len(result.output))
         else:
             result = self.backend.compress(data, fmt="842")
+        result = self._maybe_verify(data, "842", result, None)
         self._account(len(data), len(result.output), result, "compress")
         return CompressedBuffer(data=result.output,
                                 modelled_seconds=result.stats.elapsed_seconds,

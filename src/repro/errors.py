@@ -47,6 +47,28 @@ class TranslationFault(AcceleratorError):
         self.is_write = is_write
 
 
+class DeadlineExceeded(AcceleratorError):
+    """A job's modelled elapsed time passed its caller-supplied deadline."""
+
+    def __init__(self, message: str, elapsed_s: float | None = None,
+                 deadline_s: float | None = None) -> None:
+        super().__init__(message)
+        self.elapsed_s = elapsed_s
+        self.deadline_s = deadline_s
+
+
+class ChipUnavailable(AcceleratorError):
+    """No healthy chip can take the job (circuit breakers open)."""
+
+    def __init__(self, message: str, chip: int | None = None) -> None:
+        super().__init__(message)
+        self.chip = chip
+
+
+class IntegrityError(ReproError):
+    """Verify-after-compress found output that does not round-trip."""
+
+
 class VasError(ReproError):
     """Virtual Accelerator Switchboard misuse (no credits, bad window...)."""
 

@@ -11,9 +11,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..sysstack.crb import Crb, Op
+from ..sysstack.crb import CcCode, Crb, Csb, Op
 from ..sysstack.mmu import AddressSpace
-from ..sysstack.vas import Vas
+from ..sysstack.vas import PasteRecord, Vas
 from .engine import JobOutcome, NxEngine
 from .params import MachineParams
 
@@ -33,11 +33,16 @@ class NxAccelerator:
 
     machine: MachineParams
     vas: Vas = field(default_factory=Vas)
+    #: Optional resilience fault-injection hook
+    #: (:class:`repro.resilience.faults.FaultInjector`).
+    chaos: object | None = None
 
     def __post_init__(self) -> None:
         self.compress_engine = NxEngine(self.machine)
         self.decompress_engine = NxEngine(self.machine)
         self.e842_engine = NxEngine(self.machine)  # the 842 pipes
+        #: Requests a hung engine swallowed (credits still held).
+        self.hung: list[PasteRecord] = []
 
     def engine_for(self, crb: Crb) -> NxEngine:
         if crb.function.op in (Op.COMPRESS_842, Op.DECOMPRESS_842):
@@ -51,8 +56,16 @@ class NxAccelerator:
         return self.engine_for(crb).execute(crb, space)
 
     def drain(self, space: AddressSpace) -> list[CompletedJob]:
-        """Process every pasted request in FIFO order."""
+        """Process every pasted request in FIFO order.
+
+        With a resilience :attr:`chaos` injector installed, each popped
+        request first consults it: a *hang* swallows the request (the
+        credit stays held until :meth:`recover_hung`), a *dead* chip
+        answers every job with an engine-check CC, and a *translation
+        storm* fabricates source-side faults the driver must fix up.
+        """
         completed: list[CompletedJob] = []
+        chaos = self.chaos
         while True:
             record = self.vas.pop_request()
             if record is None:
@@ -60,11 +73,54 @@ class NxAccelerator:
             crb = record.crb()
             # Indirect DDE entry arrays live in memory: hydrate them.
             self._hydrate(crb, space)
-            outcome = self.execute(crb, space)
+            if chaos is not None:
+                action = chaos.on_job_start(crb)
+                if action == "hang":
+                    self.hung.append(record)
+                    continue
+                if action == "dead":
+                    outcome = self._fabricate(crb, space, CcCode.FUNCTION)
+                elif action == "translation":
+                    outcome = self._fabricate(
+                        crb, space, CcCode.TRANSLATION,
+                        fault_address=crb.source.address)
+                else:
+                    outcome = self.execute(crb, space)
+                    chaos.on_outcome(crb, outcome, space)
+            else:
+                outcome = self.execute(crb, space)
             self.vas.return_credit(record.window_id)
             completed.append(CompletedJob(window_id=record.window_id,
                                           outcome=outcome, crb=crb))
         return completed
+
+    def recover_hung(self) -> list[PasteRecord]:
+        """Model an engine reset: release hung jobs' credits.
+
+        The driver calls this when a submitted job never produced a
+        completion — the RAS path on real hardware (kill the engine,
+        reclaim its credits, resubmit or fall back).  The swallowed
+        requests are returned for accounting; they are *not* re-run.
+        """
+        recovered = self.hung
+        self.hung = []
+        for record in recovered:
+            self.vas.reclaim_credit(record.window_id)
+        return recovered
+
+    def _fabricate(self, crb: Crb, space: AddressSpace, cc: CcCode,
+                   fault_address: int = 0) -> JobOutcome:
+        """A chaos-injected abnormal completion (engine never ran)."""
+        engine = self.engine_for(crb)
+        busy = engine._abort_seconds()
+        engine.counters.busy_seconds += busy
+        csb = Csb(valid=True, cc=cc, fault_address=fault_address)
+        if crb.csb_address:
+            space.write(crb.csb_address, csb.pack())
+        return JobOutcome(csb=csb, busy_seconds=busy,
+                          faulted_address=(fault_address
+                                           if cc is CcCode.TRANSLATION
+                                           else None))
 
     def _hydrate(self, crb: Crb, space: AddressSpace) -> None:
         from ..sysstack.dde import DDE_BYTES, Dde

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..deflate.checksums import crc32
-from ..errors import AcceleratorError
+from ..errors import AcceleratorError, ReproError
 from ..obs.metrics import REGISTRY as _REGISTRY
 from .compressor import NxCompressor
 from .decompressor import NxDecompressor
@@ -89,3 +89,40 @@ def run_selftest(machine: MachineParams,
                           passed=passed,
                           compress_passed=compress_ok,
                           decompress_passed=decompress_ok)
+
+
+#: Known-answer input for :func:`probe_backend` — compressible but not
+#: degenerate, so a corrupting engine is very unlikely to pass by luck.
+_PROBE_VECTOR = (b"nx-health-probe " * 24) + bytes(range(128))
+
+
+def probe_backend(backend) -> bool:
+    """One known-answer job through a *live* backend instance.
+
+    This is the half-open circuit-breaker probe: unlike
+    :func:`run_selftest` (which tests the engine model in isolation) it
+    goes through the full submission path of an existing backend, so a
+    dead or corrupting chip is caught where it actually fails.  A result
+    that only succeeded via the software fallback does **not** count —
+    the probe asks whether the *hardware* is healthy again.
+    """
+    try:
+        result = backend.compress(_PROBE_VECTOR)
+    except ReproError:
+        ok = False
+    else:
+        hardware = (result.csb is not None
+                    and not result.stats.fallback_to_software)
+        if hardware:
+            from ..resilience.verify import verify_payload
+
+            fmt = backend.capabilities().default_format
+            ok = verify_payload(_PROBE_VECTOR, result.output, fmt)
+        else:
+            ok = False
+    if _REGISTRY.enabled:
+        _REGISTRY.counter(
+            "repro_nx_probe_total",
+            "half-open breaker probes by outcome").inc(
+            1, backend=backend.name, outcome="pass" if ok else "fail")
+    return ok

@@ -1,0 +1,193 @@
+"""Seeded chaos campaigns: survive every fault plan with correct bytes.
+
+A campaign runs a pool of per-chip backends through a series of
+*scenarios*, one per fault kind plus a combined storm, each injecting a
+deterministic fault timeline (see :mod:`repro.resilience.faults`).
+Every compressed payload is round-trip checked against the reference
+software decoder, so the campaign's headline number — ``wrong_bytes`` —
+is an end-to-end data-integrity count across the retry, breaker,
+rescue, and verify machinery.  With the resilience layer working it is
+zero for every scenario, under every seed.
+
+This is the regression harness behind ``repro chaos`` and the CI
+``chaos-smoke`` job.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..errors import ChipUnavailable, DeadlineExceeded, ReproError
+from ..nx.params import POWER9, MachineParams, get_machine
+from .faults import FaultInjector, FaultPlan
+from .health import HealthConfig
+from .verify import decode_payload
+
+#: Jobs per scenario unless the caller widens the campaign.
+DEFAULT_JOBS = 200
+
+
+def default_plans(jobs: int = DEFAULT_JOBS) -> dict[str, list[FaultPlan]]:
+    """One scenario per fault kind, plus a combined storm.
+
+    Probabilities are scaled so each scenario fires often enough to
+    exercise its machinery in ``jobs`` submissions without drowning the
+    pool (the model still has to finish the campaign).
+    """
+    return {
+        "baseline": [],
+        "engine_hang": [FaultPlan("engine_hang", probability=0.08)],
+        "engine_slow": [FaultPlan("engine_slow", probability=0.10,
+                                  magnitude=16.0)],
+        "corrupt_output": [FaultPlan("corrupt_output", probability=0.10)],
+        "spurious_cc": [FaultPlan("spurious_cc", probability=0.10)],
+        "translation_storm": [FaultPlan("translation_storm",
+                                        probability=0.05, magnitude=6.0)],
+        "credit_leak": [FaultPlan("credit_leak", probability=0.08,
+                                  max_fires=8)],
+        "chip_death": [FaultPlan("chip_death", at_job=5,
+                                 recover_at_job=max(40, jobs // 4))],
+        "combined": [
+            FaultPlan("engine_hang", probability=0.02),
+            FaultPlan("corrupt_output", probability=0.05),
+            FaultPlan("spurious_cc", probability=0.05),
+            FaultPlan("translation_storm", probability=0.02,
+                      magnitude=4.0),
+            FaultPlan("credit_leak", probability=0.02, max_fires=4),
+        ],
+    }
+
+
+@dataclass
+class ScenarioResult:
+    """What one fault scenario did to the pool — and what survived."""
+
+    name: str
+    jobs: int
+    wrong_bytes: int = 0
+    shed: int = 0                    # DeadlineExceeded / ChipUnavailable
+    rescues: int = 0
+    verify_failures: int = 0
+    fallbacks: int = 0
+    breaker_opens: int = 0
+    faults_injected: dict[str, int] = field(default_factory=dict)
+    breaker_log: dict[int, list[tuple[str, int]]] = field(
+        default_factory=dict)
+    modelled_seconds: float = 0.0
+
+    @property
+    def survived(self) -> bool:
+        return self.wrong_bytes == 0
+
+
+@dataclass
+class CampaignReport:
+    """All scenarios of one seeded campaign."""
+
+    seed: int
+    chips: int
+    scenarios: list[ScenarioResult] = field(default_factory=list)
+
+    @property
+    def survived(self) -> bool:
+        return all(s.survived for s in self.scenarios)
+
+    @property
+    def total_faults(self) -> int:
+        return sum(sum(s.faults_injected.values()) for s in self.scenarios)
+
+    def render(self) -> str:
+        """Human-readable survival report for the CLI."""
+        lines = [
+            f"chaos campaign  seed={self.seed}  chips={self.chips}",
+            f"{'scenario':<18} {'jobs':>5} {'faults':>6} {'opens':>5} "
+            f"{'rescue':>6} {'verify':>6} {'shed':>4} {'wrong':>5}",
+        ]
+        for s in self.scenarios:
+            lines.append(
+                f"{s.name:<18} {s.jobs:>5} "
+                f"{sum(s.faults_injected.values()):>6} "
+                f"{s.breaker_opens:>5} {s.rescues:>6} "
+                f"{s.verify_failures:>6} {s.shed:>4} {s.wrong_bytes:>5}")
+        verdict = "SURVIVED" if self.survived else "DATA LOSS"
+        lines.append(f"result: {verdict}  "
+                     f"({self.total_faults} faults injected, "
+                     f"{sum(s.wrong_bytes for s in self.scenarios)} "
+                     "wrong payloads)")
+        return "\n".join(lines)
+
+
+def _payload(rng: random.Random, i: int, max_size: int) -> bytes:
+    """Deterministic mixed-compressibility job input."""
+    size = rng.choice((256, 1024, max_size))
+    runs = bytes([65 + (i % 26)]) * 48
+    noise = bytes(rng.getrandbits(8) for _ in range(48))
+    block = runs + noise
+    return (block * (size // len(block) + 1))[:size]
+
+
+def run_scenario(name: str, plans: list[FaultPlan], *,
+                 seed: int = 7, jobs: int = DEFAULT_JOBS,
+                 chips: int = 2,
+                 machine: MachineParams | str = POWER9,
+                 max_size: int = 4096,
+                 deadline_s: float | None = None) -> ScenarioResult:
+    """Run one fault scenario through a health-aware pool."""
+    from ..backend.pool import AcceleratorPool
+
+    if isinstance(machine, str):
+        machine = get_machine(machine)
+    # A tight breaker so quarantine/recovery happens inside the run.
+    health = HealthConfig(failure_threshold=3, cooldown_routes=8,
+                          probe_successes=2)
+    result = ScenarioResult(name=name, jobs=jobs)
+    with AcceleratorPool(machine=machine, chips=chips,
+                         policy="round_robin", backend="nx",
+                         health=health, verify=True) as pool:
+        injectors = [
+            FaultInjector(plans, seed=seed, chip=chip).install(
+                pool.backend_for(chip).accelerator)
+            for chip in range(chips)
+        ]
+        rng = random.Random(seed * 7919 + len(name))
+        for i in range(jobs):
+            data = _payload(rng, i, max_size)
+            try:
+                out = pool.compress(data, fmt="gzip",
+                                    deadline_s=deadline_s)
+            except (DeadlineExceeded, ChipUnavailable):
+                result.shed += 1
+                continue
+            try:
+                restored = decode_payload(out.output, "gzip")
+            except ReproError:
+                restored = None
+            if restored != data:
+                result.wrong_bytes += 1
+            result.fallbacks += int(out.stats.fallback_to_software)
+            result.modelled_seconds += out.stats.elapsed_seconds
+        stats = pool.stats()
+        result.rescues = stats.rescues
+        result.verify_failures = stats.verify_failures
+        result.breaker_opens = stats.breaker_opens
+        result.breaker_log = pool.health.transition_log()
+        for injector in injectors:
+            for kind, count in injector.fired.items():
+                result.faults_injected[kind] = (
+                    result.faults_injected.get(kind, 0) + count)
+    return result
+
+
+def run_campaign(seed: int = 7, jobs: int = DEFAULT_JOBS, chips: int = 2,
+                 machine: MachineParams | str = POWER9,
+                 plans: dict[str, list[FaultPlan]] | None = None,
+                 max_size: int = 4096) -> CampaignReport:
+    """Every fault scenario, one seeded deterministic campaign."""
+    scenarios = plans if plans is not None else default_plans(jobs)
+    report = CampaignReport(seed=seed, chips=chips)
+    for name, scenario_plans in scenarios.items():
+        report.scenarios.append(
+            run_scenario(name, scenario_plans, seed=seed, jobs=jobs,
+                         chips=chips, machine=machine, max_size=max_size))
+    return report

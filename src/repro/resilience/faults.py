@@ -1,0 +1,220 @@
+"""Seeded, deterministic fault injection for the modelled stack.
+
+A z15 zEDC unit lives inside a mainframe RAS envelope: a shared
+user-mode accelerator must survive translation-fault storms, credit
+exhaustion, corrupted engine output, and whole-engine death without
+taking down tenants.  This module makes every one of those first-class,
+*replayable* events so the retry/breaker/verify machinery can be tested
+against them.
+
+A :class:`FaultInjector` holds declarative :class:`FaultPlan` entries
+and is installed on one chip's model via :meth:`FaultInjector.install`,
+which sets the ``chaos`` hook attribute consulted (when non-``None``) at
+three points:
+
+* ``nx/accelerator.py`` — per popped CRB (:meth:`on_job_start` for
+  hang / chip-death / translation-storm) and per executed job
+  (:meth:`on_outcome` for slowdown and output corruption);
+* ``sysstack/driver.py`` — per CSB read (:meth:`on_csb` for spurious
+  non-success completion codes);
+* ``sysstack/vas.py`` — per credit return (:meth:`on_credit_return`
+  for credit leaks).
+
+All randomness comes from one ``random.Random`` seeded from
+``(seed, chip)``, and decisions are consumed in submission order, so a
+campaign with a fixed seed replays the identical fault timeline.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..obs.metrics import REGISTRY as _REGISTRY
+from ..obs.trace import TRACE as _TRACE
+from ..sysstack.crb import CcCode
+
+#: Every fault kind a plan may declare.
+FAULT_KINDS = (
+    "engine_hang",        # the engine never completes; credit stays held
+    "engine_slow",        # busy time multiplied by ``magnitude``
+    "corrupt_output",     # one output byte flipped after a SUCCESS job
+    "spurious_cc",        # a SUCCESS CSB rewritten to a non-success CC
+    "translation_storm",  # the next ``magnitude`` jobs fault on source
+    "credit_leak",        # a completed job's window credit is never freed
+    "chip_death",         # from job N every job fails until recovery
+)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One declarative fault: what, when, how often, how hard.
+
+    ``at_job`` fires deterministically when the chip's job counter hits
+    that value; ``probability`` fires per opportunity from the seeded
+    stream; both may be combined across separate plans.  ``max_fires``
+    caps total firings (``at_job`` plans default to one).
+    ``magnitude`` is kind-specific: the slowdown factor for
+    ``engine_slow``, the storm length for ``translation_storm``.
+    ``recover_at_job`` resurrects a dead chip (``chip_death`` only).
+    """
+
+    kind: str
+    probability: float = 0.0
+    at_job: int | None = None
+    max_fires: int | None = None
+    magnitude: float = 8.0
+    recover_at_job: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigError(f"unknown fault kind {self.kind!r}; "
+                              f"have {FAULT_KINDS}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigError(
+                f"fault probability must be in [0, 1], "
+                f"got {self.probability}")
+        if self.at_job is None and self.probability == 0.0:
+            raise ConfigError(
+                f"plan {self.kind!r} can never fire: give it at_job "
+                "or a probability")
+
+    @property
+    def fire_cap(self) -> float:
+        if self.max_fires is not None:
+            return self.max_fires
+        # A pinned one-shot unless the caller widened it explicitly.
+        return 1 if self.at_job is not None else float("inf")
+
+
+@dataclass
+class _PlanState:
+    plan: FaultPlan
+    fires: int = 0
+
+
+class FaultInjector:
+    """Evaluates fault plans at the model's hook points, deterministically."""
+
+    def __init__(self, plans: list[FaultPlan] | tuple[FaultPlan, ...] = (),
+                 seed: int = 0, chip: int = 0) -> None:
+        self.seed = seed
+        self.chip = chip
+        self._rng = random.Random(seed * 1_000_003 + chip)
+        self._states = [_PlanState(plan) for plan in plans]
+        self.job_counter = 0
+        self.fired: dict[str, int] = {}
+        self._storm_remaining = 0
+        self._dead = False
+
+    # -- installation --------------------------------------------------------
+
+    def install(self, accelerator) -> "FaultInjector":
+        """Attach to one chip's accelerator (and its switchboard)."""
+        accelerator.chaos = self
+        accelerator.vas.chaos = self
+        return self
+
+    # -- plan evaluation -----------------------------------------------------
+
+    def _fires(self, kind: str, counter: int | None = None) -> _PlanState | None:
+        """Does any ``kind`` plan fire at this opportunity?"""
+        for state in self._states:
+            plan = state.plan
+            if plan.kind != kind or state.fires >= plan.fire_cap:
+                continue
+            hit = False
+            if plan.at_job is not None and counter is not None:
+                hit = counter == plan.at_job
+            if not hit and plan.probability > 0.0:
+                hit = self._rng.random() < plan.probability
+            if hit:
+                state.fires += 1
+                self._record(kind)
+                return state
+        return None
+
+    def _record(self, kind: str) -> None:
+        self.fired[kind] = self.fired.get(kind, 0) + 1
+        if _TRACE.enabled:
+            _TRACE.event("fault.injected", kind=kind, chip=self.chip)
+        if _REGISTRY.enabled:
+            _REGISTRY.counter(
+                "repro_resilience_faults_injected_total",
+                "chaos faults fired by the injector").inc(
+                1, kind=kind, chip=str(self.chip))
+
+    # -- hook points ---------------------------------------------------------
+
+    def on_job_start(self, crb) -> str | None:
+        """Accelerator hook, once per popped CRB; returns the action.
+
+        ``"hang"`` — drop the job, keep the credit; ``"dead"`` — fail
+        with an engine-check CC; ``"translation"`` — fabricate a
+        translation fault on the source; ``None`` — run normally.
+        """
+        self.job_counter += 1
+        counter = self.job_counter
+        # Chip death dominates everything else while active.
+        for state in self._states:
+            plan = state.plan
+            if plan.kind != "chip_death":
+                continue
+            if self._dead and (plan.recover_at_job is not None
+                               and counter >= plan.recover_at_job):
+                self._dead = False
+            if not self._dead and state.fires < plan.fire_cap:
+                if ((plan.at_job is not None and counter >= plan.at_job
+                     and (plan.recover_at_job is None
+                          or counter < plan.recover_at_job))
+                        or (plan.probability > 0.0
+                            and self._rng.random() < plan.probability)):
+                    state.fires += 1
+                    self._record("chip_death")
+                    self._dead = True
+        if self._dead:
+            return "dead"
+        if self._storm_remaining > 0:
+            self._storm_remaining -= 1
+            return "translation"
+        storm = self._fires("translation_storm", counter)
+        if storm is not None:
+            self._storm_remaining = max(0, int(storm.plan.magnitude) - 1)
+            return "translation"
+        if self._fires("engine_hang", counter) is not None:
+            return "hang"
+        return None
+
+    def on_outcome(self, crb, outcome, space) -> None:
+        """Accelerator hook after a job executed: slow it or corrupt it."""
+        slow = self._fires("engine_slow", self.job_counter)
+        if slow is not None:
+            outcome.busy_seconds *= slow.plan.magnitude
+        csb = outcome.csb
+        if (csb.cc is CcCode.SUCCESS and csb.target_written > 0
+                and self._fires("corrupt_output",
+                                self.job_counter) is not None):
+            offset = self._rng.randrange(csb.target_written)
+            address = crb.target.address + offset
+            original = space.read(address, 1)
+            space.write(address, bytes((original[0] ^ 0xA5,)))
+
+    def on_csb(self, csb) -> None:
+        """Driver hook at CSB-read time: inject a spurious non-success CC."""
+        if (csb.cc is CcCode.SUCCESS
+                and self._fires("spurious_cc", self.job_counter) is not None):
+            csb.cc = CcCode.FUNCTION
+
+    def on_credit_return(self, window_id: int) -> bool:
+        """VAS hook per credit return; True means the credit leaks."""
+        return self._fires("credit_leak", self.job_counter) is not None
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def dead(self) -> bool:
+        return self._dead
+
+    def total_fired(self) -> int:
+        return sum(self.fired.values())

@@ -10,6 +10,22 @@ This is the software half of the documented submission protocol:
 4. after a bounded number of retries, fall back to software zlib —
    the same last-resort path the production library (libnxz) takes.
 
+Every wait in the protocol is bounded by a
+:class:`~repro.resilience.policy.RetryPolicy`: the paste loop gives up
+on a wedged window (e.g. a leaked-credit storm) instead of spinning,
+resubmissions stop after ``max_attempts``, and an optional per-job
+deadline in modelled seconds raises
+:class:`~repro.errors.DeadlineExceeded` once a job spends its budget
+waiting.  A submission that never completes at all (a hung engine) is
+detected by its missing completion, recovered via
+:meth:`~repro.nx.accelerator.NxAccelerator.recover_hung`, and retried.
+
+Completion codes split into three classes (see ``docs/protocol.md``):
+*handled* (``TRANSLATION``, ``TARGET_SPACE`` — fix up and resubmit),
+*permanent* (``INVALID_CRB``, ``DATA_LENGTH`` — the request itself is
+wrong; raise immediately, no retry), and *spurious* (anything else — a
+misbehaving engine; retry, then fall back to software).
+
 Timing is accounted in modelled seconds so experiments can report
 end-to-end latencies including fault fixups and retries.
 """
@@ -19,8 +35,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from ..errors import JobError
+from ..errors import DeadlineExceeded, JobError, ReproError
 from ..obs.trace import TRACE as _TRACE
+from ..resilience.policy import RetryPolicy, check_deadline
 from ..sysstack.crb import (CRB_FLAG_CONTINUED, CcCode, Crb,
                             Csb, FunctionCode, Op)
 from ..sysstack.dde import Dde
@@ -34,6 +51,9 @@ CSB_POLL_SECONDS = 0.2e-6       # one poll iteration
 PASTE_RETRY_SECONDS = 0.5e-6    # back-off after a credit-rejected paste
 DEFAULT_MAX_RETRIES = 8
 
+#: The request itself is malformed — retrying cannot help.
+PERMANENT_CCS = (CcCode.INVALID_CRB, CcCode.DATA_LENGTH)
+
 
 @dataclass
 class SubmissionStats:
@@ -43,6 +63,8 @@ class SubmissionStats:
     paste_rejections: int = 0
     translation_faults: int = 0
     target_overflows: int = 0
+    engine_hangs: int = 0
+    spurious_ccs: int = 0
     fallback_to_software: bool = False
     elapsed_seconds: float = 0.0
 
@@ -65,7 +87,14 @@ class NxDriver:
     space: AddressSpace
     max_retries: int = DEFAULT_MAX_RETRIES
     pid: int = 1
+    retry_policy: RetryPolicy | None = None
+    deadline_s: float | None = None
     _window_id: int | None = field(default=None, init=False)
+
+    def __post_init__(self) -> None:
+        if self.retry_policy is None:
+            self.retry_policy = RetryPolicy.from_max_retries(
+                self.max_retries)
 
     def open(self, credits: int | None = None) -> None:
         """Open the process's send window (idempotent).
@@ -103,16 +132,22 @@ class NxDriver:
 
     def run(self, op: Op, data: bytes, strategy: str = "auto",
             fmt: str = "raw", history: bytes = b"",
-            final: bool = True) -> DriverResult:
+            final: bool = True,
+            deadline_s: float | None = None) -> DriverResult:
         """Execute one compress/decompress request end to end.
 
         ``history`` seeds the engine's match window (or the inflate
         window for raw decompression); ``final=False`` marks a
         continuation request whose output concatenates with later ones.
+        ``deadline_s`` bounds the job's *modelled* time spent waiting —
+        past it, retries stop and :class:`DeadlineExceeded` is raised.
         """
         if self._window_id is None:
             self.open()
         machine = self.accelerator.machine
+        policy = self.retry_policy
+        if deadline_s is None:
+            deadline_s = self.deadline_s
         stats = SubmissionStats()
         compressing = op in (Op.COMPRESS, Op.COMPRESS_842)
         source, target, csb_va = self.prepare_buffers(
@@ -124,8 +159,9 @@ class NxDriver:
             history_dde = Dde.direct(hist_va, len(history))
 
         flags = 0 if final else CRB_FLAG_CONTINUED
-        traced = _TRACE.enabled
-        for _attempt in range(self.max_retries + 1):
+        chaos = self.accelerator.chaos
+        attempt = 0
+        while policy.allows(attempt):
             crb = Crb(function=FunctionCode(op=op, strategy=strategy,
                                             fmt=fmt),
                       source=source, target=target, csb_address=csb_va,
@@ -134,45 +170,44 @@ class NxDriver:
             stats.submissions += 1
             stats.elapsed_seconds += machine.submit_overhead_us * 1e-6
 
-            if traced:
-                rejected_before = stats.paste_rejections
-                with _TRACE.span("vas.paste", attempt=_attempt,
-                                 window=self._window_id) as paste_span:
-                    while not self.accelerator.vas.paste(self._window_id,
-                                                         crb):
-                        stats.paste_rejections += 1
-                        stats.elapsed_seconds += PASTE_RETRY_SECONDS
-                        self.accelerator.drain(self.space)
-                    paste_span.set(rejections=stats.paste_rejections
-                                   - rejected_before)
-            else:
-                while not self.accelerator.vas.paste(self._window_id, crb):
-                    stats.paste_rejections += 1
-                    stats.elapsed_seconds += PASTE_RETRY_SECONDS
-                    self.accelerator.drain(self.space)  # engine catch-up
+            if not self._paste_sync(crb, stats, attempt, deadline_s):
+                break  # window wedged (credit leak): software fallback
 
             stats.elapsed_seconds += machine.dispatch_overhead_us * 1e-6
             completed = self.accelerator.drain(self.space)
-            outcome = completed[-1].outcome
+            outcome = _match_completion(completed, crb.sequence)
+            if outcome is None:
+                # The engine swallowed the job: reset it, reclaim the
+                # credit, and charge a backoff before resubmitting.
+                stats.engine_hangs += 1
+                self.accelerator.recover_hung()
+                _TRACE.event("fault.hang", attempt=attempt)
+                stats.elapsed_seconds += policy.backoff_s(attempt, token=1)
+                check_deadline(stats.elapsed_seconds, deadline_s,
+                               "engine hang recovery")
+                attempt += 1
+                continue
             stats.elapsed_seconds += outcome.busy_seconds
             stats.elapsed_seconds += CSB_POLL_SECONDS
             stats.elapsed_seconds += machine.completion_overhead_us * 1e-6
 
             csb = outcome.csb
-            if traced:
-                with _TRACE.span("csb.complete", attempt=_attempt,
+            if chaos is not None:
+                chaos.on_csb(csb)
+            if _TRACE.enabled:
+                with _TRACE.span("csb.complete", attempt=attempt,
                                  cc=csb.cc.name) as complete_span:
                     if csb.cc is CcCode.TRANSLATION:
                         complete_span.event(
                             "fault.translation",
                             address=csb.fault_address)
                         complete_span.event("resubmit",
-                                            attempt=_attempt + 1)
+                                            attempt=attempt + 1)
                     elif csb.cc is CcCode.TARGET_SPACE:
                         complete_span.event("overflow.target",
                                             length=target.length)
                         complete_span.event("resubmit",
-                                            attempt=_attempt + 1)
+                                            attempt=attempt + 1)
             if csb.cc is CcCode.SUCCESS:
                 output = self.space.read(target.address, csb.target_written)
                 return DriverResult(output=output, csb=csb, stats=stats,
@@ -181,21 +216,81 @@ class NxDriver:
                 stats.translation_faults += 1
                 self.space.touch(csb.fault_address)
                 stats.elapsed_seconds += PAGE_TOUCH_SECONDS
+                check_deadline(stats.elapsed_seconds, deadline_s,
+                               "translation fixup")
+                attempt += 1
                 continue
             if csb.cc is CcCode.TARGET_SPACE:
                 stats.target_overflows += 1
                 new_len = target.length * 2
                 target = Dde.direct(self.space.alloc(new_len), new_len)
+                check_deadline(stats.elapsed_seconds, deadline_s,
+                               "target growth")
+                attempt += 1
                 continue
-            raise JobError(f"unexpected CC {csb.cc!r}", cc=int(csb.cc))
+            if csb.cc in PERMANENT_CCS:
+                raise JobError(f"unexpected CC {csb.cc!r}", cc=int(csb.cc))
+            # A spurious non-success CC: the engine is misbehaving, not
+            # the request.  Back off, retry, and let the budget decide.
+            stats.spurious_ccs += 1
+            _TRACE.event("fault.spurious_cc", cc=csb.cc.name,
+                         attempt=attempt)
+            stats.elapsed_seconds += policy.backoff_s(attempt, token=2)
+            check_deadline(stats.elapsed_seconds, deadline_s,
+                           "spurious CC retry")
+            attempt += 1
 
         # Retry budget exhausted: the production library falls back to
         # running zlib on the calling core.
         stats.fallback_to_software = True
         _TRACE.event("fallback.software", retries=stats.submissions)
-        output, sw_seconds = _software_fallback(op, data, machine)
+        output, sw_seconds = _software_fallback(op, data, machine, fmt=fmt,
+                                                history=history, final=final)
         stats.elapsed_seconds += sw_seconds
         return DriverResult(output=output, csb=None, stats=stats)
+
+    # -- paste with bounded backoff ------------------------------------------
+
+    def _paste_sync(self, crb: Crb, stats: SubmissionStats, attempt: int,
+                    deadline_s: float | None) -> bool:
+        """Paste one CRB, draining the engine between rejected tries.
+
+        Returns False when :attr:`retry_policy` declares the window
+        wedged (credits never free) — the caller falls back to software
+        instead of spinning forever.
+        """
+        if _TRACE.enabled:
+            rejected_before = stats.paste_rejections
+            with _TRACE.span("vas.paste", attempt=attempt,
+                             window=self._window_id) as paste_span:
+                accepted = self._paste_loop(crb, stats, deadline_s)
+                paste_span.set(rejections=stats.paste_rejections
+                               - rejected_before, accepted=accepted)
+            return accepted
+        return self._paste_loop(crb, stats, deadline_s)
+
+    def _paste_loop(self, crb: Crb, stats: SubmissionStats,
+                    deadline_s: float | None) -> bool:
+        policy = self.retry_policy
+        retries = 0
+        while not self.accelerator.vas.paste(self._window_id, crb):
+            stats.paste_rejections += 1
+            retries += 1
+            if retries > policy.max_paste_retries:
+                return False
+            stats.elapsed_seconds += policy.backoff_s(retries,
+                                                      token=crb.sequence)
+            check_deadline(stats.elapsed_seconds, deadline_s, "vas.paste")
+            self.accelerator.drain(self.space)  # engine catch-up
+        return True
+
+
+def _match_completion(completed, sequence: int):
+    """The outcome for our submission, or None if it never completed."""
+    for job in completed:
+        if job.crb is not None and job.crb.sequence == sequence:
+            return job.outcome
+    return None
 
 
 @dataclass
@@ -209,6 +304,14 @@ class PendingJob:
     data_len: int
     done: bool = False
     result: DriverResult | None = None
+    #: Terminal failure (permanent CC, deadline, cancellation).  A job
+    #: with ``error`` set is ``done`` but has no ``result``.
+    error: Exception | None = None
+    deadline_s: float | None = None
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
 
 
 class AsyncNxDriver(NxDriver):
@@ -219,15 +322,28 @@ class AsyncNxDriver(NxDriver):
     and overlaps its own work with the engine.  ``submit`` pastes one
     request; ``poll`` drains the accelerator, finishes successful jobs,
     and transparently re-pastes jobs that faulted or overflowed.
+
+    Failure containment: a job that completes with a *permanent* CC
+    (malformed request) is marked failed via :attr:`PendingJob.error`
+    and draining continues — one bad job can no longer abandon every
+    other in-flight request.  Retries are bounded per job by the
+    driver's :class:`RetryPolicy`; exhaustion resolves the job in
+    software, and a per-job deadline resolves it with
+    :class:`DeadlineExceeded`.
     """
 
     def _init_async(self) -> None:
         if not hasattr(self, "_pending"):
             self._pending: dict[int, PendingJob] = {}
             self._next_sequence = 0
+            #: Jobs completed by a drain nested inside a paste-retry
+            #: loop; handed back on the next ``poll`` so no completion
+            #: is ever silently dropped.
+            self._unclaimed: list[PendingJob] = []
 
     def submit(self, op: Op, data: bytes, strategy: str = "auto",
-               fmt: str = "raw") -> PendingJob:
+               fmt: str = "raw",
+               deadline_s: float | None = None) -> PendingJob:
         """Paste one request; returns a handle to poll on."""
         self._init_async()
         if self._window_id is None:
@@ -240,37 +356,66 @@ class AsyncNxDriver(NxDriver):
                   source=source, target=target, csb_address=csb_va,
                   sequence=self._next_sequence)
         job = PendingJob(sequence=self._next_sequence, op=op, crb=crb,
-                         stats=stats, data_len=len(data))
+                         stats=stats, data_len=len(data),
+                         deadline_s=(deadline_s if deadline_s is not None
+                                     else self.deadline_s))
         self._next_sequence += 1
         self._pending[job.sequence] = job
-        self._paste_with_backoff(job)
+        try:
+            accepted = self._paste_with_backoff(job)
+        except DeadlineExceeded as exc:
+            self._fail_job(job, exc)
+            return job
+        if not accepted:
+            self._resolve_software(job)
         stats.elapsed_seconds += machine.submit_overhead_us * 1e-6
         return job
 
-    def _paste_with_backoff(self, job: PendingJob) -> None:
+    def _paste_with_backoff(self, job: PendingJob) -> bool:
+        """Bounded paste; drains completions (kept for later polls)
+        while waiting for a credit.  False when the window is wedged."""
         job.stats.submissions += 1
         if _TRACE.enabled:
             rejected_before = job.stats.paste_rejections
             with _TRACE.span("vas.paste", sequence=job.sequence,
                              window=self._window_id) as span:
-                while not self.accelerator.vas.paste(self._window_id,
-                                                     job.crb):
-                    job.stats.paste_rejections += 1
-                    job.stats.elapsed_seconds += PASTE_RETRY_SECONDS
-                    self.poll()
+                accepted = self._async_paste_loop(job)
                 span.set(rejections=job.stats.paste_rejections
-                         - rejected_before)
-            return
+                         - rejected_before, accepted=accepted)
+            return accepted
+        return self._async_paste_loop(job)
+
+    def _async_paste_loop(self, job: PendingJob) -> bool:
+        policy = self.retry_policy
+        retries = 0
         while not self.accelerator.vas.paste(self._window_id, job.crb):
             job.stats.paste_rejections += 1
-            job.stats.elapsed_seconds += PASTE_RETRY_SECONDS
-            self.poll()  # free credits by draining completions
+            retries += 1
+            if retries > policy.max_paste_retries:
+                return False
+            job.stats.elapsed_seconds += policy.backoff_s(
+                retries, token=job.sequence)
+            check_deadline(job.stats.elapsed_seconds, job.deadline_s,
+                           "vas.paste")
+            # Free credits by draining completions; anything finished
+            # here is stashed for the next poll(), not dropped.
+            # (poll() rebinds self._unclaimed, so it must run before
+            # the attribute is read for the extend.)
+            drained = self.poll()
+            self._unclaimed.extend(drained)
+        return True
 
     def poll(self) -> list[PendingJob]:
-        """Drain the engine; returns jobs that completed on this poll."""
+        """Drain the engine; returns jobs that resolved on this poll.
+
+        Resolved means completed, failed (:attr:`PendingJob.error`),
+        or fallen back to software — every returned job is ``done``.
+        """
         self._init_async()
         machine = self.accelerator.machine
-        finished: list[PendingJob] = []
+        chaos = self.accelerator.chaos
+        finished: list[PendingJob] = self._unclaimed
+        self._unclaimed = []
         for completed in self.accelerator.drain(self.space):
             job = self._pending.get(
                 completed.crb.sequence if completed.crb else -1)
@@ -280,6 +425,8 @@ class AsyncNxDriver(NxDriver):
             job.stats.elapsed_seconds += outcome.busy_seconds
             job.stats.elapsed_seconds += CSB_POLL_SECONDS
             csb = outcome.csb
+            if chaos is not None:
+                chaos.on_csb(csb)
             if csb.cc is CcCode.SUCCESS:
                 output = self.space.read(job.crb.target.address,
                                          csb.target_written)
@@ -297,27 +444,121 @@ class AsyncNxDriver(NxDriver):
                              address=csb.fault_address)
                 self.space.touch(csb.fault_address)
                 job.stats.elapsed_seconds += PAGE_TOUCH_SECONDS
-                self._paste_with_backoff(job)
+                self._retry(job, finished)
             elif csb.cc is CcCode.TARGET_SPACE:
                 job.stats.target_overflows += 1
                 new_len = job.crb.target.length * 2
                 job.crb.target = Dde.direct(self.space.alloc(new_len),
                                             new_len)
-                self._paste_with_backoff(job)
+                self._retry(job, finished)
+            elif csb.cc in PERMANENT_CCS:
+                # Contain the failure to this job: mark it failed and
+                # keep draining — the other in-flight jobs (and their
+                # window credits, already returned by the drain) are
+                # unaffected.
+                self._fail_job(job, JobError(
+                    f"unexpected CC {csb.cc!r}", cc=int(csb.cc)))
+                finished.append(job)
             else:
-                raise JobError(f"unexpected CC {csb.cc!r}",
-                               cc=int(csb.cc))
+                job.stats.spurious_ccs += 1
+                _TRACE.event("fault.spurious_cc", sequence=job.sequence,
+                             cc=csb.cc.name)
+                self._retry(job, finished)
         return finished
 
+    def _retry(self, job: PendingJob, finished: list[PendingJob]) -> None:
+        """Resubmit within budget, else resolve the job terminally."""
+        policy = self.retry_policy
+        if (job.deadline_s is not None
+                and job.stats.elapsed_seconds > job.deadline_s):
+            self._fail_job(job, DeadlineExceeded(
+                f"job {job.sequence}: modelled "
+                f"{job.stats.elapsed_seconds * 1e6:.1f} us exceeds "
+                f"deadline {job.deadline_s * 1e6:.1f} us",
+                elapsed_s=job.stats.elapsed_seconds,
+                deadline_s=job.deadline_s))
+            finished.append(job)
+            return
+        if job.stats.submissions >= policy.max_attempts:
+            self._resolve_software(job)
+            finished.append(job)
+            return
+        try:
+            accepted = self._paste_with_backoff(job)
+        except DeadlineExceeded as exc:
+            self._fail_job(job, exc)
+            finished.append(job)
+            return
+        if not accepted:
+            self._resolve_software(job)
+            finished.append(job)
+
+    def _fail_job(self, job: PendingJob, error: Exception) -> None:
+        job.error = error
+        job.done = True
+        self._pending.pop(job.sequence, None)
+
+    def _resolve_software(self, job: PendingJob) -> None:
+        """Retry budget spent: finish the job on the calling core."""
+        data = self.space.read(job.crb.source.address,
+                               job.crb.source.length)
+        try:
+            output, sw_seconds = _software_fallback(
+                job.op, data, self.accelerator.machine,
+                fmt=job.crb.function.fmt)
+        except ReproError as exc:
+            # The input is bad enough that software can't finish either.
+            self._fail_job(job, exc)
+            return
+        job.stats.fallback_to_software = True
+        job.stats.elapsed_seconds += sw_seconds
+        job.result = DriverResult(output=output, csb=None, stats=job.stats)
+        job.done = True
+        self._pending.pop(job.sequence, None)
+        _TRACE.event("fallback.software", sequence=job.sequence)
+
     def wait_all(self, max_polls: int = 1000) -> list[PendingJob]:
-        """Poll until every submitted job has completed."""
+        """Poll until every submitted job has resolved.
+
+        If the poll budget runs out (a hung engine with no recovery),
+        the raised :class:`JobError` carries ``partial`` (jobs resolved
+        so far) and ``stuck`` (sequences still pending) so the caller
+        can salvage completed work and :meth:`cancel_pending` the rest.
+        """
         self._init_async()
         done: list[PendingJob] = []
         for _ in range(max_polls):
             done.extend(self.poll())
             if not self._pending:
                 return done
-        raise JobError("jobs still pending after poll budget")
+        error = JobError(f"{len(self._pending)} jobs still pending "
+                         "after poll budget")
+        error.partial = list(done)
+        error.stuck = sorted(self._pending)
+        raise error
+
+    def cancel_pending(self) -> list[PendingJob]:
+        """Abandon every in-flight job and reclaim its window credit.
+
+        Queued-but-unpopped CRBs are flushed from the receive FIFOs,
+        hung jobs are recovered (engine reset), and each pending job is
+        marked failed with a cancellation :class:`JobError`.  After
+        this the window's credits are whole again (minus any chaos-
+        leaked ones, which only ``close`` reclaims) and the driver can
+        submit fresh work.
+        """
+        self._init_async()
+        if self._window_id is not None:
+            self.accelerator.vas.flush_window(self._window_id)
+            self.accelerator.recover_hung()
+        cancelled: list[PendingJob] = []
+        for sequence in sorted(self._pending):
+            job = self._pending[sequence]
+            job.error = JobError(f"job {sequence} cancelled")
+            job.done = True
+            cancelled.append(job)
+        self._pending.clear()
+        return cancelled
 
     @property
     def in_flight(self) -> int:
@@ -326,7 +567,8 @@ class AsyncNxDriver(NxDriver):
 
     def run(self, op: Op, data: bytes, strategy: str = "auto",
             fmt: str = "raw", history: bytes = b"",
-            final: bool = True) -> DriverResult:
+            final: bool = True,
+            deadline_s: float | None = None) -> DriverResult:
         """Synchronous run; refuses to interleave with pending async jobs
         (its drain would swallow their completions)."""
         self._init_async()
@@ -334,22 +576,43 @@ class AsyncNxDriver(NxDriver):
             raise JobError("synchronous run with async jobs in flight; "
                            "wait_all() first")
         return super().run(op, data, strategy=strategy, fmt=fmt,
-                           history=history, final=final)
+                           history=history, final=final,
+                           deadline_s=deadline_s)
 
 
-def _software_fallback(op: Op, data: bytes, machine) -> tuple[bytes, float]:
-    """Run the job in software and charge the calibrated core time."""
-    from ..deflate import deflate, inflate
+def _software_fallback(op: Op, data: bytes, machine,
+                       fmt: str = "raw", history: bytes = b"",
+                       final: bool = True) -> tuple[bytes, float]:
+    """Run the job in software and charge the calibrated core time.
+
+    The output must be wire-compatible with what the engine would have
+    produced — same ``fmt`` framing — so callers (and verify-after-
+    compress) cannot tell a fallback from a hardware completion by its
+    bytes.
+    """
+    from ..deflate import (deflate, gzip_decompress, inflate,
+                           zlib_decompress)
+    from ..deflate.containers import wrap_gzip, wrap_zlib
     from ..e842 import compress as e842_compress
     from ..e842 import decompress as e842_decompress
     from ..perf.cost import SoftwareCostModel
 
     cost = SoftwareCostModel(machine)
     if op is Op.COMPRESS:
-        result = deflate(data, level=6)
-        return result.data, cost.compress_seconds(len(data), level=6)
+        result = deflate(data, level=6, history=history, final=final)
+        output = result.data
+        if fmt == "zlib":
+            output = wrap_zlib(output, data)
+        elif fmt == "gzip":
+            output = wrap_gzip(output, data)
+        return output, cost.compress_seconds(len(data), level=6)
     if op is Op.DECOMPRESS:
-        output = inflate(data)
+        if fmt == "gzip":
+            output = gzip_decompress(data)
+        elif fmt == "zlib":
+            output = zlib_decompress(data)
+        else:
+            output = inflate(data)
         return output, cost.decompress_seconds(len(output))
     if op is Op.COMPRESS_842:
         result = e842_compress(data)

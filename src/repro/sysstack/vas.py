@@ -41,6 +41,7 @@ class SendWindow:
     outstanding: int = 0
     pastes_accepted: int = 0
     pastes_rejected: int = 0
+    credits_leaked: int = 0
 
     @property
     def credits_available(self) -> int:
@@ -63,6 +64,9 @@ class Vas:
         self.rx_fifo_depth = rx_fifo_depth
         self.default_credits = default_credits
         self.starvation_bound = starvation_bound
+        #: Optional resilience fault-injection hook
+        #: (:class:`repro.resilience.faults.FaultInjector`).
+        self.chaos = None
         self.windows: dict[int, SendWindow] = {}
         self.rx_fifo: deque[PasteRecord] = deque()
         self.rx_fifo_high: deque[PasteRecord] = deque()
@@ -83,7 +87,10 @@ class Vas:
 
     def close_window(self, window_id: int) -> None:
         window = self._window(window_id)
-        if window.outstanding:
+        # Leaked credits are gone until the window is torn down; closing
+        # is exactly how the kernel reclaims them, so they don't count
+        # as live jobs.
+        if window.outstanding - window.credits_leaked > 0:
             raise VasError(
                 f"window {window_id} closed with {window.outstanding} "
                 "jobs outstanding")
@@ -137,11 +144,43 @@ class Vas:
         return record
 
     def return_credit(self, window_id: int) -> None:
-        """Job completed: release the window credit."""
+        """Job completed: release the window credit.
+
+        The resilience ``chaos`` hook may declare the return *leaked*
+        (modelling a buggy driver path or lost interrupt): the credit
+        then stays consumed until the window is closed or reclaimed.
+        """
         window = self._window(window_id)
         if window.outstanding <= 0:
             raise VasError(f"window {window_id} has no outstanding credit")
+        if self.chaos is not None and self.chaos.on_credit_return(window_id):
+            window.credits_leaked += 1
+            return
         window.outstanding -= 1
+
+    def flush_window(self, window_id: int) -> int:
+        """Kernel-mediated cancel: drop the window's queued CRBs.
+
+        Removes every not-yet-popped paste for ``window_id`` from both
+        receive FIFOs and hands the credits straight back (bypassing
+        the chaos hook — this is the cleanup path, not a completion).
+        Returns how many requests were flushed.
+        """
+        window = self._window(window_id)
+        removed = 0
+        for fifo in (self.rx_fifo, self.rx_fifo_high):
+            kept = [rec for rec in fifo if rec.window_id != window_id]
+            removed += len(fifo) - len(kept)
+            fifo.clear()
+            fifo.extend(kept)
+        window.outstanding = max(0, window.outstanding - removed)
+        return removed
+
+    def reclaim_credit(self, window_id: int) -> None:
+        """Return one credit on the cleanup path (no chaos hook)."""
+        window = self._window(window_id)
+        if window.outstanding > 0:
+            window.outstanding -= 1
 
     def _window(self, window_id: int) -> SendWindow:
         if window_id not in self.windows:

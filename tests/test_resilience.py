@@ -1,0 +1,531 @@
+"""Resilience: fault injection, bounded retries, breakers, verify.
+
+The chaos regression suite: every injected fault class must end in
+byte-exact results (or a clean, typed failure) — never a hang, never
+silent corruption.
+"""
+
+import zlib as stdzlib
+
+import pytest
+
+from repro import obs
+from repro.backend.pool import AcceleratorPool
+from repro.errors import (AcceleratorError, ChipUnavailable, ConfigError,
+                          DeadlineExceeded, IntegrityError, JobError,
+                          ReproError)
+from repro.nx.accelerator import NxAccelerator
+from repro.nx.params import POWER9
+from repro.resilience.chaos import default_plans, run_campaign, run_scenario
+from repro.resilience.faults import FAULT_KINDS, FaultInjector, FaultPlan
+from repro.resilience.health import (BreakerState, CircuitBreaker,
+                                     HealthConfig, HealthTracker)
+from repro.resilience.policy import RetryPolicy, check_deadline
+from repro.resilience.verify import (software_compress, verify_payload)
+from repro.sysstack.crb import Op
+from repro.sysstack.driver import AsyncNxDriver, NxDriver
+from repro.sysstack.mmu import AddressSpace
+from repro.workloads.generators import generate
+
+
+def make_driver(plans=(), seed=0, max_retries=8, deadline_s=None,
+                credits=None, cls=NxDriver):
+    space = AddressSpace()
+    accel = NxAccelerator(POWER9)
+    injector = FaultInjector(list(plans), seed=seed).install(accel)
+    driver = cls(accel, space, max_retries=max_retries,
+                 deadline_s=deadline_s)
+    driver.open(credits=credits)
+    return driver, injector
+
+
+@pytest.fixture()
+def telemetry():
+    obs.reset()
+    obs.enable()
+    yield obs
+    obs.disable()
+    obs.reset()
+
+
+class TestErrors:
+    def test_all_derive_from_repro_error(self):
+        for exc_type in (DeadlineExceeded, ChipUnavailable,
+                         IntegrityError):
+            assert issubclass(exc_type, ReproError)
+
+    def test_deadline_carries_budget(self):
+        exc = DeadlineExceeded("late", elapsed_s=2.0, deadline_s=1.0)
+        assert exc.elapsed_s == 2.0 and exc.deadline_s == 1.0
+        assert isinstance(exc, AcceleratorError)
+
+    def test_chip_unavailable_carries_chip(self):
+        assert ChipUnavailable("down", chip=3).chip == 3
+
+
+class TestRetryPolicy:
+    def test_allows_counts_attempts(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert [policy.allows(i) for i in range(4)] == \
+            [True, True, True, False]
+
+    def test_from_max_retries_adapter(self):
+        assert RetryPolicy.from_max_retries(8).max_attempts == 9
+
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(jitter_fraction=0.0)
+        assert policy.backoff_s(1) > policy.backoff_s(0)
+        assert policy.backoff_s(60) == policy.max_backoff_s
+        # Deep paste-retry counts must not overflow the float power.
+        assert policy.backoff_s(5000) == policy.max_backoff_s
+
+    def test_jitter_is_deterministic(self):
+        a = RetryPolicy(seed=4).backoff_s(3, token=9)
+        b = RetryPolicy(seed=4).backoff_s(3, token=9)
+        c = RetryPolicy(seed=5).backoff_s(3, token=9)
+        assert a == b
+        assert a != c
+        base = RetryPolicy(jitter_fraction=0.0).backoff_s(3)
+        assert abs(a - base) <= 0.25 * base
+
+    def test_check_deadline(self):
+        check_deadline(0.5, None, "never raises without a deadline")
+        check_deadline(0.5, 1.0, "under budget")
+        with pytest.raises(DeadlineExceeded) as info:
+            check_deadline(2.0, 1.0, "paste")
+        assert "paste" in str(info.value)
+
+
+class TestFaultInjector:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan("gremlin", probability=0.5)
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan("engine_hang", probability=1.5)
+
+    def test_unfireable_plan_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan("engine_hang")  # no at_job, no probability
+
+    def test_install_sets_both_hooks(self):
+        accel = NxAccelerator(POWER9)
+        injector = FaultInjector(
+            [FaultPlan("engine_hang", at_job=1)]).install(accel)
+        assert accel.chaos is injector
+        assert accel.vas.chaos is injector
+
+    def test_at_job_fires_exactly_once(self):
+        injector = FaultInjector([FaultPlan("engine_hang", at_job=2)])
+        actions = [injector.on_job_start(None) for _ in range(5)]
+        assert actions == [None, "hang", None, None, None]
+        assert injector.fired == {"engine_hang": 1}
+
+    def test_same_seed_same_timeline(self):
+        plans = [FaultPlan("engine_hang", probability=0.3),
+                 FaultPlan("credit_leak", probability=0.3)]
+        runs = []
+        for _ in range(2):
+            injector = FaultInjector(plans, seed=11, chip=1)
+            actions = [injector.on_job_start(None) for _ in range(40)]
+            leaks = [injector.on_credit_return(1) for _ in range(40)]
+            runs.append((actions, leaks, dict(injector.fired)))
+        assert runs[0] == runs[1]
+
+    def test_every_kind_is_declarable(self):
+        for kind in FAULT_KINDS:
+            FaultPlan(kind, probability=0.1)
+
+
+class TestDriverResilience:
+    def test_hang_recovered_and_retried(self, text_20k):
+        driver, injector = make_driver(
+            [FaultPlan("engine_hang", at_job=1)])
+        result = driver.run(Op.COMPRESS, text_20k)
+        assert stdzlib.decompress(result.output, -15) == text_20k
+        assert result.stats.engine_hangs == 1
+        assert not result.stats.fallback_to_software
+        assert not driver.accelerator.hung  # credits reclaimed
+
+    def test_spurious_cc_retried_to_success(self, text_20k):
+        driver, _ = make_driver(
+            [FaultPlan("spurious_cc", at_job=1)])
+        result = driver.run(Op.COMPRESS, text_20k)
+        assert stdzlib.decompress(result.output, -15) == text_20k
+        assert result.stats.spurious_ccs == 1
+
+    def test_spurious_storm_falls_back_to_software(self, text_20k):
+        driver, _ = make_driver(
+            [FaultPlan("spurious_cc", probability=1.0,
+                       max_fires=10_000)], max_retries=3)
+        result = driver.run(Op.COMPRESS, text_20k)
+        assert result.stats.fallback_to_software
+        assert result.csb is None
+        assert stdzlib.decompress(result.output, -15) == text_20k
+
+    def test_permanent_cc_still_fails_fast(self):
+        driver, _ = make_driver()
+        with pytest.raises(JobError):
+            driver.run(Op.DECOMPRESS_842, b"\xff" * 64)
+
+    def test_credit_leak_bounds_paste_and_falls_back(self, text_20k):
+        driver, injector = make_driver(
+            [FaultPlan("credit_leak", probability=1.0, max_fires=1)],
+            credits=1)
+        first = driver.run(Op.COMPRESS, text_20k)  # completes, leaks
+        assert not first.stats.fallback_to_software
+        assert injector.fired["credit_leak"] == 1
+        second = driver.run(Op.COMPRESS, text_20k)  # window is wedged
+        assert second.stats.fallback_to_software
+        assert second.stats.paste_rejections > 0
+        assert stdzlib.decompress(second.output, -15) == text_20k
+        driver.close()  # leaked credit must not wedge teardown
+
+    def test_deadline_raises_while_retrying(self, text_20k):
+        driver, _ = make_driver(
+            [FaultPlan("spurious_cc", probability=1.0,
+                       max_fires=10_000)])
+        with pytest.raises(DeadlineExceeded) as info:
+            driver.run(Op.COMPRESS, text_20k, deadline_s=1e-12)
+        assert info.value.deadline_s == 1e-12
+
+    def test_successful_job_ignores_deadline(self, text_20k):
+        driver, _ = make_driver()
+        result = driver.run(Op.COMPRESS, text_20k, deadline_s=1e-12)
+        assert stdzlib.decompress(result.output, -15) == text_20k
+
+    def test_engine_slow_inflates_elapsed(self, text_20k):
+        fast, _ = make_driver()
+        slow, _ = make_driver(
+            [FaultPlan("engine_slow", probability=1.0, max_fires=1,
+                       magnitude=1000.0)])
+        t_fast = fast.run(Op.COMPRESS, text_20k).stats.elapsed_seconds
+        t_slow = slow.run(Op.COMPRESS, text_20k).stats.elapsed_seconds
+        assert t_slow > 10 * t_fast
+
+    def test_corruption_detected_by_verify(self, text_20k):
+        driver, _ = make_driver(
+            [FaultPlan("corrupt_output", probability=1.0, max_fires=1)])
+        result = driver.run(Op.COMPRESS, text_20k, fmt="gzip")
+        assert not verify_payload(text_20k, result.output, "gzip")
+
+
+class TestAsyncResilience:
+    def test_bad_job_does_not_abandon_batch(self, text_20k):
+        driver, _ = make_driver(cls=AsyncNxDriver)
+        good = [driver.submit(Op.COMPRESS, text_20k) for _ in range(3)]
+        bad = driver.submit(Op.DECOMPRESS_842, b"\xff" * 64)
+        done = driver.wait_all()
+        assert len(done) == 4
+        assert bad.failed and isinstance(bad.error, JobError)
+        assert bad.result is None
+        for job in good:
+            assert not job.failed
+            assert stdzlib.decompress(job.result.output, -15) == text_20k
+
+    def test_retry_exhaustion_resolves_in_software(self, text_20k):
+        driver, _ = make_driver(
+            [FaultPlan("spurious_cc", probability=1.0,
+                       max_fires=10_000)], max_retries=2,
+            cls=AsyncNxDriver)
+        job = driver.submit(Op.COMPRESS, text_20k)
+        driver.wait_all()
+        assert job.done and not job.failed
+        assert job.result.stats.fallback_to_software
+        assert stdzlib.decompress(job.result.output, -15) == text_20k
+
+    def test_async_deadline_fails_only_that_job(self, text_20k):
+        driver, _ = make_driver(
+            [FaultPlan("spurious_cc", probability=1.0,
+                       max_fires=10_000)], cls=AsyncNxDriver)
+        doomed = driver.submit(Op.COMPRESS, text_20k, deadline_s=1e-12)
+        driver.wait_all()
+        assert doomed.failed
+        assert isinstance(doomed.error, DeadlineExceeded)
+
+    def test_wait_all_reports_partial_and_stuck(self, text_20k):
+        driver, _ = make_driver(
+            [FaultPlan("engine_hang", at_job=2)], cls=AsyncNxDriver)
+        ok = driver.submit(Op.COMPRESS, text_20k)
+        hung = driver.submit(Op.COMPRESS, text_20k)
+        with pytest.raises(JobError) as info:
+            driver.wait_all(max_polls=5)
+        assert [j.sequence for j in info.value.partial] == [ok.sequence]
+        assert info.value.stuck == [hung.sequence]
+
+    def test_cancel_pending_reclaims_credits(self, text_20k):
+        driver, _ = make_driver(
+            [FaultPlan("engine_hang", at_job=1)], credits=2,
+            cls=AsyncNxDriver)
+        hung = driver.submit(Op.COMPRESS, text_20k)
+        with pytest.raises(JobError):
+            driver.wait_all(max_polls=3)
+        cancelled = driver.cancel_pending()
+        assert [j.sequence for j in cancelled] == [hung.sequence]
+        assert hung.failed and driver.in_flight == 0
+        window = driver.accelerator.vas.windows[driver._window_id]
+        assert window.outstanding == 0
+        # The driver is usable again after the engine reset.
+        job = driver.submit(Op.COMPRESS, text_20k)
+        driver.wait_all()
+        assert stdzlib.decompress(job.result.output, -15) == text_20k
+
+    def test_submit_time_completions_not_dropped(self):
+        # Credit backpressure makes submit poll internally; completions
+        # drained there must still be handed back to the caller.
+        driver, _ = make_driver(cls=AsyncNxDriver, credits=2)
+        payloads = [generate("json_records", 6000, seed=i)
+                    for i in range(8)]
+        jobs = [driver.submit(Op.COMPRESS, p) for p in payloads]
+        done = driver.wait_all()
+        assert len(done) == len(jobs)
+        for job, payload in zip(jobs, payloads):
+            assert stdzlib.decompress(job.result.output, -15) == payload
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold(self):
+        breaker = CircuitBreaker(chip=0, config=HealthConfig(
+            failure_threshold=3))
+        for _ in range(2):
+            breaker.record_failure(0)
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure(0)
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.available
+
+    def test_success_resets_failure_run(self):
+        breaker = CircuitBreaker(chip=0, config=HealthConfig(
+            failure_threshold=2))
+        breaker.record_failure(0)
+        breaker.record_success(0)
+        breaker.record_failure(0)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_cooldown_then_probes_close(self):
+        config = HealthConfig(failure_threshold=1, cooldown_routes=4,
+                              probe_successes=2)
+        breaker = CircuitBreaker(chip=0, config=config)
+        breaker.record_failure(tick=10)
+        assert breaker.state is BreakerState.OPEN
+        breaker.tick(12)
+        assert breaker.state is BreakerState.OPEN
+        breaker.tick(14)
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record_success(14)
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record_success(14)
+        assert breaker.state is BreakerState.CLOSED
+        assert [name for name, _ in breaker.transitions] == \
+            ["OPEN", "HALF_OPEN", "CLOSED"]
+
+    def test_half_open_failure_reopens(self):
+        config = HealthConfig(failure_threshold=1, cooldown_routes=1)
+        breaker = CircuitBreaker(chip=0, config=config)
+        breaker.record_failure(0)
+        breaker.tick(2)
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record_failure(2)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.opens == 2
+
+    def test_tracker_excludes_open_chips(self):
+        tracker = HealthTracker(3, HealthConfig(failure_threshold=1))
+        tracker.record_failure(1)
+        assert tracker.available_chips() == [0, 2]
+        assert tracker.total_opens() == 1
+
+    def test_score_decays_on_failure(self):
+        tracker = HealthTracker(1)
+        for _ in range(5):
+            tracker.record_failure(0)
+        assert tracker.scores()[0] < 0.5
+
+
+class TestPoolHealth:
+    def test_dead_chip_quarantined_but_bytes_correct(self, text_20k):
+        pool = AcceleratorPool(
+            POWER9, chips=2, backend="nx",
+            health=HealthConfig(failure_threshold=2,
+                                cooldown_routes=10_000))
+        FaultInjector([FaultPlan("chip_death", at_job=1)]).install(
+            pool.backend_for(0).accelerator)
+        for _ in range(10):
+            result = pool.compress(text_20k, fmt="gzip")
+            assert verify_payload(text_20k, result.output, "gzip")
+        stats = pool.stats()
+        assert stats.breaker_opens >= 1
+        assert stats.breaker_states[0] == "OPEN"
+        assert pool.health.available_chips() == [1]
+        # A quarantined chip is never routed to.
+        assert all(pool.route(len(text_20k)) != 0 for _ in range(8))
+        pool.close()
+
+    def test_all_dead_without_rescue_raises(self, text_20k):
+        pool = AcceleratorPool(
+            POWER9, chips=1, backend="nx",
+            health=HealthConfig(failure_threshold=1,
+                                cooldown_routes=10_000),
+            allow_software_rescue=False)
+        FaultInjector([FaultPlan("chip_death", at_job=1)]).install(
+            pool.backend_for(0).accelerator)
+        with pytest.raises(ChipUnavailable):
+            for _ in range(5):
+                pool.compress(text_20k)
+        pool.close()
+
+    def test_all_dead_with_rescue_routes_to_software(self, text_20k):
+        pool = AcceleratorPool(
+            POWER9, chips=1, backend="nx",
+            health=HealthConfig(failure_threshold=1,
+                                cooldown_routes=10_000))
+        FaultInjector([FaultPlan("chip_death", at_job=1)]).install(
+            pool.backend_for(0).accelerator)
+        for _ in range(5):
+            result = pool.compress(text_20k, fmt="gzip")
+            assert verify_payload(text_20k, result.output, "gzip")
+        assert pool.software_jobs > 0
+        pool.close()
+
+    def test_breaker_recovers_after_chip_resurrects(self, text_20k):
+        pool = AcceleratorPool(
+            POWER9, chips=1, backend="nx",
+            health=HealthConfig(failure_threshold=2, cooldown_routes=3,
+                                probe_successes=1))
+        FaultInjector(
+            [FaultPlan("chip_death", at_job=1,
+                       recover_at_job=30)]).install(
+            pool.backend_for(0).accelerator)
+        for _ in range(40):
+            result = pool.compress(text_20k, fmt="gzip")
+            assert verify_payload(text_20k, result.output, "gzip")
+        log = [name for name, _ in pool.health.transition_log()[0]]
+        assert "OPEN" in log
+        assert log[-1] == "CLOSED"
+        assert pool.stats().breaker_states[0] == "CLOSED"
+        pool.close()
+
+    def test_verify_rescues_corrupted_output(self, text_20k):
+        pool = AcceleratorPool(POWER9, chips=1, backend="nx",
+                               verify=True)
+        FaultInjector(
+            [FaultPlan("corrupt_output", probability=1.0,
+                       max_fires=3)]).install(
+            pool.backend_for(0).accelerator)
+        for _ in range(5):
+            result = pool.compress(text_20k, fmt="gzip")
+            assert verify_payload(text_20k, result.output, "gzip")
+        stats = pool.stats()
+        assert stats.verify_failures == 3
+        assert stats.rescues >= 3
+        pool.close()
+
+    def test_async_pool_failure_rescued(self, text_20k):
+        pool = AcceleratorPool(POWER9, chips=2, backend="nx")
+        FaultInjector(
+            [FaultPlan("spurious_cc", probability=1.0,
+                       max_fires=10_000)]).install(
+            pool.backend_for(0).accelerator)
+        jobs = [pool.submit_compress(text_20k, fmt="gzip")
+                for _ in range(6)]
+        pool.wait_all()
+        for job in jobs:
+            assert job.result is not None
+            assert verify_payload(text_20k, job.result.output, "gzip")
+        pool.close()
+
+
+class TestVerify:
+    def test_round_trip_passes(self, text_20k):
+        payload, _ = software_compress(text_20k, fmt="gzip")
+        assert verify_payload(text_20k, payload, "gzip")
+
+    def test_corrupted_payload_fails(self, text_20k):
+        payload, _ = software_compress(text_20k, fmt="gzip")
+        bad = bytes([payload[0] ^ 0xA5]) + payload[1:]
+        assert not verify_payload(text_20k, bad, "gzip")
+
+    @pytest.mark.parametrize("fmt", ["raw", "zlib", "gzip", "842"])
+    def test_software_compress_round_trips(self, fmt, json_20k):
+        payload, seconds = software_compress(json_20k, fmt=fmt,
+                                             machine=POWER9)
+        assert verify_payload(json_20k, payload, fmt)
+        assert seconds > 0.0
+
+    def test_api_verify_repairs(self, telemetry, text_20k):
+        from repro.core.api import NxGzip
+
+        with NxGzip(POWER9, verify=True) as session:
+            FaultInjector(
+                [FaultPlan("corrupt_output", probability=1.0,
+                           max_fires=1)]).install(session.accelerator)
+            buf = session.compress(text_20k, fmt="gzip")
+            assert verify_payload(text_20k, buf.data, "gzip")
+            assert session.verify_failures == 1
+        counter = telemetry.registry().get(
+            "repro_resilience_verify_mismatch_total")
+        assert counter is not None
+        assert counter.value(backend="nx", fmt="gzip") == 1
+
+
+class TestChaosCampaign:
+    def test_campaign_survives_every_plan(self):
+        report = run_campaign(seed=7, jobs=30, chips=2, max_size=2048)
+        names = {s.name for s in report.scenarios}
+        assert names == set(default_plans(30))
+        assert report.survived
+        for scenario in report.scenarios:
+            assert scenario.wrong_bytes == 0, scenario.name
+        assert report.total_faults > 0
+        assert "SURVIVED" in report.render()
+
+    def test_campaign_is_deterministic(self):
+        a = run_scenario("combined", default_plans(20)["combined"],
+                         seed=3, jobs=20, chips=2, max_size=1024)
+        b = run_scenario("combined", default_plans(20)["combined"],
+                         seed=3, jobs=20, chips=2, max_size=1024)
+        assert a.faults_injected == b.faults_injected
+        assert a.wrong_bytes == b.wrong_bytes == 0
+        assert a.modelled_seconds == b.modelled_seconds
+
+    def test_breaker_transitions_land_in_metrics(self, telemetry):
+        run_scenario("chip_death", default_plans(30)["chip_death"],
+                     seed=7, jobs=30, chips=2, max_size=1024)
+        counter = telemetry.registry().get(
+            "repro_resilience_breaker_transitions_total")
+        assert counter is not None
+        assert counter.value(chip="0", to="OPEN") >= 1
+        injected = telemetry.registry().get(
+            "repro_resilience_faults_injected_total")
+        assert injected.value(kind="chip_death", chip="0") == 1
+
+
+class TestCLI:
+    def test_chaos_command_survives(self, capsys):
+        from repro.cli import main
+
+        code = main(["chaos", "--seed", "7", "--jobs", "15",
+                     "--scenario", "combined"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "SURVIVED" in out
+
+    def test_chaos_unknown_scenario(self, capsys):
+        from repro.cli import main
+
+        assert main(["chaos", "--scenario", "nope"]) == 2
+
+    def test_compress_verify_and_deadline_flags(self, tmp_path, capsys,
+                                                text_20k):
+        from repro.cli import main
+
+        src = tmp_path / "input.bin"
+        src.write_bytes(text_20k)
+        code = main(["compress", str(src), "--verify",
+                     "--deadline-ms", "1000"])
+        assert code == 0
+        out = tmp_path / "input.bin.gz"
+        import gzip as stdgzip
+
+        assert stdgzip.decompress(out.read_bytes()) == text_20k
