@@ -1,0 +1,229 @@
+"""E20 — the serving stack under saturating multi-client load.
+
+E19 replayed a diurnal tape against the pool; E20 pushes the same idea
+through the *server*: concurrent clients drive one
+:class:`~repro.service.core.CompressionService` past its admission
+capacity while a latency-sensitive interactive stream runs alongside
+the bulk flood.  Measured (wall-clock, not modelled):
+
+* **saturation throughput** — accepted-and-completed payload bytes per
+  second once the bulk queues are pinned full;
+* **p99 latency per QoS class** — interactive (high FIFO) vs bulk
+  (normal FIFO), quiet vs under saturation;
+* **shed ratio** — offered load rejected with retryable errors rather
+  than queued without bound.
+
+Results land in ``BENCH_service.json`` at the repo root;
+``tools/perf_gate.py`` holds fresh runs to a floor on the saturation
+throughput.  Latency numbers are reported but not floor-gated (lower
+is better; the relative-floor gate would read improvements as noise).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_e20_service_load.py          # full
+    PYTHONPATH=src python benchmarks/bench_e20_service_load.py --quick  # CI
+    PYTHONPATH=src python benchmarks/bench_e20_service_load.py --no-write
+"""
+
+from __future__ import annotations
+
+import argparse
+import gzip
+import json
+import pathlib
+import threading
+import time
+
+from _common import StageRecorder, report
+from repro.core.metrics import Table
+from repro.errors import ServiceOverloaded
+from repro.service import CompressionService, QosClass, QosPolicy
+from repro.workloads.generators import generate
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_service.json"
+
+_STAGES = StageRecorder()
+
+SEED = 20
+
+
+def _p99(samples: list[float]) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    return ordered[max(0, int(len(ordered) * 0.99) - 1)]
+
+
+def _policy(quick: bool = False) -> QosPolicy:
+    # Quick (CI) mode shrinks the admission envelope so the smaller
+    # flood still saturates it and exercises the shedding path.
+    bulk_limit = 16 if quick else 64
+    return QosPolicy((
+        QosClass("interactive", fifo="high", rank=0,
+                 queue_limit=bulk_limit // 2, max_batch=2),
+        QosClass("bulk", fifo="normal", rank=1, queue_limit=bulk_limit,
+                 max_batch=8),
+    ))
+
+
+def run_bench(quick: bool = False) -> dict:
+    """Drive the service to saturation; returns the results dict."""
+    payload = generate("json_records", 4096, seed=SEED)
+    quiet_probes = 10 if quick else 30
+    flood_threads = 4 if quick else 8
+    flood_jobs = 40 if quick else 160     # per thread, offered
+    probe_jobs = 10 if quick else 40
+
+    with CompressionService(chips=2, qos=_policy(quick)) as svc:
+        # Phase 1: quiet interactive latency (the protection baseline).
+        quiet: list[float] = []
+        with _STAGES.stage("quiet", probes=quiet_probes):
+            for _ in range(quiet_probes):
+                t0 = time.perf_counter()
+                result = svc.compress(payload, qos="interactive")
+                quiet.append(time.perf_counter() - t0)
+                assert gzip.decompress(result.output) == payload
+
+        # Phase 2: bulk flood + concurrent interactive probes.
+        lock = threading.Lock()
+        bulk_lat: list[float] = []
+        probe_lat: list[float] = []
+        counters = {"accepted": 0, "shed": 0, "bytes": 0}
+
+        burst = 16 if quick else 32
+
+        def bulk_client(worker: int) -> None:
+            # Burst-submit to pin the bulk queue at its bound — the
+            # saturating pattern the admission control exists for.
+            remaining = flood_jobs
+            while remaining > 0:
+                tickets = []
+                for _ in range(min(burst, remaining)):
+                    t0 = time.perf_counter()
+                    try:
+                        tickets.append((t0, svc.submit(
+                            "compress", payload, qos="bulk")))
+                    except ServiceOverloaded:
+                        with lock:
+                            counters["shed"] += 1
+                    remaining -= 1
+                for t0, ticket in tickets:
+                    out = ticket.wait(120)
+                    dt = time.perf_counter() - t0
+                    with lock:
+                        counters["accepted"] += 1
+                        counters["bytes"] += len(payload)
+                        bulk_lat.append(dt)
+                    assert gzip.decompress(out.output) == payload
+
+        def probe_client() -> None:
+            for _ in range(probe_jobs):
+                t0 = time.perf_counter()
+                try:
+                    out = svc.request("compress", payload,
+                                      qos="interactive", timeout_s=120)
+                except ServiceOverloaded:
+                    with lock:
+                        counters["shed"] += 1
+                    continue
+                dt = time.perf_counter() - t0
+                with lock:
+                    counters["accepted"] += 1
+                    counters["bytes"] += len(payload)
+                    probe_lat.append(dt)
+                assert gzip.decompress(out.output) == payload
+
+        with _STAGES.stage("saturate", threads=flood_threads + 1):
+            t_start = time.perf_counter()
+            threads = [threading.Thread(target=bulk_client, args=(w,))
+                       for w in range(flood_threads)]
+            threads.append(threading.Thread(target=probe_client))
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            elapsed = time.perf_counter() - t_start
+
+        stats = svc.stats()
+
+    offered = flood_threads * flood_jobs + probe_jobs
+    saturation_mbps = counters["bytes"] / 1e6 / elapsed if elapsed else 0.0
+    results = {
+        "saturation_mbps": round(saturation_mbps, 3),
+        "accepted_per_s": round(counters["accepted"] / elapsed, 2)
+        if elapsed else 0.0,
+    }
+    latency = {
+        "interactive_quiet_p99_ms": round(_p99(quiet) * 1e3, 3),
+        "interactive_loaded_p99_ms": round(_p99(probe_lat) * 1e3, 3),
+        "bulk_loaded_p99_ms": round(_p99(bulk_lat) * 1e3, 3),
+    }
+    return {
+        "bench": "e20_service_load",
+        "quick": quick,
+        "offered": offered,
+        "accepted": counters["accepted"],
+        "shed": counters["shed"],
+        "shed_ratio": round(counters["shed"] / offered, 4),
+        "batches": stats.batches,
+        "results": results,
+        "latency": latency,
+    }
+
+
+def build_table(data: dict) -> Table:
+    table = Table(headers=["metric", "value"])
+    table.add("offered requests", data["offered"])
+    table.add("accepted", data["accepted"])
+    table.add("shed (retryable)", data["shed"])
+    table.add("saturation MB/s", data["results"]["saturation_mbps"])
+    table.add("accepted/s", data["results"]["accepted_per_s"])
+    table.add("batches", data["batches"])
+    for key, value in data["latency"].items():
+        table.add(key.replace("_", " "), value)
+    return table
+
+
+def test_e20_service_load(benchmark):
+    data = benchmark.pedantic(run_bench, args=(True,), rounds=1,
+                              iterations=1)
+    report("e20_service_load", build_table(data),
+           "E20: serving stack at saturation "
+           "(bulk flood + interactive probes, 2 chips)",
+           notes="overload sheds with retry-after instead of queueing "
+                 "without bound; the high FIFO shields interactive p99 "
+                 "from the bulk backlog",
+           stages=_STAGES)
+    assert data["shed"] > 0                      # admission control bit
+    assert data["accepted"] > 0
+    assert data["results"]["saturation_mbps"] > 0
+    loaded = data["latency"]["interactive_loaded_p99_ms"]
+    bulk = data["latency"]["bulk_loaded_p99_ms"]
+    if loaded and bulk:
+        # The high FIFO must not be slower than the bulk queue it
+        # preempts (batch-granularity preemption, so a generous bound).
+        assert loaded <= 3 * bulk
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller flood (CI smoke)")
+    parser.add_argument("--no-write", action="store_true",
+                        help="print results without updating the JSON")
+    parser.add_argument("--out", type=pathlib.Path, default=RESULT_PATH,
+                        help="output JSON path (default repo root)")
+    args = parser.parse_args(argv)
+
+    data = run_bench(quick=args.quick)
+    print(build_table(data).render("E20: service under load"))
+    if not args.no_write:
+        args.out.write_text(json.dumps(data, indent=2) + "\n")
+        print(f"wrote {args.out}")
+        print(f"stages: {_STAGES.write('e20_service_load')}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -153,6 +153,20 @@ class NxAsyncBackend(CompressionBackend):
     def in_flight(self) -> int:
         return self.driver.in_flight
 
+    @property
+    def capacity(self) -> int:
+        """Send-window credits: the useful in-flight depth per chip.
+
+        Submitting beyond this only spins the paste-backoff loop, so
+        batch-sizing callers (the pool's ``suggested_batch_depth``, the
+        service dispatcher) cap coalescing here.
+        """
+        window_id = self.driver._window_id
+        if window_id is None:
+            return 0
+        window = self.accelerator.vas.windows.get(window_id)
+        return window.credits if window is not None else 0
+
 
 def _effective_gbps(machine: MachineParams, op: str) -> float:
     """Calibrated rate; measure the engine model for uncalibrated sweeps."""

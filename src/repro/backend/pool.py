@@ -60,6 +60,10 @@ ROUTING_POLICIES = ("local", "round_robin", "least_loaded",
 #: Pseudo chip index for the software-fallback instance.
 SOFTWARE = -1
 
+#: E16's finding: a few in-flight requests saturate one engine (depth 4
+#: reaches full utilisation on 64 KB jobs); deeper batches only queue.
+SATURATION_DEPTH = 4
+
 
 def _hardware_clean(result: DriverResult) -> bool:
     """Did the hardware serve this without misbehaving?
@@ -166,6 +170,11 @@ class AcceleratorPool:
         self._by_pending: dict[tuple[int, int], PoolJob] = {}
         self._next_index = 0
         self._lock = threading.Lock()
+        # One lock per chip handle (plus software): a chip's send window
+        # serves one request context at a time, so concurrent callers
+        # serialize per chip while different chips run in parallel.
+        self._chip_locks = [threading.Lock() for _ in range(chips)]
+        self._software_lock = threading.Lock()
 
     # -- instance management -------------------------------------------------
 
@@ -173,16 +182,24 @@ class AcceleratorPool:
         """The (lazily created) backend instance serving ``chip``."""
         if chip == SOFTWARE:
             if self._software is None:
-                self._software = create_backend("software",
-                                                machine=self.machine)
+                with self._lock:
+                    if self._software is None:
+                        self._software = create_backend(
+                            "software", machine=self.machine)
             return self._software
         if not 0 <= chip < self.chips:
             raise ConfigError(f"chip {chip} outside pool of {self.chips}")
         if self._instances[chip] is None:
-            self._instances[chip] = create_backend(
-                self.backend_name, machine=self.machine,
-                **self._backend_kwargs)
+            with self._lock:
+                if self._instances[chip] is None:
+                    self._instances[chip] = create_backend(
+                        self.backend_name, machine=self.machine,
+                        **self._backend_kwargs)
         return self._instances[chip]
+
+    def _op_lock(self, chip: int) -> threading.Lock:
+        return (self._software_lock if chip == SOFTWARE
+                else self._chip_locks[chip])
 
     def close(self) -> None:
         for instance in self._instances:
@@ -220,7 +237,8 @@ class AcceleratorPool:
                 "every chip's circuit breaker is open")
         policy = ("round_robin" if self.policy == "size_threshold"
                   else self.policy)
-        chip = choose_chip(policy, home, self._loads(), self._rr_state)
+        with self._lock:
+            chip = choose_chip(policy, home, self._loads(), self._rr_state)
         if chip not in available:
             chip = available[chip % len(available)]
         return chip
@@ -282,16 +300,17 @@ class AcceleratorPool:
         from ..nx.selftest import probe_backend
 
         backend = self.backend_for(chip)
-        while self.health.needs_probe(chip):
-            if not hasattr(backend, "accelerator"):
-                # Software-ish backend: nothing hardware to probe.
-                self.health.record_success(chip)
-                continue
-            if probe_backend(backend):
-                self.health.record_success(chip)
-            else:
-                self.health.record_failure(chip)  # half-open -> open
-                return False
+        with self._op_lock(chip):
+            while self.health.needs_probe(chip):
+                if not hasattr(backend, "accelerator"):
+                    # Software-ish backend: nothing hardware to probe.
+                    self.health.record_success(chip)
+                    continue
+                if probe_backend(backend):
+                    self.health.record_success(chip)
+                else:
+                    self.health.record_failure(chip)  # half-open -> open
+                    return False
         return True
 
     # -- synchronous operations ----------------------------------------------
@@ -305,9 +324,10 @@ class AcceleratorPool:
         backend = self.backend_for(chip)
         fmt = fmt or backend.capabilities().default_format
         try:
-            result = backend.compress(data, strategy=strategy, fmt=fmt,
-                                      history=history, final=final,
-                                      deadline_s=deadline_s)
+            with self._op_lock(chip):
+                result = backend.compress(data, strategy=strategy, fmt=fmt,
+                                          history=history, final=final,
+                                          deadline_s=deadline_s)
         except DeadlineExceeded:
             # A late chip is a sick chip, but the deadline is the
             # caller's contract — no software rescue behind its back.
@@ -332,8 +352,10 @@ class AcceleratorPool:
         backend = self.backend_for(chip)
         fmt = fmt or backend.capabilities().default_format
         try:
-            result = backend.decompress(payload, fmt=fmt, history=history,
-                                        deadline_s=deadline_s)
+            with self._op_lock(chip):
+                result = backend.decompress(payload, fmt=fmt,
+                                            history=history,
+                                            deadline_s=deadline_s)
         except DeadlineExceeded:
             self._note_health(chip, healthy=False)
             raise
@@ -409,15 +431,20 @@ class AcceleratorPool:
     # -- asynchronous batch submission ---------------------------------------
 
     def submit_compress(self, data: bytes, *, strategy: object = "auto",
-                        fmt: str | None = None, home: int = 0) -> PoolJob:
-        return self._submit("compress", data, strategy, fmt, home)
+                        fmt: str | None = None, home: int = 0,
+                        deadline_s: float | None = None) -> PoolJob:
+        return self._submit("compress", data, strategy, fmt, home,
+                            deadline_s)
 
     def submit_decompress(self, payload: bytes, *, fmt: str | None = None,
-                          home: int = 0) -> PoolJob:
-        return self._submit("decompress", payload, "auto", fmt, home)
+                          home: int = 0,
+                          deadline_s: float | None = None) -> PoolJob:
+        return self._submit("decompress", payload, "auto", fmt, home,
+                            deadline_s)
 
     def _submit(self, kind: str, data: bytes, strategy: object,
-                fmt: str | None, home: int) -> PoolJob:
+                fmt: str | None, home: int,
+                deadline_s: float | None = None) -> PoolJob:
         chip = self._route_traced(len(data), home)
         backend = self.backend_for(chip)
         fmt = fmt or backend.capabilities().default_format
@@ -427,7 +454,9 @@ class AcceleratorPool:
                           fmt=fmt)
             self._next_index += 1
         if chip != SOFTWARE and hasattr(backend, "submit"):
-            pending = backend.submit(kind, data, strategy=strategy, fmt=fmt)
+            with self._op_lock(chip):
+                pending = backend.submit(kind, data, strategy=strategy,
+                                         fmt=fmt, deadline_s=deadline_s)
             with self._lock:
                 self._pending_bytes[chip] += len(data)
                 self._by_pending[(chip, pending.sequence)] = job
@@ -436,10 +465,15 @@ class AcceleratorPool:
             # fallback on a wedged window, deadline, permanent CC).
             if pending.done:
                 self._finish_pending(chip, pending)
-        elif kind == "compress":
-            job.result = backend.compress(data, strategy=strategy, fmt=fmt)
         else:
-            job.result = backend.decompress(data, fmt=fmt)
+            with self._op_lock(chip):
+                if kind == "compress":
+                    job.result = backend.compress(data, strategy=strategy,
+                                                  fmt=fmt,
+                                                  deadline_s=deadline_s)
+                else:
+                    job.result = backend.decompress(data, fmt=fmt,
+                                                    deadline_s=deadline_s)
         with self._lock:
             self._open.append(job)
         return job
@@ -484,7 +518,9 @@ class AcceleratorPool:
         for chip, instance in enumerate(self._instances):
             if instance is None or not hasattr(instance, "poll"):
                 continue
-            for pending in instance.poll():
+            with self._op_lock(chip):
+                resolved = instance.poll()
+            for pending in resolved:
                 job = self._finish_pending(chip, pending)
                 if job is not None:
                     finished.append(job)
@@ -503,7 +539,9 @@ class AcceleratorPool:
             if (instance is None or not hasattr(instance, "wait_all")
                     or not instance.in_flight):
                 continue
-            for pending in instance.wait_all():
+            with self._op_lock(chip):
+                resolved = instance.wait_all()
+            for pending in resolved:
                 self._finish_pending(chip, pending)
         with self._lock:
             results = [job.result for job in self._open]
@@ -515,6 +553,48 @@ class AcceleratorPool:
     def in_flight(self) -> int:
         with self._lock:
             return len(self._by_pending)
+
+    def cancel_in_flight(self) -> list[PoolJob]:
+        """Abandon every pending batch job (hung-engine recovery).
+
+        Each chip's driver flushes its FIFOs, resets hung engines, and
+        reclaims window credits; the abandoned jobs come back through
+        :meth:`_finish_pending`, where the normal failure path applies —
+        so with rescue enabled callers still receive correct bytes,
+        computed on the CPU.
+        """
+        resolved: list[PoolJob] = []
+        for chip, instance in enumerate(self._instances):
+            if instance is None or not hasattr(instance, "cancel_pending"):
+                continue
+            with self._op_lock(chip):
+                cancelled = instance.cancel_pending()
+            for pending in cancelled:
+                job = self._finish_pending(chip, pending)
+                if job is not None:
+                    resolved.append(job)
+        if resolved:
+            self._publish_in_flight()
+        return resolved
+
+    def suggested_batch_depth(self) -> int:
+        """How many jobs a caller should coalesce per async batch.
+
+        E16's saturation depth (:data:`SATURATION_DEPTH`) per healthy
+        chip, capped by the aggregate window credits when the backend
+        exposes them — submitting past the credit pool only spins the
+        paste loop.  This is what the service layer sizes its request
+        coalescing with.
+        """
+        healthy = max(1, len(self.health.available_chips()))
+        depth = SATURATION_DEPTH * healthy
+        credits = 0
+        for instance in self._instances:
+            cap = getattr(instance, "capacity", 0)
+            credits += cap if isinstance(cap, int) else 0
+        if credits:
+            depth = min(depth, credits)
+        return max(1, depth)
 
     def _publish_in_flight(self) -> None:
         if _REGISTRY.enabled:

@@ -10,6 +10,8 @@ Commands:
 * ``ratio``      — compare codec ratios on a file or named generator
 * ``stats``      — telemetry snapshot: metrics registry + engine health
 * ``chaos``      — seeded fault-injection survival campaign
+* ``serve``      — compression job server (QoS queues, batching)
+* ``submit``     — client: send a file to a running server
 
 Telemetry is off by default; ``repro --trace <command>`` records spans
 for every job and writes a Chrome ``trace_event`` JSON (open it in
@@ -143,7 +145,51 @@ def build_parser() -> argparse.ArgumentParser:
                          help="largest job payload in bytes")
     p_chaos.add_argument("--scenario", default=None,
                          help="run only this named scenario")
+    p_chaos.add_argument("--under-load", action="store_true",
+                         help="inject faults while a live service "
+                              "handles concurrent clients (chaos-under-"
+                              "load: payload integrity + breaker checks)")
+    p_chaos.add_argument("--clients", type=int, default=4,
+                         help="concurrent client threads for "
+                              "--under-load (default: 4)")
     _add_machine_arg(p_chaos)
+
+    p_serve = sub.add_parser(
+        "serve", help="compression job server (QoS queues, batching)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="TCP port (default: 0 = ephemeral; the "
+                              "bound port is printed)")
+    p_serve.add_argument("--chips", type=int, default=1,
+                         help="accelerator pool size (default: 1)")
+    p_serve.add_argument("--policy", default="round_robin",
+                         choices=ROUTING_POLICIES,
+                         help="pool routing policy")
+    p_serve.add_argument("--verify", action="store_true",
+                         help="verify-after-compress on served jobs")
+    p_serve.add_argument("--duration-s", type=float, default=None,
+                         help="serve for N seconds then drain and exit "
+                              "(default: until interrupted)")
+    _add_machine_arg(p_serve)
+    _add_backend_args(p_serve)
+
+    p_sub = sub.add_parser(
+        "submit", help="send one file to a running compression server")
+    p_sub.add_argument("input", type=pathlib.Path)
+    p_sub.add_argument("-o", "--output", type=pathlib.Path)
+    p_sub.add_argument("--op", default="compress",
+                       choices=["compress", "decompress"])
+    p_sub.add_argument("--host", default="127.0.0.1")
+    p_sub.add_argument("--port", type=int, required=True)
+    p_sub.add_argument("--qos", default=None,
+                       help="QoS class (interactive/batch/bulk)")
+    p_sub.add_argument("--tenant", default="")
+    p_sub.add_argument("--fmt", default="gzip",
+                       choices=["gzip", "zlib", "raw"])
+    p_sub.add_argument("--deadline-ms", type=float, default=None)
+    p_sub.add_argument("--retries", type=int, default=3,
+                       help="retry budget for overload rejections "
+                            "(default: 3, honouring retry_after_s)")
     return parser
 
 
@@ -324,6 +370,8 @@ def cmd_stats(args: argparse.Namespace) -> int:
 def cmd_chaos(args: argparse.Namespace) -> int:
     from .resilience.chaos import default_plans, run_campaign
 
+    if args.under_load:
+        return _cmd_chaos_under_load(args)
     plans = default_plans(args.jobs)
     if args.scenario is not None:
         if args.scenario not in plans:
@@ -338,6 +386,73 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.survived else 1
 
 
+def _cmd_chaos_under_load(args: argparse.Namespace) -> int:
+    from .resilience.chaos import run_service_scenario
+
+    result = run_service_scenario(
+        seed=args.seed, jobs=args.jobs, chips=args.chips,
+        machine=args.machine, max_size=args.max_size,
+        clients=args.clients, scenario=args.scenario)
+    print(result.render())
+    return 0 if result.survived else 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from .service import CompressionService, serve
+
+    service = CompressionService(machine=args.machine, chips=args.chips,
+                                 policy=args.policy,
+                                 backend=args.backend,
+                                 verify=args.verify)
+    server = serve(service, host=args.host, port=args.port)
+    print(f"serving on {args.host}:{server.port} "
+          f"(machine {args.machine}, {args.chips} chip(s), "
+          f"policy {args.policy})", flush=True)
+    try:
+        if args.duration_s is not None:
+            _time.sleep(args.duration_s)
+        else:
+            while True:
+                _time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        service.close()
+        stats = service.stats()
+        print(f"drained: {stats.completed} served, "
+              f"{stats.rejected} shed, {stats.failed} failed")
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from .service import ServiceClient
+
+    data = args.input.read_bytes()
+    deadline_s = (args.deadline_ms * 1e-3
+                  if args.deadline_ms is not None else None)
+    with ServiceClient(args.host, args.port) as client:
+        result = client.request(args.op, data, qos=args.qos,
+                                tenant=args.tenant, fmt=args.fmt,
+                                deadline_s=deadline_s,
+                                retries=args.retries)
+    suffix = {"gzip": ".gz", "zlib": ".zz", "raw": ".deflate"}[args.fmt]
+    default = (args.input.with_name(args.input.name + suffix)
+               if args.op == "compress"
+               else args.input.with_suffix(".out"))
+    output = args.output or default
+    output.write_bytes(result.output)
+    print(f"{args.input} -> {output}")
+    print(f"  {human_bytes(len(data))} -> "
+          f"{human_bytes(len(result.output))} "
+          f"(qos {result.qos}, batch {result.batch_size}, "
+          f"queue wait {result.queue_wait_s * 1e3:.2f} ms, "
+          f"attempts {result.attempts})")
+    return 0
+
+
 _COMMANDS = {
     "compress": cmd_compress,
     "decompress": cmd_decompress,
@@ -348,6 +463,8 @@ _COMMANDS = {
     "selftest": cmd_selftest,
     "stats": cmd_stats,
     "chaos": cmd_chaos,
+    "serve": cmd_serve,
+    "submit": cmd_submit,
 }
 
 

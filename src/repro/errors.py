@@ -69,6 +69,34 @@ class IntegrityError(ReproError):
     """Verify-after-compress found output that does not round-trip."""
 
 
+class ServiceError(ReproError):
+    """The compression service rejected or failed a request."""
+
+    #: May the client usefully retry this request (possibly elsewhere)?
+    retryable = False
+
+
+class ServiceOverloaded(ServiceError):
+    """Admission control shed the request; retry after a backoff.
+
+    The bounded per-class queues are full — the server prefers an
+    explicit, cheap rejection over unbounded buffering.  ``retry_after_s``
+    is the server's estimate of when capacity frees up.
+    """
+
+    retryable = True
+
+    def __init__(self, message: str, retry_after_s: float = 0.0,
+                 qos: str | None = None) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+        self.qos = qos
+
+
+class ServiceClosed(ServiceError):
+    """The service is draining or stopped and accepts no new work."""
+
+
 class VasError(ReproError):
     """Virtual Accelerator Switchboard misuse (no credits, bad window...)."""
 

@@ -32,7 +32,7 @@ from .export import (spans_to_chrome_trace, spans_to_jsonl,
                      write_chrome_trace, write_spans_jsonl)
 from .metrics import (LATENCY_BUCKETS, RATIO_BUCKETS, SIZE_BUCKETS,
                       REGISTRY, Counter, Gauge, Histogram, MetricsRegistry,
-                      record_job)
+                      record_job, record_service_request)
 from .trace import NULL_SPAN, TRACE, Span, SpanEvent, Tracer
 
 __all__ = [
@@ -40,6 +40,7 @@ __all__ = [
     "tracer", "registry", "export_chrome_trace", "export_spans_jsonl",
     "Tracer", "Span", "SpanEvent", "MetricsRegistry",
     "Counter", "Gauge", "Histogram", "record_job",
+    "record_service_request",
     "TRACE", "REGISTRY", "NULL_SPAN",
     "spans_to_chrome_trace", "spans_to_jsonl",
     "write_chrome_trace", "write_spans_jsonl",

@@ -299,3 +299,38 @@ def record_job(layer: str, *, op: str, nbytes_in: int, nbytes_out: int,
         REGISTRY.counter(f"repro_{layer}_fallbacks_total",
                          "software fallbacks after retry exhaustion").inc(
             1, **labels)
+
+
+def record_service_request(*, op: str, qos: str, outcome: str,
+                           tenant: str = "",
+                           nbytes_in: int = 0, nbytes_out: int = 0,
+                           modelled_s: float = 0.0,
+                           queue_wait_s: float = 0.0,
+                           reason: str = "") -> None:
+    """Fold one service-layer request (served or shed) into the registry.
+
+    ``outcome`` is ``ok`` / ``rejected`` / ``expired`` / ``failed``;
+    shed requests carry a ``reason`` (``queue_full``, ``closed``, ...).
+    Served requests also flow through :func:`record_job` under the
+    ``service`` layer so bytes/latency/ratio aggregate like every other
+    layer's.
+    """
+    labels = {"tenant": tenant} if tenant else {}
+    # Admission-level outcomes; completed requests additionally flow
+    # through record_job below, which owns repro_service_requests_total.
+    REGISTRY.counter("repro_service_outcomes_total",
+                     "requests by admission/completion outcome").inc(
+        1, op=op, qos=qos, outcome=outcome, **labels)
+    REGISTRY.histogram("repro_service_queue_wait_seconds",
+                       "wall-clock time a request waited for dispatch",
+                       buckets=LATENCY_BUCKETS).observe(
+        queue_wait_s, qos=qos)
+    if outcome == "ok":
+        record_job("service", op=op, nbytes_in=nbytes_in,
+                   nbytes_out=nbytes_out, seconds=modelled_s,
+                   qos=qos, **labels)
+    else:
+        REGISTRY.counter("repro_service_rejected_total",
+                         "requests shed or failed by the service").inc(
+            1, qos=qos, outcome=outcome,
+            reason=reason or "unknown", **labels)

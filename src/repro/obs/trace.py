@@ -99,6 +99,10 @@ class Span:
         self.end_s = time.perf_counter()
         self._tracer._finish(self)
 
+    def end(self) -> None:
+        """Finish explicitly (detached spans that outlive a scope)."""
+        self.__exit__(None, None, None)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Span({self.name!r}, trace={self.trace_id}, "
                 f"id={self.span_id}, parent={self.parent_id})")
@@ -119,6 +123,9 @@ class _NullSpan:
         return self
 
     def __exit__(self, *exc_info: object) -> None:
+        pass
+
+    def end(self) -> None:
         pass
 
 
@@ -192,6 +199,47 @@ class Tracer:
         stack.append(span)
         return span
 
+    def span_detached(self, name: str, parent: "Span | None" = None,
+                      **attrs: object) -> Span | _NullSpan:
+        """A span that is *not* bound to any thread's stack.
+
+        Request lifecycles that cross threads — a service job enqueued
+        on a client-handler thread and fulfilled on the dispatcher —
+        cannot use the per-thread nesting model: the span must open on
+        one thread and close on another.  A detached span has an
+        explicit ``parent`` (or starts a fresh trace) and never appears
+        on a stack; finishing it only files it with the collected spans.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        with self._lock:
+            span_id = self._next_span
+            self._next_span += 1
+            if parent is not None and isinstance(parent, Span):
+                trace_id = parent.trace_id
+                parent_id = parent.span_id
+            else:
+                trace_id = self._next_trace
+                self._next_trace += 1
+                parent_id = None
+        span = Span(name=name, trace_id=trace_id, span_id=span_id,
+                    parent_id=parent_id, start_s=time.perf_counter(),
+                    tracer=self)
+        if attrs:
+            span.attrs.update(attrs)
+        return span
+
+    def adopt(self, span: "Span | _NullSpan") -> "_Adoption":
+        """Make ``span`` this thread's innermost span for a scope.
+
+        Used by a worker executing someone else's detached span: while
+        adopted, new spans opened on this thread nest under it, so e.g.
+        ``pool.route`` comes out as a child of the ``service.request``
+        span even though the request was created on another thread.
+        Adoption does not finish the span — the owner still exits it.
+        """
+        return _Adoption(self, span)
+
     def event(self, name: str, **attrs: object) -> None:
         """Annotate the innermost open span (no-op with none open)."""
         if not self.enabled:
@@ -234,6 +282,35 @@ class Tracer:
             if span.trace_id == trace_id:
                 children.setdefault(span.parent_id, []).append(span)
         return children
+
+
+class _Adoption:
+    """Context manager pushing a foreign span onto this thread's stack."""
+
+    __slots__ = ("_tracer", "_span", "_pushed")
+
+    def __init__(self, tracer: Tracer, span: Span | _NullSpan) -> None:
+        self._tracer = tracer
+        self._span = span
+        self._pushed = False
+
+    def __enter__(self) -> Span | _NullSpan:
+        if isinstance(self._span, Span):
+            local = self._tracer._local
+            stack = getattr(local, "stack", None)
+            if stack is None:
+                stack = local.stack = []
+            stack.append(self._span)
+            self._pushed = True
+        return self._span
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._pushed:
+            stack = getattr(self._tracer._local, "stack", None)
+            if stack and stack[-1] is self._span:
+                stack.pop()
+            elif stack and self._span in stack:
+                stack.remove(self._span)
 
 
 #: The process-global tracer every instrumented layer guards against.

@@ -191,3 +191,163 @@ def run_campaign(seed: int = 7, jobs: int = DEFAULT_JOBS, chips: int = 2,
             run_scenario(name, scenario_plans, seed=seed, jobs=jobs,
                          chips=chips, machine=machine, max_size=max_size))
     return report
+
+
+# -- chaos under load: faults while a live service handles clients ----------
+
+
+@dataclass
+class ServiceScenarioResult:
+    """One chaos-under-load run: faults vs a serving, multi-client stack.
+
+    The integrity bar is the same as the offline campaign — zero wrong
+    payloads among *accepted* requests — plus the service-level
+    contract: every shed request carried a retryable error, and the
+    queues stayed within their configured bounds throughout.
+    """
+
+    name: str
+    jobs: int
+    clients: int
+    wrong_bytes: int = 0
+    served: int = 0
+    shed_retryable: int = 0
+    shed_nonretryable: int = 0
+    failed: int = 0
+    rescues: int = 0
+    breaker_opens: int = 0
+    breaker_closes: int = 0
+    max_queue_depth: int = 0
+    queue_bound: int = 0
+    faults_injected: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def survived(self) -> bool:
+        return (self.wrong_bytes == 0 and self.shed_nonretryable == 0
+                and (self.queue_bound == 0
+                     or self.max_queue_depth <= self.queue_bound))
+
+    def render(self) -> str:
+        lines = [
+            f"chaos under load  scenario={self.name}  "
+            f"clients={self.clients}  jobs={self.jobs}",
+            f"  served={self.served}  shed(retryable)={self.shed_retryable}"
+            f"  failed={self.failed}  wrong={self.wrong_bytes}",
+            f"  rescues={self.rescues}  breaker opens={self.breaker_opens}"
+            f"  closes={self.breaker_closes}",
+            f"  peak queue depth={self.max_queue_depth}"
+            f" (bound {self.queue_bound})",
+            f"  faults injected: {dict(sorted(self.faults_injected.items()))}",
+        ]
+        verdict = "SURVIVED" if self.survived else "FAILED"
+        lines.append(f"result: {verdict}")
+        return "\n".join(lines)
+
+
+def run_service_scenario(*, seed: int = 7, jobs: int = DEFAULT_JOBS,
+                         chips: int = 2,
+                         machine: MachineParams | str = POWER9,
+                         max_size: int = 4096, clients: int = 4,
+                         scenario: str | None = None
+                         ) -> ServiceScenarioResult:
+    """Inject faults while a live service handles concurrent clients.
+
+    ``clients`` threads submit seeded payloads through one
+    :class:`~repro.service.core.CompressionService` while the chaos
+    injectors fire on every chip.  Checked invariants:
+
+    * every accepted compress round-trips to its original bytes
+      (wrong_bytes == 0);
+    * every shed request carried a *retryable* error
+      (``ServiceOverloaded``) — overload never surfaces as data loss
+      or an opaque failure;
+    * breakers opened and closed (the fault plan guarantees failures;
+      recovery probes must bring chips back);
+    * queue depth snapshots never exceed the configured bound.
+    """
+    import threading
+
+    from ..errors import ServiceOverloaded
+    from ..service.core import CompressionService
+    from ..service.qos import QosClass, QosPolicy
+
+    if isinstance(machine, str):
+        machine = get_machine(machine)
+    plans_by_name = default_plans(jobs)
+    name = scenario or "combined"
+    if name not in plans_by_name:
+        raise ReproError(f"unknown chaos scenario {name!r}; "
+                         f"have {sorted(plans_by_name)}")
+    plans = plans_by_name[name]
+    from ..backend.pool import AcceleratorPool
+
+    health = HealthConfig(failure_threshold=3, cooldown_routes=8,
+                          probe_successes=2)
+    queue_limit = 64
+    qos = QosPolicy((
+        QosClass("interactive", fifo="high", rank=0,
+                 queue_limit=queue_limit, max_batch=2),
+        QosClass("bulk", fifo="normal", rank=1,
+                 queue_limit=queue_limit, max_batch=4),
+    ))
+    result = ServiceScenarioResult(name=name, jobs=jobs, clients=clients,
+                                   queue_bound=queue_limit)
+    pool = AcceleratorPool(machine=machine, chips=chips,
+                          policy="round_robin", backend="nx",
+                          health=health, verify=True)
+    injectors = [
+        FaultInjector(plans, seed=seed, chip=chip).install(
+            pool.backend_for(chip).accelerator)
+        for chip in range(chips)
+    ]
+    lock = threading.Lock()
+    with CompressionService(pool, qos=qos) as service:
+        def client(worker: int) -> None:
+            rng = random.Random(seed * 104729 + worker)
+            qos_name = "interactive" if worker % 2 == 0 else "bulk"
+            for i in range(jobs // clients):
+                data = _payload(rng, worker * 1000 + i, max_size)
+                try:
+                    out = service.request("compress", data, fmt="gzip",
+                                          qos=qos_name, timeout_s=60.0)
+                except ServiceOverloaded:
+                    with lock:
+                        result.shed_retryable += 1
+                    continue
+                except ReproError as exc:
+                    with lock:
+                        if getattr(exc, "retryable", False):
+                            result.shed_retryable += 1
+                        else:
+                            result.failed += 1
+                    continue
+                try:
+                    restored = decode_payload(out.output, "gzip")
+                except ReproError:
+                    restored = None
+                with lock:
+                    result.served += 1
+                    if restored != data:
+                        result.wrong_bytes += 1
+                snapshot = service.stats()
+                with lock:
+                    result.max_queue_depth = max(result.max_queue_depth,
+                                                 snapshot.queued)
+
+        threads = [threading.Thread(target=client, args=(w,))
+                   for w in range(clients)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stats = pool.stats()
+        result.rescues = stats.rescues
+        result.breaker_opens = stats.breaker_opens
+        for transitions in pool.health.transition_log().values():
+            result.breaker_closes += sum(
+                1 for state, _ in transitions if state == "CLOSED")
+        for injector in injectors:
+            for kind, count in injector.fired.items():
+                result.faults_injected[kind] = (
+                    result.faults_injected.get(kind, 0) + count)
+    return result

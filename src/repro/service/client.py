@@ -1,0 +1,142 @@
+"""Client for the compression job server.
+
+Thin, dependency-free, and honest about backpressure: a shed request
+surfaces as :class:`~repro.errors.ServiceOverloaded` carrying the
+server's ``retry_after_s`` hint, and :meth:`ServiceClient.request`
+optionally honours it (bounded retries with the server-suggested
+backoff) so callers get the paper's shared-accelerator etiquette —
+back off, don't hammer — by default.
+
+One client owns one socket and is **not** thread-safe; concurrent
+callers should each open their own (connections are cheap, the server
+threads per connection).
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+from ..errors import AcceleratorError, ServiceError, ServiceOverloaded
+from .protocol import ProtocolError, recv_message, send_message
+
+
+class RemoteServiceError(ServiceError):
+    """The server reported a non-retryable failure for this request."""
+
+    def __init__(self, message: str, error_type: str = "") -> None:
+        super().__init__(message)
+        self.error_type = error_type
+
+
+class ClientResult:
+    """One served request: the bytes plus the server's timing view."""
+
+    __slots__ = ("output", "qos", "modelled_s", "queue_wait_s",
+                 "batch_size", "attempts")
+
+    def __init__(self, output: bytes, header: dict,
+                 attempts: int = 1) -> None:
+        self.output = output
+        self.qos = header.get("qos", "")
+        self.modelled_s = float(header.get("modelled_s", 0.0))
+        self.queue_wait_s = float(header.get("queue_wait_s", 0.0))
+        self.batch_size = int(header.get("batch_size", 1))
+        self.attempts = attempts
+
+
+class ServiceClient:
+    """Blocking client over one connection to a compression server."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 timeout_s: float = 60.0) -> None:
+        self.sock = socket.create_connection((host, port),
+                                             timeout=timeout_s)
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- raw exchange --------------------------------------------------------
+
+    def call(self, header: dict, payload: bytes = b"") -> tuple[dict, bytes]:
+        """One request/response round trip; raises on a dead socket."""
+        send_message(self.sock, header, payload)
+        message = recv_message(self.sock)
+        if message is None:
+            raise ProtocolError("server closed the connection")
+        return message
+
+    # -- typed surface -------------------------------------------------------
+
+    def ping(self) -> bool:
+        header, _ = self.call({"op": "ping"})
+        return header.get("status") == "ok"
+
+    def stats(self) -> dict:
+        header, _ = self.call({"op": "stats"})
+        return header.get("stats", {})
+
+    def drain(self) -> bool:
+        header, _ = self.call({"op": "drain"})
+        return header.get("status") == "ok"
+
+    def request(self, op: str, payload: bytes, *, qos: str | None = None,
+                tenant: str = "", fmt: str | None = None,
+                strategy: str = "auto", deadline_s: float | None = None,
+                retries: int = 0) -> ClientResult:
+        """Submit one job; optionally retry shed requests.
+
+        ``retries`` bounds how many times an overload rejection is
+        retried, sleeping the server's ``retry_after_s`` hint between
+        attempts.  The final rejection (or any non-retryable error)
+        raises.
+        """
+        header = {"op": op, "strategy": strategy}
+        if qos is not None:
+            header["qos"] = qos
+        if tenant:
+            header["tenant"] = tenant
+        if fmt is not None:
+            header["fmt"] = fmt
+        if deadline_s is not None:
+            header["deadline_s"] = deadline_s
+        attempts = 0
+        while True:
+            attempts += 1
+            response, body = self.call(header, payload)
+            status = response.get("status")
+            if status == "ok":
+                return ClientResult(body, response, attempts=attempts)
+            if status == "rejected":
+                if attempts <= retries:
+                    time.sleep(max(0.0, float(
+                        response.get("retry_after_s", 0.0))))
+                    continue
+                raise ServiceOverloaded(
+                    response.get("error", "request shed"),
+                    retry_after_s=float(
+                        response.get("retry_after_s", 0.0)),
+                    qos=response.get("qos"))
+            error_type = response.get("error_type", "")
+            message = response.get("error", "request failed")
+            if response.get("retryable"):
+                raise ServiceOverloaded(message)
+            if error_type in ("DeadlineExceeded", "ChipUnavailable",
+                              "JobError"):
+                raise AcceleratorError(message)
+            raise RemoteServiceError(message, error_type=error_type)
+
+    def compress(self, payload: bytes, **kwargs) -> ClientResult:
+        return self.request("compress", payload, **kwargs)
+
+    def decompress(self, payload: bytes, **kwargs) -> ClientResult:
+        return self.request("decompress", payload, **kwargs)

@@ -1,0 +1,558 @@
+"""CompressionService: the in-process multi-client job server.
+
+This is the traffic-facing layer the pool lacks.  Client threads call
+:meth:`CompressionService.submit` (or the blocking ``compress`` /
+``decompress`` conveniences); requests land in bounded per-QoS-class
+queues and a single dispatcher thread drives them through the shared
+:class:`~repro.backend.pool.AcceleratorPool`:
+
+* **Admission control** — each class's queue has request and byte
+  bounds.  A full queue sheds the request immediately with
+  :class:`~repro.errors.ServiceOverloaded` carrying a ``retry_after_s``
+  estimate, so overload produces cheap, explicit rejections instead of
+  unbounded buffering (the server never queues more than the configured
+  envelope, no matter the offered load).
+* **QoS scheduling** — dispatch order follows the VAS two-FIFO model
+  via :class:`~repro.service.qos.QosPolicy`: the high FIFO preempts at
+  batch granularity, the starvation bound keeps bulk moving.
+* **Batch coalescing** — up to ``max_batch`` requests of one class are
+  folded into one async batch submission (``submit``/``wait_all``),
+  sized by the E16 saturation depth via
+  :meth:`~repro.backend.pool.AcceleratorPool.suggested_batch_depth`.
+* **Resilience** — breaker-aware routing, software rescue, and
+  deadlines all come from the pool; a batch whose engine wedges is
+  cancelled (:meth:`~repro.backend.pool.AcceleratorPool.cancel_in_flight`)
+  and the abandoned jobs resolve through software rescue, so accepted
+  requests still return correct bytes.  Requests that out-wait their
+  deadline *in the queue* are expired without being executed.
+* **Telemetry** — every request owns a detached ``service.request``
+  span (opened at admission on the caller's thread, closed at
+  fulfilment on the dispatcher's), adopted around the pool calls so
+  ``pool.route``/``backend.submit`` nest under it; outcomes publish
+  ``repro_service_*`` metrics.
+
+Deadline semantics: a request's ``deadline_s`` bounds both its
+wall-clock *queue wait* (expired requests are shed) and, once
+dispatched, the *modelled* time the backend may spend on it (the pool's
+per-job deadline contract).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..backend.pool import AcceleratorPool, PoolJob
+from ..errors import (AcceleratorError, ChipUnavailable, ConfigError,
+                      DeadlineExceeded, ServiceClosed, ServiceOverloaded)
+from ..nx.params import POWER9, MachineParams
+from ..obs.metrics import REGISTRY as _REGISTRY
+from ..obs.metrics import record_service_request
+from ..obs.trace import NULL_SPAN, TRACE as _TRACE
+from .qos import DEFAULT_CLASSES, DEFAULT_STARVATION_BOUND, QosPolicy
+
+_OPS = ("compress", "decompress")
+
+#: Floor/ceiling on the retry-after hint handed to shed clients.
+_RETRY_AFTER_MIN_S = 0.001
+_RETRY_AFTER_MAX_S = 5.0
+
+#: Seed for the per-request wall service-time EWMA (retry-after hints
+#: before the first completion lands).
+_EWMA_SEED_S = 0.002
+_EWMA_WEIGHT = 0.2
+
+
+@dataclass
+class ServiceResult:
+    """One fulfilled request: the bytes plus where the time went."""
+
+    output: bytes
+    op: str
+    qos: str
+    modelled_seconds: float
+    queue_wait_s: float
+    wall_seconds: float
+    batch_size: int = 1
+
+
+class ServiceTicket:
+    """Handle for one accepted request; fulfilled by the dispatcher."""
+
+    __slots__ = ("request_id", "qos", "op", "tenant", "_event", "_result",
+                 "_error")
+
+    def __init__(self, request_id: int, qos: str, op: str,
+                 tenant: str) -> None:
+        self.request_id = request_id
+        self.qos = qos
+        self.op = op
+        self.tenant = tenant
+        self._event = threading.Event()
+        self._result: ServiceResult | None = None
+        self._error: Exception | None = None
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def wait(self, timeout_s: float | None = None) -> ServiceResult:
+        """Block until fulfilled; raises the request's failure if any."""
+        if not self._event.wait(timeout_s):
+            raise TimeoutError(
+                f"request {self.request_id} not fulfilled "
+                f"within {timeout_s}s")
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+    # -- dispatcher side -----------------------------------------------------
+
+    def _fulfil(self, result: ServiceResult) -> None:
+        self._result = result
+        self._event.set()
+
+    def _fail(self, error: Exception) -> None:
+        self._error = error
+        self._event.set()
+
+
+@dataclass
+class _Queued:
+    """One admitted request waiting for dispatch."""
+
+    ticket: ServiceTicket
+    op: str
+    payload: bytes
+    fmt: str
+    strategy: str
+    deadline_s: float | None
+    enqueued_at: float
+    span: object = NULL_SPAN
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """One consistent snapshot of service activity."""
+
+    accepted: int = 0
+    rejected: int = 0
+    expired: int = 0
+    completed: int = 0
+    failed: int = 0
+    queued: int = 0
+    queued_bytes: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    batches: int = 0
+    modelled_seconds: float = 0.0
+    state: str = "running"
+    per_class: dict = field(default_factory=dict)
+    per_tenant: dict = field(default_factory=dict)
+
+    @property
+    def in_service(self) -> int:
+        """Accepted but not yet resolved (queued + being executed)."""
+        return self.accepted - self.completed - self.failed - self.expired
+
+
+class CompressionService:
+    """Multi-client compression-as-a-service over one accelerator pool.
+
+    Thread-safe: any number of threads may ``submit``; one internal
+    dispatcher owns the pool's async surface.  Use as a context manager
+    for a guaranteed drain-and-close.
+    """
+
+    def __init__(self, pool: AcceleratorPool | None = None, *,
+                 machine: MachineParams | str = POWER9,
+                 chips: int = 1, backend: str | None = None,
+                 policy: str = "round_robin",
+                 qos: QosPolicy | None = None,
+                 starvation_bound: int = DEFAULT_STARVATION_BOUND,
+                 batching: bool = True,
+                 verify: bool = False,
+                 **pool_kwargs) -> None:
+        if pool is not None:
+            self.pool = pool
+            self._own_pool = False
+        else:
+            self.pool = AcceleratorPool(machine=machine, chips=chips,
+                                        policy=policy, backend=backend,
+                                        verify=verify, **pool_kwargs)
+            self._own_pool = True
+        self.qos = qos or QosPolicy(DEFAULT_CLASSES,
+                                    starvation_bound=starvation_bound)
+        self.batching = batching
+        self._cond = threading.Condition()
+        self._queues: dict[str, deque[_Queued]] = {
+            c.name: deque() for c in self.qos.classes}
+        self._queued_bytes: dict[str, int] = {
+            c.name: 0 for c in self.qos.classes}
+        self._state = "running"
+        self._ids = itertools.count(1)
+        self._ewma_job_s = _EWMA_SEED_S
+        # Counters (all mutated under self._cond).
+        self._accepted = 0
+        self._rejected = 0
+        self._expired = 0
+        self._completed = 0
+        self._failed = 0
+        self._batches = 0
+        self._bytes_in = 0
+        self._bytes_out = 0
+        self._modelled_s = 0.0
+        self._per_class: dict[str, dict[str, int]] = {
+            c.name: {"accepted": 0, "rejected": 0, "completed": 0,
+                     "expired": 0, "failed": 0}
+            for c in self.qos.classes}
+        self._per_tenant: dict[str, dict[str, int]] = {}
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-service-dispatcher",
+            daemon=True)
+        self._dispatcher.start()
+
+    # -- client surface ------------------------------------------------------
+
+    def submit(self, op: str, payload: bytes, *, fmt: str | None = None,
+               strategy: str = "auto", qos: str | None = None,
+               tenant: str = "", deadline_s: float | None = None
+               ) -> ServiceTicket:
+        """Admit one request; returns a ticket to ``wait`` on.
+
+        Raises :class:`ServiceOverloaded` (retryable, with a
+        ``retry_after_s`` hint) when the class's queue is full, and
+        :class:`ServiceClosed` once draining has begun.
+        """
+        if op not in _OPS:
+            raise ConfigError(f"unknown op {op!r}; have {_OPS}")
+        qcls = self.qos.resolve(qos)
+        fmt = fmt or "gzip"
+        deadline = (deadline_s if deadline_s is not None
+                    else qcls.default_deadline_s)
+        with self._cond:
+            if self._state != "running":
+                raise ServiceClosed(
+                    f"service is {self._state}; not accepting work")
+            queue = self._queues[qcls.name]
+            if (len(queue) >= qcls.queue_limit
+                    or self._queued_bytes[qcls.name] + len(payload)
+                    > qcls.queue_bytes_limit):
+                retry_after = self._retry_after_locked()
+                self._rejected += 1
+                self._per_class[qcls.name]["rejected"] += 1
+                if _REGISTRY.enabled:
+                    record_service_request(
+                        op=op, qos=qcls.name, outcome="rejected",
+                        tenant=tenant, reason="queue_full")
+                raise ServiceOverloaded(
+                    f"QoS class {qcls.name!r} queue full "
+                    f"({len(queue)} requests); retry in "
+                    f"{retry_after * 1e3:.1f} ms",
+                    retry_after_s=retry_after, qos=qcls.name)
+            ticket = ServiceTicket(next(self._ids), qcls.name, op, tenant)
+            span = NULL_SPAN
+            if _TRACE.enabled:
+                span = _TRACE.span_detached(
+                    "service.request", op=op, qos=qcls.name,
+                    nbytes=len(payload), request_id=ticket.request_id,
+                    **({"tenant": tenant} if tenant else {}))
+            queue.append(_Queued(ticket=ticket, op=op, payload=payload,
+                                 fmt=fmt, strategy=strategy,
+                                 deadline_s=deadline,
+                                 enqueued_at=time.perf_counter(),
+                                 span=span))
+            self._queued_bytes[qcls.name] += len(payload)
+            self._accepted += 1
+            self._per_class[qcls.name]["accepted"] += 1
+            if tenant:
+                entry = self._per_tenant.setdefault(
+                    tenant, {"accepted": 0, "bytes_in": 0})
+                entry["accepted"] += 1
+                entry["bytes_in"] += len(payload)
+            self._publish_depth_locked(qcls.name)
+            self._cond.notify_all()
+        return ticket
+
+    def request(self, op: str, payload: bytes, *,
+                timeout_s: float | None = 60.0,
+                **kwargs) -> ServiceResult:
+        """Blocking convenience: submit and wait for fulfilment."""
+        return self.submit(op, payload, **kwargs).wait(timeout_s)
+
+    def compress(self, payload: bytes, **kwargs) -> ServiceResult:
+        return self.request("compress", payload, **kwargs)
+
+    def decompress(self, payload: bytes, **kwargs) -> ServiceResult:
+        return self.request("decompress", payload, **kwargs)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def drain(self, timeout_s: float = 30.0) -> bool:
+        """Stop admitting, serve everything queued, stop the dispatcher.
+
+        Returns True when the backlog fully drained within the timeout.
+        """
+        with self._cond:
+            if self._state == "running":
+                self._state = "draining"
+            self._cond.notify_all()
+        self._dispatcher.join(timeout_s)
+        return not self._dispatcher.is_alive()
+
+    def close(self, drain: bool = True, timeout_s: float = 30.0) -> None:
+        """Shut down; with ``drain`` queued work is served first,
+        otherwise it is failed with :class:`ServiceClosed`."""
+        if drain:
+            self.drain(timeout_s)
+        with self._cond:
+            self._state = "stopped"
+            abandoned = [req for name in self._queues
+                         for req in self._queues[name]]
+            for queue in self._queues.values():
+                queue.clear()
+            for name in self._queued_bytes:
+                self._queued_bytes[name] = 0
+            for req in abandoned:
+                self._failed += 1
+                self._per_class[req.ticket.qos]["failed"] += 1
+            self._cond.notify_all()
+        for req in abandoned:
+            error = ServiceClosed("service stopped before dispatch")
+            req.span.set(outcome="failed", error="ServiceClosed")
+            req.span.end()
+            req.ticket._fail(error)
+        self._dispatcher.join(timeout_s)
+        if self._own_pool:
+            self.pool.close()
+
+    def __enter__(self) -> "CompressionService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> ServiceStats:
+        """One mutually consistent snapshot (single critical section)."""
+        with self._cond:
+            return ServiceStats(
+                accepted=self._accepted, rejected=self._rejected,
+                expired=self._expired, completed=self._completed,
+                failed=self._failed,
+                queued=sum(len(q) for q in self._queues.values()),
+                queued_bytes=sum(self._queued_bytes.values()),
+                bytes_in=self._bytes_in, bytes_out=self._bytes_out,
+                batches=self._batches,
+                modelled_seconds=self._modelled_s,
+                state=self._state,
+                per_class={name: dict(c)
+                           for name, c in self._per_class.items()},
+                per_tenant={name: dict(t)
+                            for name, t in self._per_tenant.items()})
+
+    # -- admission internals -------------------------------------------------
+
+    def _retry_after_locked(self) -> float:
+        """Estimate when capacity frees up: backlog x recent job cost."""
+        backlog = sum(len(q) for q in self._queues.values())
+        return min(_RETRY_AFTER_MAX_S,
+                   max(_RETRY_AFTER_MIN_S, backlog * self._ewma_job_s))
+
+    def _publish_depth_locked(self, name: str) -> None:
+        if _REGISTRY.enabled:
+            _REGISTRY.gauge("repro_service_queue_depth",
+                            "requests waiting per QoS class").set(
+                len(self._queues[name]), qos=name)
+            _REGISTRY.gauge("repro_service_queued_bytes",
+                            "payload bytes waiting per QoS class").set(
+                self._queued_bytes[name], qos=name)
+
+    # -- the dispatcher ------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._cond:
+                while True:
+                    waiting = {name: len(q)
+                               for name, q in self._queues.items()}
+                    if any(waiting.values()):
+                        break
+                    if self._state != "running":
+                        return
+                    self._cond.wait(0.1)
+                qcls = self.qos.pick(waiting)
+                if qcls is None:  # pragma: no cover - pick of nonempty
+                    continue
+                depth = min(qcls.max_batch,
+                            self.pool.suggested_batch_depth())
+                queue = self._queues[qcls.name]
+                batch = [queue.popleft()
+                         for _ in range(min(depth, len(queue)))]
+                for req in batch:
+                    self._queued_bytes[qcls.name] -= len(req.payload)
+                self._publish_depth_locked(qcls.name)
+            self._run_batch(qcls, batch)
+
+    def _run_batch(self, qcls, batch: list[_Queued]) -> None:
+        """Execute one coalesced batch outside the admission lock."""
+        now = time.perf_counter()
+        live: list[_Queued] = []
+        for req in batch:
+            if (req.deadline_s is not None
+                    and now - req.enqueued_at > req.deadline_s):
+                self._resolve_expired(req, now)
+            else:
+                live.append(req)
+        if not live:
+            return
+        with self._cond:
+            self._batches += 1
+        if _REGISTRY.enabled:
+            _REGISTRY.histogram("repro_service_batch_size",
+                                "requests coalesced per dispatch",
+                                buckets=(1, 2, 4, 8, 16, 32)).observe(
+                len(live), qos=qcls.name)
+        use_batch = self.batching and len(live) > 1
+        if use_batch:
+            with _TRACE.span("service.batch", qos=qcls.name,
+                             size=len(live)):
+                jobs = self._submit_batch(live)
+                self._await_batch(live, jobs)
+        else:
+            for req in live:
+                self._run_sync(req)
+
+    def _submit_batch(self, live: list[_Queued]) -> list[PoolJob | None]:
+        jobs: list[PoolJob | None] = []
+        for req in live:
+            with _TRACE.adopt(req.span):
+                try:
+                    if req.op == "compress":
+                        job = self.pool.submit_compress(
+                            req.payload, strategy=req.strategy,
+                            fmt=req.fmt, deadline_s=req.deadline_s)
+                    else:
+                        job = self.pool.submit_decompress(
+                            req.payload, fmt=req.fmt,
+                            deadline_s=req.deadline_s)
+                except AcceleratorError as exc:
+                    self._resolve_error(req, exc)
+                    job = None
+            jobs.append(job)
+        return jobs
+
+    def _await_batch(self, live: list[_Queued],
+                     jobs: list[PoolJob | None]) -> None:
+        try:
+            self.pool.wait_all()
+        except AcceleratorError:
+            # Wedged engine: abandon what's stuck — cancellation routes
+            # the jobs through the rescue path, so most still resolve
+            # with correct software-computed bytes.
+            self.pool.cancel_in_flight()
+        for req, job in zip(live, jobs):
+            if job is None:
+                continue  # already failed at submit
+            if job.result is not None:
+                self._resolve_ok(req, job.result.output,
+                                 job.result.stats.elapsed_seconds,
+                                 batch_size=len(live))
+            else:
+                error = job.error or AcceleratorError(
+                    "batch job resolved without result or error")
+                self._resolve_error(req, error)
+
+    def _run_sync(self, req: _Queued) -> None:
+        with _TRACE.adopt(req.span):
+            try:
+                if req.op == "compress":
+                    result = self.pool.compress(
+                        req.payload, strategy=req.strategy, fmt=req.fmt,
+                        deadline_s=req.deadline_s)
+                else:
+                    result = self.pool.decompress(
+                        req.payload, fmt=req.fmt,
+                        deadline_s=req.deadline_s)
+            except AcceleratorError as exc:
+                self._resolve_error(req, exc)
+                return
+        self._resolve_ok(req, result.output,
+                         result.stats.elapsed_seconds, batch_size=1)
+
+    # -- fulfilment ----------------------------------------------------------
+
+    def _resolve_ok(self, req: _Queued, output: bytes, modelled_s: float,
+                    batch_size: int) -> None:
+        done = time.perf_counter()
+        queue_wait = max(0.0, done - req.enqueued_at)
+        wall = queue_wait  # wait + service, measured at fulfilment
+        with self._cond:
+            self._completed += 1
+            self._bytes_in += len(req.payload)
+            self._bytes_out += len(output)
+            self._modelled_s += modelled_s
+            self._per_class[req.ticket.qos]["completed"] += 1
+            per_job = wall / max(1, batch_size)
+            self._ewma_job_s += _EWMA_WEIGHT * (per_job - self._ewma_job_s)
+        if _REGISTRY.enabled:
+            record_service_request(
+                op=req.op, qos=req.ticket.qos, outcome="ok",
+                tenant=req.ticket.tenant, nbytes_in=len(req.payload),
+                nbytes_out=len(output), modelled_s=modelled_s,
+                queue_wait_s=queue_wait)
+        req.span.set(outcome="ok", out_bytes=len(output),
+                     modelled_s=modelled_s, batch_size=batch_size)
+        req.span.end()
+        req.ticket._fulfil(ServiceResult(
+            output=output, op=req.op, qos=req.ticket.qos,
+            modelled_seconds=modelled_s, queue_wait_s=queue_wait,
+            wall_seconds=wall, batch_size=batch_size))
+
+    def _resolve_expired(self, req: _Queued, now: float) -> None:
+        waited = now - req.enqueued_at
+        with self._cond:
+            self._expired += 1
+            self._per_class[req.ticket.qos]["expired"] += 1
+        if _REGISTRY.enabled:
+            record_service_request(
+                op=req.op, qos=req.ticket.qos, outcome="expired",
+                tenant=req.ticket.tenant, queue_wait_s=waited,
+                reason="deadline_in_queue")
+        req.span.set(outcome="expired", queue_wait_s=waited)
+        req.span.end()
+        req.ticket._fail(DeadlineExceeded(
+            f"request {req.ticket.request_id} waited "
+            f"{waited * 1e3:.1f} ms in the {req.ticket.qos} queue, "
+            f"past its {req.deadline_s * 1e3:.1f} ms deadline",
+            elapsed_s=waited, deadline_s=req.deadline_s))
+
+    def _resolve_error(self, req: _Queued, error: Exception) -> None:
+        outcome = ("expired" if isinstance(error, DeadlineExceeded)
+                   else "failed")
+        reason = type(error).__name__
+        with self._cond:
+            if outcome == "expired":
+                self._expired += 1
+            else:
+                self._failed += 1
+            self._per_class[req.ticket.qos][outcome] += 1
+        if _REGISTRY.enabled:
+            record_service_request(
+                op=req.op, qos=req.ticket.qos, outcome=outcome,
+                tenant=req.ticket.tenant, reason=reason)
+        req.span.set(outcome=outcome, error=reason)
+        req.span.end()
+        if isinstance(error, ChipUnavailable):
+            # Every breaker open is a capacity, not a correctness,
+            # problem: tell the client to come back.
+            error = ServiceOverloaded(
+                f"no healthy chip for request {req.ticket.request_id}; "
+                "retry after cooldown",
+                retry_after_s=_RETRY_AFTER_MAX_S, qos=req.ticket.qos)
+        req.ticket._fail(error)

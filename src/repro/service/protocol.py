@@ -1,0 +1,101 @@
+"""Length-prefixed wire protocol for the compression job server.
+
+One request or response is two frames on the stream::
+
+    u32 header_len | header JSON (UTF-8) | u32 payload_len | payload
+
+Both length prefixes are big-endian unsigned 32-bit.  The header is a
+flat JSON object; the payload is the raw bytes being compressed /
+decompressed (or the result bytes on the way back).  Keeping metadata
+in JSON and bulk data out of it means no base64 blow-up and no parser
+in the hot path — the payload is spliced straight through.
+
+Request header fields: ``op`` ("compress" / "decompress" / "ping" /
+"stats" / "drain"), plus optional ``qos``, ``tenant``, ``fmt``,
+``strategy``, ``deadline_s``.
+
+Response header fields: ``status`` ("ok" / "rejected" / "error"),
+plus result metadata (``modelled_s``, ``queue_wait_s``, ``batch_size``)
+on success or ``error`` / ``retryable`` / ``retry_after_s`` on failure.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+from ..errors import DeflateError
+
+#: Frame length prefix: big-endian u32.
+_LEN = struct.Struct(">I")
+
+#: Refuse absurd frames before allocating for them (64 MiB headers /
+#: 1 GiB payloads are protocol corruption, not workload).
+MAX_HEADER_BYTES = 1 << 20
+MAX_PAYLOAD_BYTES = 1 << 30
+
+
+class ProtocolError(DeflateError):
+    """A malformed or oversized frame on the service socket."""
+
+
+def _recv_exact(sock: socket.socket, nbytes: int) -> bytes | None:
+    """Read exactly ``nbytes``; None on clean EOF at a frame boundary."""
+    chunks: list[bytes] = []
+    remaining = nbytes
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            if remaining == nbytes and not chunks:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({remaining} of "
+                f"{nbytes} bytes missing)")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_message(sock: socket.socket, header: dict,
+                 payload: bytes = b"") -> None:
+    """Write one header+payload message onto the socket."""
+    header_bytes = json.dumps(header, separators=(",", ":")).encode()
+    sock.sendall(_LEN.pack(len(header_bytes)) + header_bytes
+                 + _LEN.pack(len(payload)))
+    if payload:
+        sock.sendall(payload)
+
+
+def recv_message(sock: socket.socket) -> tuple[dict, bytes] | None:
+    """Read one message; None when the peer closed between messages."""
+    prefix = _recv_exact(sock, _LEN.size)
+    if prefix is None:
+        return None
+    (header_len,) = _LEN.unpack(prefix)
+    if header_len > MAX_HEADER_BYTES:
+        raise ProtocolError(f"header length {header_len} exceeds "
+                            f"{MAX_HEADER_BYTES}")
+    header_bytes = _recv_exact(sock, header_len)
+    if header_bytes is None:
+        raise ProtocolError("connection closed before header")
+    try:
+        header = json.loads(header_bytes)
+    except ValueError as exc:
+        raise ProtocolError(f"undecodable header: {exc}") from exc
+    if not isinstance(header, dict):
+        raise ProtocolError(f"header must be a JSON object, "
+                            f"got {type(header).__name__}")
+    prefix = _recv_exact(sock, _LEN.size)
+    if prefix is None:
+        raise ProtocolError("connection closed before payload length")
+    (payload_len,) = _LEN.unpack(prefix)
+    if payload_len > MAX_PAYLOAD_BYTES:
+        raise ProtocolError(f"payload length {payload_len} exceeds "
+                            f"{MAX_PAYLOAD_BYTES}")
+    payload = b""
+    if payload_len:
+        payload = _recv_exact(sock, payload_len)
+        if payload is None:
+            raise ProtocolError("connection closed before payload")
+    return header, payload

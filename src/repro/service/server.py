@@ -1,0 +1,133 @@
+"""TCP front end for :class:`~repro.service.core.CompressionService`.
+
+A :class:`ThreadingTCPServer` speaking the length-prefixed protocol of
+:mod:`repro.service.protocol`.  Each connection gets a handler thread
+that parses requests, submits them to the shared service (admission
+control, QoS, batching all happen there), and writes the response —
+so the socket layer adds connection handling and nothing else; every
+policy decision lives in the in-process service and is equally
+exercised by in-process callers and remote clients.
+
+Overload and failure map onto the wire as structured responses, never
+dropped connections: a shed request returns ``status: rejected`` with
+``retryable: true`` and the server's ``retry_after_s`` hint.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+
+from ..errors import ReproError, ServiceOverloaded
+from .core import CompressionService
+from .protocol import ProtocolError, recv_message, send_message
+
+#: Ops a connection may invoke; anything else is a protocol error.
+_OPS = ("compress", "decompress", "ping", "stats", "drain")
+
+
+class _Handler(socketserver.BaseRequestHandler):
+    """One connection: loop reading requests until the peer hangs up."""
+
+    def handle(self) -> None:
+        service: CompressionService = self.server.service
+        while True:
+            try:
+                message = recv_message(self.request)
+            except (ProtocolError, OSError):
+                return
+            if message is None:
+                return
+            header, payload = message
+            try:
+                response, body = self._serve(service, header, payload)
+            except OSError:
+                return
+            try:
+                send_message(self.request, response, body)
+            except OSError:
+                return
+
+    def _serve(self, service: CompressionService, header: dict,
+               payload: bytes) -> tuple[dict, bytes]:
+        op = header.get("op")
+        if op == "ping":
+            return {"status": "ok", "op": "ping"}, b""
+        if op == "stats":
+            stats = service.stats()
+            return {"status": "ok", "op": "stats",
+                    "stats": {
+                        "accepted": stats.accepted,
+                        "rejected": stats.rejected,
+                        "expired": stats.expired,
+                        "completed": stats.completed,
+                        "failed": stats.failed,
+                        "queued": stats.queued,
+                        "batches": stats.batches,
+                        "bytes_in": stats.bytes_in,
+                        "bytes_out": stats.bytes_out,
+                        "state": stats.state,
+                        "per_class": stats.per_class,
+                    }}, b""
+        if op == "drain":
+            # Drain in the background so this response still goes out.
+            threading.Thread(target=service.drain, daemon=True).start()
+            return {"status": "ok", "op": "drain"}, b""
+        if op not in ("compress", "decompress"):
+            return {"status": "error", "retryable": False,
+                    "error": f"unknown op {op!r}; have {_OPS}"}, b""
+        try:
+            ticket = service.submit(
+                op, payload,
+                fmt=header.get("fmt"),
+                strategy=header.get("strategy", "auto"),
+                qos=header.get("qos"),
+                tenant=header.get("tenant", ""),
+                deadline_s=header.get("deadline_s"))
+            result = ticket.wait(self.server.request_timeout_s)
+        except ServiceOverloaded as exc:
+            return {"status": "rejected", "retryable": True,
+                    "error": str(exc), "qos": exc.qos,
+                    "retry_after_s": exc.retry_after_s}, b""
+        except (ReproError, TimeoutError) as exc:
+            retryable = bool(getattr(exc, "retryable", False))
+            return {"status": "error", "retryable": retryable,
+                    "error": str(exc),
+                    "error_type": type(exc).__name__}, b""
+        return {"status": "ok", "op": op, "qos": result.qos,
+                "modelled_s": result.modelled_seconds,
+                "queue_wait_s": result.queue_wait_s,
+                "batch_size": result.batch_size}, result.output
+
+
+class CompressionServer(socketserver.ThreadingTCPServer):
+    """The TCP server; one shared service behind all connections."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: tuple[str, int],
+                 service: CompressionService,
+                 request_timeout_s: float = 60.0) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+        self.request_timeout_s = request_timeout_s
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+
+def serve(service: CompressionService, host: str = "127.0.0.1",
+          port: int = 0) -> CompressionServer:
+    """Bind and start serving on a background thread.
+
+    ``port=0`` picks an ephemeral port (read it back off ``.port``).
+    The caller owns shutdown: ``server.shutdown()`` stops the accept
+    loop, then drain/close the service.
+    """
+    server = CompressionServer((host, port), service)
+    thread = threading.Thread(target=server.serve_forever,
+                              name="repro-service-accept", daemon=True)
+    thread.start()
+    return server

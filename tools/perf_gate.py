@@ -25,6 +25,14 @@ The gate also bounds the telemetry layer: a fresh
 guard costing under ``--max-obs-overhead`` percent (default 2.0, the
 documented ceiling) on the deflate/inflate hot paths.  ``--skip-obs``
 omits that half; ``--obs-only`` runs nothing else.
+
+A third section holds the serving stack to a floor: a fresh
+``benchmarks/bench_e20_service_load.py`` run is gated against the
+committed ``BENCH_service.json`` with the same relative-floor rule as
+the hot paths (saturation throughput and accepted/s must not collapse).
+Latency metrics live outside the gated section — lower is better, so
+a floor would read improvements as regressions.  ``--skip-service`` /
+``--service-only`` / ``--fresh-service FILE`` mirror the obs flags.
 """
 
 from __future__ import annotations
@@ -37,6 +45,7 @@ import sys
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 BASELINE_PATH = REPO_ROOT / "BENCH_hotpath.json"
 OBS_BASELINE_PATH = REPO_ROOT / "BENCH_obs.json"
+SERVICE_BASELINE_PATH = REPO_ROOT / "BENCH_service.json"
 
 
 def gate(fresh: dict, baseline: dict, tolerance: float) -> list[str]:
@@ -85,6 +94,22 @@ def gate_obs(fresh: dict, max_overhead_pct: float) -> list[str]:
     return failures
 
 
+def gate_service(fresh: dict, baseline: dict,
+                 tolerance: float) -> list[str]:
+    """Relative floor on serving throughput, plus the overload bit.
+
+    Reuses the throughput floor rule; additionally a run that never
+    shed anything means the flood failed to saturate the admission
+    queues, so the measurement (and the shedding path) proved nothing.
+    """
+    failures = gate(fresh, baseline, tolerance)
+    if not fresh.get("shed", 0) > 0:
+        failures.append(
+            "service bench shed nothing: flood did not reach the "
+            "admission limit, shedding path unexercised")
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--tolerance", type=float, default=0.5,
@@ -107,16 +132,34 @@ def main(argv: list[str] | None = None) -> int:
                         help="skip the telemetry-overhead half")
     parser.add_argument("--obs-only", action="store_true",
                         help="only gate the telemetry overhead")
+    parser.add_argument("--service-baseline", type=pathlib.Path,
+                        default=SERVICE_BASELINE_PATH,
+                        help="committed service baseline JSON "
+                             "(default repo root)")
+    parser.add_argument("--fresh-service", type=pathlib.Path,
+                        default=None,
+                        help="gate this service report instead of running "
+                             "the load bench")
+    parser.add_argument("--skip-service", action="store_true",
+                        help="skip the serving-stack section")
+    parser.add_argument("--service-only", action="store_true",
+                        help="only gate the serving stack")
     args = parser.parse_args(argv)
 
     if not 0.0 <= args.tolerance < 1.0:
         parser.error("--tolerance must be in [0, 1)")
     if args.skip_obs and args.obs_only:
         parser.error("--skip-obs and --obs-only are mutually exclusive")
+    if args.skip_service and args.service_only:
+        parser.error("--skip-service and --service-only are "
+                     "mutually exclusive")
+    if args.obs_only and args.service_only:
+        parser.error("--obs-only and --service-only are "
+                     "mutually exclusive")
     sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
     failures: list[str] = []
-    if not args.obs_only:
+    if not (args.obs_only or args.service_only):
         if not args.baseline.exists():
             print(f"perf gate: no baseline at {args.baseline}; "
                   "nothing to gate")
@@ -135,7 +178,7 @@ def main(argv: list[str] | None = None) -> int:
                     print(f"  {key:24s} {value:10.3f} MB/s  "
                           f"(committed {base:.3f})")
 
-    if not args.skip_obs:
+    if not args.skip_obs and not args.service_only:
         if args.fresh_obs is not None:
             fresh_obs = json.loads(args.fresh_obs.read_text())
         else:
@@ -146,6 +189,32 @@ def main(argv: list[str] | None = None) -> int:
             if key.endswith("_off_overhead_pct"):
                 print(f"  {key:32s} {value:8.3f} %  "
                       f"(ceiling {args.max_obs_overhead:.1f} %)")
+
+    if not args.skip_service and not args.obs_only:
+        if not args.service_baseline.exists():
+            print(f"perf gate: no service baseline at "
+                  f"{args.service_baseline}; nothing to gate")
+        else:
+            service_baseline = json.loads(
+                args.service_baseline.read_text())
+            if args.fresh_service is not None:
+                fresh_service = json.loads(
+                    args.fresh_service.read_text())
+            else:
+                from bench_e20_service_load import (
+                    run_bench as run_service_bench,
+                )
+                fresh_service = run_service_bench(quick=args.quick)
+            failures += gate_service(fresh_service, service_baseline,
+                                     args.tolerance)
+            for key, value in fresh_service.get("results", {}).items():
+                base = service_baseline.get("results", {}).get(key)
+                if isinstance(value, (int, float)) \
+                        and isinstance(base, (int, float)):
+                    print(f"  service {key:20s} {value:10.3f}  "
+                          f"(committed {base:.3f})")
+            print(f"  service shed {fresh_service.get('shed', 0)} of "
+                  f"{fresh_service.get('offered', 0)} offered")
 
     if failures:
         print("perf gate FAILED:")

@@ -1,0 +1,127 @@
+"""CI smoke test for the compression-as-a-service layer.
+
+Starts a :class:`CompressionServer` on an ephemeral port, drives
+concurrent round trips across every default QoS class through the wire
+protocol, exercises a structured rejection against a tiny queue, and
+finishes with a clean drain.  Functional coverage lives in
+``tests/test_service.py``; this script is the end-to-end "does the
+server actually serve over a socket" bit for CI.
+
+Usage::
+
+    PYTHONPATH=src python tools/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import gzip
+import threading
+
+from repro.errors import ServiceOverloaded
+from repro.service import (
+    CompressionService,
+    QosClass,
+    QosPolicy,
+    ServiceClient,
+    serve,
+)
+from repro.workloads.generators import generate
+
+CLIENTS = 6
+ROUND_TRIPS = 4
+
+
+def _round_trips(port: int, failures: list[str]) -> None:
+    classes = ("interactive", "batch", "bulk")
+    try:
+        with ServiceClient("127.0.0.1", port) as client:
+            if not client.ping():
+                failures.append("ping did not return ok")
+                return
+            for i in range(ROUND_TRIPS):
+                qos = classes[i % len(classes)]
+                payload = generate("json_records", 4096, seed=100 + i)
+                result = client.request("compress", payload, qos=qos)
+                if gzip.decompress(result.output) != payload:
+                    failures.append(f"wrong bytes for qos={qos}")
+                if result.qos != qos:
+                    failures.append(
+                        f"qos echo mismatch: {result.qos} != {qos}")
+                back = client.request("decompress", result.output,
+                                      qos=qos)
+                if back.output != payload:
+                    failures.append(f"decompress mismatch for {qos}")
+    except Exception as exc:  # noqa: BLE001 - smoke reports, not raises
+        failures.append(f"client crashed: {exc!r}")
+
+
+def main() -> int:
+    # Part 1: concurrent round trips across all default QoS classes.
+    with CompressionService(chips=2) as service:
+        server = serve(service, port=0)
+        try:
+            failures: list[str] = []
+            threads = [
+                threading.Thread(target=_round_trips,
+                                 args=(server.port, failures))
+                for _ in range(CLIENTS)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            if failures:
+                print("service smoke FAILED:")
+                for failure in failures[:10]:
+                    print(f"  {failure}")
+                return 1
+            stats = service.stats()
+            expected = CLIENTS * ROUND_TRIPS * 2  # compress + decompress
+            if stats.completed != expected:
+                print(f"service smoke FAILED: completed "
+                      f"{stats.completed} != {expected}")
+                return 1
+        finally:
+            server.shutdown()
+
+    # Part 2: a tiny queue sheds with a structured, retryable rejection.
+    tight = QosPolicy((
+        QosClass("interactive", fifo="high", rank=0, queue_limit=1,
+                 max_batch=1),
+    ))
+    payload = generate("json_records", 4096, seed=7)
+    with CompressionService(chips=1, qos=tight) as service:
+        tickets = []
+        shed = 0
+        for _ in range(24):
+            try:
+                tickets.append(service.submit("compress", payload,
+                                              qos="interactive"))
+            except ServiceOverloaded as exc:
+                if not exc.retryable or exc.retry_after_s <= 0:
+                    print("service smoke FAILED: rejection not "
+                          "retryable with a retry-after hint")
+                    return 1
+                shed += 1
+        for ticket in tickets:
+            out = ticket.wait(60)
+            if gzip.decompress(out.output) != payload:
+                print("service smoke FAILED: wrong bytes post-shed")
+                return 1
+        if shed == 0:
+            print("service smoke FAILED: tiny queue never shed")
+            return 1
+        # Part 3: clean drain — backlog empty, then closed for business.
+        service.drain(timeout_s=30)
+        if service.stats().in_service != 0:
+            print("service smoke FAILED: drain left work in service")
+            return 1
+
+    print(f"service smoke passed: {expected} round trips over the "
+          f"wire across {CLIENTS} clients, {shed} retryable "
+          "rejections, clean drain")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
