@@ -4,4 +4,8 @@ import sys
 
 from .cli import main
 
-sys.exit(main())
+# The guard matters: the process execution layer's spawn-started
+# workers re-import this module as ``__mp_main__``, which must not
+# re-run the CLI inside every worker.
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,11 +36,12 @@ part — a shared accelerator fails *per request*, never per tenant):
 
 from __future__ import annotations
 
+import itertools
 import threading
 from dataclasses import dataclass, field
 
 from ..errors import (AcceleratorError, ChipUnavailable, ConfigError,
-                      DeadlineExceeded)
+                      DeadlineExceeded, ExecError, WorkerCrash)
 from ..nx.params import POWER9, MachineParams, Topology, get_machine
 from ..obs.metrics import REGISTRY as _REGISTRY
 from ..obs.trace import TRACE as _TRACE
@@ -63,6 +64,11 @@ SOFTWARE = -1
 #: E16's finding: a few in-flight requests saturate one engine (depth 4
 #: reaches full utilisation on 64 KB jobs); deeper batches only queue.
 SATURATION_DEPTH = 4
+
+#: How long a blocking exec drain tolerates *zero* completions before
+#: declaring unresolved jobs orphaned (worker died in its claim window)
+#: and rescuing them; any progress restarts the window.
+_EXEC_ORPHAN_TIMEOUT_S = 10.0
 
 
 def _hardware_clean(result: DriverResult) -> bool:
@@ -100,6 +106,41 @@ class PoolStats:
     verify_failures: int = 0
     breaker_opens: int = 0
     breaker_states: tuple[str, ...] = ()
+
+
+class _ExecPending:
+    """Adapter giving an exec-layer job the driver-pending interface.
+
+    :meth:`AcceleratorPool._finish_pending` consumes driver pendings
+    (``sequence``/``done``/``result``/``error``); wrapping a
+    :class:`~repro.exec.pool.ExecJob` in the same shape lets jobs that
+    ran in a pool worker flow through the *identical* completion path —
+    rescue, breaker accounting, verify-after-compress — as jobs the
+    async hardware drivers resolved.
+    """
+
+    __slots__ = ("sequence", "exec_job", "src_slab", "out_slab",
+                 "result", "error", "nbytes", "kind", "poisoned")
+
+    def __init__(self, sequence: str, exec_job,
+                 src_slab, out_slab) -> None:
+        self.sequence = sequence
+        self.exec_job = exec_job
+        self.src_slab = src_slab
+        self.out_slab = out_slab
+        self.result: DriverResult | None = None
+        self.error: Exception | None = None
+        #: An orphan-failed job's task may still sit in the shared queue;
+        #: its slabs must be unlinked, never recycled, or a worker could
+        #: eventually run the stale task and scribble over whichever job
+        #: reused them.  Unlinking is safe: names are never reissued, so
+        #: the stale run hits FileNotFoundError (or a dead mapping) and
+        #: its completion is ignored.
+        self.poisoned = False
+
+    @property
+    def done(self) -> bool:
+        return self.result is not None or self.error is not None
 
 
 @dataclass
@@ -140,6 +181,8 @@ class AcceleratorPool:
                  health: HealthConfig | None = None,
                  verify: bool = False,
                  allow_software_rescue: bool = True,
+                 exec_workers: int | None = None,
+                 exec_pool=None,
                  **backend_kwargs) -> None:
         if isinstance(machine, str):
             machine = get_machine(machine)
@@ -167,8 +210,15 @@ class AcceleratorPool:
         self.rescues = 0
         self.verify_failures = 0
         self._open: list[PoolJob] = []
-        self._by_pending: dict[tuple[int, int], PoolJob] = {}
+        self._by_pending: dict[tuple[int, object], PoolJob] = {}
         self._next_index = 0
+        # Process-based execution of batch submits on synchronous
+        # backends: opt-in via exec_workers (shared warm pool) or an
+        # explicitly provided exec_pool.
+        self.exec_workers = exec_workers
+        self._exec_pool = exec_pool
+        self._exec_seq = itertools.count(1)
+        self._exec_open: list[tuple[int, _ExecPending]] = []
         self._lock = threading.Lock()
         # One lock per chip handle (plus software): a chip's send window
         # serves one request context at a time, so concurrent callers
@@ -465,6 +515,19 @@ class AcceleratorPool:
             # fallback on a wedged window, deadline, permanent CC).
             if pending.done:
                 self._finish_pending(chip, pending)
+        elif (chip != SOFTWARE and isinstance(strategy, str)
+                and self._exec() is not None):
+            # Synchronous backend + execution layer: the job runs in a
+            # pool worker process and resolves through the same
+            # _finish_pending path as driver completions, so rescue,
+            # breakers, and verify behave identically.
+            pending = self._submit_exec(chip, kind, data, strategy, fmt,
+                                        deadline_s)
+            with self._lock:
+                self._pending_bytes[chip] += len(data)
+                self._by_pending[(chip, pending.sequence)] = job
+                self._exec_open.append((chip, pending))
+            self._publish_in_flight()
         else:
             with self._op_lock(chip):
                 if kind == "compress":
@@ -512,6 +575,141 @@ class AcceleratorPool:
                                             job.result)
         return job
 
+    # -- process-based execution of sync-backend batches ---------------------
+
+    @property
+    def exec_enabled(self) -> bool:
+        """Whether batch submits may run on the process execution layer."""
+        return self.exec_workers is not None or self._exec_pool is not None
+
+    def _exec(self):
+        """The execution pool serving this AcceleratorPool, if enabled."""
+        if self.exec_workers is None and self._exec_pool is None:
+            return None
+        from ..exec.worker import in_worker
+        if in_worker():
+            return None
+        if self._exec_pool is None or self._exec_pool.closed \
+                or self._exec_pool.broken:
+            from ..exec.pool import get_default_pool
+            try:
+                self._exec_pool = get_default_pool(self.exec_workers)
+            except ExecError:
+                return None
+        return self._exec_pool
+
+    def _submit_exec(self, chip: int, kind: str, data: bytes,
+                     strategy: str, fmt: str,
+                     deadline_s: float | None) -> _ExecPending:
+        """Ship one job to a pool worker; payload via shared memory."""
+        pool = self._exec_pool
+        allocator = pool.allocator
+        src_slab = allocator.acquire(max(1, len(data)))
+        src_slab.write(0, data)
+        out_slab = None
+        out = None
+        if kind == "compress":
+            # Compressed output fits input + slack; decompressed output
+            # is unbounded, so it rides back inline instead.
+            cap = len(data) + len(data) // 4 + 256
+            out_slab = allocator.acquire(cap)
+            out = (out_slab.name, 0, cap)
+        exec_job = pool.submit(
+            "backend_job",
+            span_parent=_TRACE.current(),
+            backend=self.backend_name,
+            machine=self.machine.name,
+            backend_kwargs=self._backend_kwargs,
+            kind=kind, fmt=fmt, strategy=strategy,
+            deadline_s=deadline_s,
+            src=(src_slab.name, 0, len(data)),
+            out=out)
+        pending = _ExecPending(f"exec:{next(self._exec_seq)}", exec_job,
+                               src_slab, out_slab)
+        pending.nbytes = len(data)
+        pending.kind = kind
+        return pending
+
+    def _resolve_exec(self, chip: int, pending: _ExecPending) -> None:
+        """Translate a finished exec job into a pending result/error."""
+        exec_job = pending.exec_job
+        try:
+            if exec_job.error is not None:
+                pending.error = exec_job.error
+            elif exec_job.result is None:
+                pending.error = ExecError(
+                    "exec job resolved with neither result nor error")
+            else:
+                record = exec_job.result
+                output = record.get("inline")
+                if output is None:
+                    output = pending.out_slab.read(0, record["n"])
+                pending.result = DriverResult(output=output, csb=None,
+                                              stats=record["stats"])
+                # The worker instance's accounting died with the job's
+                # process; record once against the parent-side instance
+                # so BackendStats and the registry stay truthful.
+                self.backend_for(chip)._record(pending.result,
+                                               pending.nbytes,
+                                               pending.kind)
+        finally:
+            allocator = self._exec_pool.allocator
+            for slab in (pending.src_slab, pending.out_slab):
+                if slab is None:
+                    continue
+                if pending.poisoned:
+                    slab.destroy()
+                else:
+                    allocator.release(slab)
+
+    def _drain_exec(self, block: bool) -> list[PoolJob]:
+        """Resolve finished exec jobs through the completion path.
+
+        The execution pool is shared (parallel_deflate batches ride the
+        same fleet), so this never trusts the pool's own returned job
+        lists — it polls the pool, then checks *its* handles.
+        """
+        with self._lock:
+            open_pendings = list(self._exec_open)
+        pool = self._exec_pool
+        if pool is None or not open_pendings:
+            return []
+        if block:
+            # A worker killed between popping a task and writing its
+            # claim record leaves a job nothing will ever resolve.  A
+            # stalled *total* wait can't distinguish that from a long
+            # queue, so the orphan verdict is progress-based: only when
+            # no handle at all resolves for the full window are the
+            # stragglers failed (rescue then recomputes them).
+            handles = [pending.exec_job for _, pending in open_pendings]
+            while any(not job.done for job in handles):
+                done_before = sum(1 for job in handles if job.done)
+                try:
+                    pool.wait([job for job in handles if not job.done],
+                              timeout_s=_EXEC_ORPHAN_TIMEOUT_S)
+                except TimeoutError:
+                    if sum(1 for job in handles
+                           if job.done) > done_before:
+                        continue  # progress: not orphaned, keep waiting
+                    for _, pending in open_pendings:
+                        if not pending.exec_job.done:
+                            pending.poisoned = True
+                            pool.fail_job(pending.exec_job, WorkerCrash(
+                                "job orphaned by a dying worker"))
+        else:
+            pool.poll()
+        finished: list[PoolJob] = []
+        for chip, pending in open_pendings:
+            if not pending.exec_job.done:
+                continue
+            self._resolve_exec(chip, pending)
+            with self._lock:
+                self._exec_open.remove((chip, pending))
+            job = self._finish_pending(chip, pending)
+            if job is not None:
+                finished.append(job)
+        return finished
+
     def poll(self) -> list[PoolJob]:
         """Drain every chip once; returns jobs that resolved."""
         finished: list[PoolJob] = []
@@ -524,6 +722,7 @@ class AcceleratorPool:
                 job = self._finish_pending(chip, pending)
                 if job is not None:
                     finished.append(job)
+        finished.extend(self._drain_exec(block=False))
         if finished:
             self._publish_in_flight()
         return finished
@@ -543,6 +742,7 @@ class AcceleratorPool:
                 resolved = instance.wait_all()
             for pending in resolved:
                 self._finish_pending(chip, pending)
+        self._drain_exec(block=True)
         with self._lock:
             results = [job.result for job in self._open]
             self._open = []
@@ -573,6 +773,9 @@ class AcceleratorPool:
                 job = self._finish_pending(chip, pending)
                 if job is not None:
                     resolved.append(job)
+        # Exec jobs are CPU work already running in a worker, not wedged
+        # hardware: drain them to completion rather than abandoning.
+        resolved.extend(self._drain_exec(block=True))
         if resolved:
             self._publish_in_flight()
         return resolved

@@ -89,6 +89,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_comp.add_argument("--deadline-ms", type=float, default=None,
                         help="per-job deadline in modelled milliseconds "
                              "(bounds retry/wait time)")
+    p_comp.add_argument("--parallel-workers", type=int, default=None,
+                        help="compress on N worker processes (pigz "
+                             "model; implies the software-parallel "
+                             "backend, output is byte-identical for "
+                             "every worker count)")
+    p_comp.add_argument("--chunk-size", type=int, default=None,
+                        help="bytes per parallel chunk (default 128 KiB; "
+                             "only with --parallel-workers)")
     _add_machine_arg(p_comp)
     _add_backend_args(p_comp, pool=True)
 
@@ -152,6 +160,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--clients", type=int, default=4,
                          help="concurrent client threads for "
                               "--under-load (default: 4)")
+    p_chaos.add_argument("--exec-workers", type=int, default=None,
+                         help="with --under-load: run jobs on N pool "
+                              "worker processes and kill workers "
+                              "mid-run instead of injecting modelled "
+                              "faults (crash-recovery integrity check)")
     _add_machine_arg(p_chaos)
 
     p_serve = sub.add_parser(
@@ -170,6 +183,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--duration-s", type=float, default=None,
                          help="serve for N seconds then drain and exit "
                               "(default: until interrupted)")
+    p_serve.add_argument("--exec-workers", type=int, default=None,
+                         help="run served jobs on N persistent worker "
+                              "processes (zero-copy shared-memory "
+                              "payloads; the dispatcher stays an I/O "
+                              "loop)")
     _add_machine_arg(p_serve)
     _add_backend_args(p_serve)
 
@@ -215,12 +233,27 @@ def _run_session(args: argparse.Namespace, kind: str,
         raise ReproError(f"--pool-chips must be >= 1, got {args.pool_chips}")
     deadline_ms = getattr(args, "deadline_ms", None)
     deadline_s = deadline_ms * 1e-3 if deadline_ms is not None else None
+    backend = args.backend
+    backend_kwargs: dict[str, int] = {}
+    workers = getattr(args, "parallel_workers", None)
+    chunk_size = getattr(args, "chunk_size", None)
+    if workers is not None or chunk_size is not None:
+        backend = backend or "software-parallel"
+        if backend != "software-parallel":
+            raise ReproError(
+                "--parallel-workers/--chunk-size configure the "
+                f"software-parallel backend, not {backend!r}")
+        if workers is not None:
+            backend_kwargs["workers"] = workers
+        if chunk_size is not None:
+            backend_kwargs["chunk_size"] = chunk_size
     with AcceleratorPool(args.machine,
                          chips=getattr(args, "pool_chips", 1),
                          policy=getattr(args, "pool_policy",
                                         "round_robin"),
-                         backend=args.backend or "nx",
-                         verify=getattr(args, "verify", False)) as pool:
+                         backend=backend or "nx",
+                         verify=getattr(args, "verify", False),
+                         **backend_kwargs) as pool:
         if kind == "compress":
             result = pool.compress(data, strategy=args.strategy,
                                    fmt=args.fmt, deadline_s=deadline_s)
@@ -392,7 +425,9 @@ def _cmd_chaos_under_load(args: argparse.Namespace) -> int:
     result = run_service_scenario(
         seed=args.seed, jobs=args.jobs, chips=args.chips,
         machine=args.machine, max_size=args.max_size,
-        clients=args.clients, scenario=args.scenario)
+        clients=args.clients, scenario=args.scenario,
+        backend="software" if args.exec_workers else "nx",
+        exec_workers=args.exec_workers)
     print(result.render())
     return 0 if result.survived else 1
 
@@ -405,7 +440,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     service = CompressionService(machine=args.machine, chips=args.chips,
                                  policy=args.policy,
                                  backend=args.backend,
-                                 verify=args.verify)
+                                 verify=args.verify,
+                                 exec_workers=args.exec_workers)
     server = serve(service, host=args.host, port=args.port)
     print(f"serving on {args.host}:{server.port} "
           f"(machine {args.machine}, {args.chips} chip(s), "

@@ -69,6 +69,26 @@ class IntegrityError(ReproError):
     """Verify-after-compress found output that does not round-trip."""
 
 
+class ExecError(AcceleratorError):
+    """The process-based execution layer failed a job or a request."""
+
+
+class WorkerCrash(ExecError):
+    """A pool worker process died while (or before) running a job.
+
+    Derives from :class:`AcceleratorError` so the accelerator pool's
+    rescue machinery treats a crashed worker exactly like a failed
+    chip: the job reruns on the calling core and the caller still gets
+    correct bytes.
+    """
+
+    def __init__(self, message: str, worker: int | None = None,
+                 exitcode: int | None = None) -> None:
+        super().__init__(message)
+        self.worker = worker
+        self.exitcode = exitcode
+
+
 class ServiceError(ReproError):
     """The compression service rejected or failed a request."""
 

@@ -1,0 +1,24 @@
+"""Process-based execution layer: warm worker pools + shared-memory slabs.
+
+The seams above (``deflate/parallel``, the backend pool, the service
+dispatcher) submit jobs here instead of spinning up per-call process
+pools.  See DESIGN.md "Execution layer" for ownership and failure
+semantics.
+"""
+
+from .pool import (ExecJob, ProcessWorkerPool, get_default_pool,
+                   shutdown_default_pool)
+from .shm import Slab, SlabAllocator, live_segments
+from .worker import in_worker, register_worker_fn
+
+__all__ = [
+    "ExecJob",
+    "ProcessWorkerPool",
+    "Slab",
+    "SlabAllocator",
+    "get_default_pool",
+    "in_worker",
+    "live_segments",
+    "register_worker_fn",
+    "shutdown_default_pool",
+]

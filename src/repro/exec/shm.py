@@ -1,0 +1,207 @@
+"""Shared-memory slabs: zero-copy buffers across the process boundary.
+
+The process-based execution layer moves job payloads through
+``multiprocessing.shared_memory`` segments ("slabs") instead of pickling
+them through pipes: the parent writes source bytes into a slab once,
+workers attach the segment by name and slice it, and results come back
+the same way.  A job descriptor then carries only ``(name, offset,
+length)`` triples — a few dozen bytes regardless of payload size — so
+the per-job IPC cost is constant.
+
+Ownership is strictly parent-side:
+
+* only the parent ever *creates* (and ultimately *unlinks*) a slab;
+* workers only ever *attach* and must never unlink — :func:`attach`
+  un-registers the mapping from the worker's ``resource_tracker`` so an
+  exiting worker cannot destroy a segment the parent still uses (the
+  CPython < 3.13 tracker registers attachments too, gh-82300);
+* every live parent-owned slab is tracked in a module-level table;
+  :func:`live_segments` is what the test suite's leak fixture asserts
+  empty after the pools shut down.
+
+:class:`SlabAllocator` keeps released slabs on a size-bucketed free
+list, so a warm pool reuses the same few segments (same names) across
+calls instead of churning ``shm_open``/``mmap`` per job.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import threading
+from multiprocessing import resource_tracker, shared_memory
+
+#: Slab names: ``repro-exec-<pid>-<serial>`` so a leak is attributable
+#: to its creating process and test runs can scan /dev/shm for them.
+_NAME_PREFIX = "repro-exec"
+
+#: Smallest slab ever allocated; requests are rounded up to powers of
+#: two above this so the free list buckets stay few and reusable.
+MIN_SLAB_BYTES = 1 << 16
+
+#: Parent-owned live slabs by name (creation side only).
+_LIVE: dict[str, "Slab"] = {}
+_LIVE_LOCK = threading.Lock()
+_SERIAL = [0]
+
+#: Worker-side attachment cache: segment names recur (the allocator
+#: reuses slabs), so each worker maps a segment at most once.
+_ATTACHED: dict[str, shared_memory.SharedMemory] = {}
+
+
+def _next_name() -> str:
+    with _LIVE_LOCK:
+        _SERIAL[0] += 1
+        return f"{_NAME_PREFIX}-{os.getpid()}-{_SERIAL[0]}"
+
+
+class Slab:
+    """One parent-owned shared-memory segment."""
+
+    __slots__ = ("shm", "capacity")
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.shm = shared_memory.SharedMemory(
+            name=_next_name(), create=True, size=capacity)
+        with _LIVE_LOCK:
+            _LIVE[self.shm.name] = self
+
+    @property
+    def name(self) -> str:
+        return self.shm.name
+
+    @property
+    def buf(self) -> memoryview:
+        return self.shm.buf
+
+    def write(self, offset: int, data: bytes) -> None:
+        self.shm.buf[offset:offset + len(data)] = data
+
+    def read(self, offset: int, length: int) -> bytes:
+        return bytes(self.shm.buf[offset:offset + length])
+
+    def destroy(self) -> None:
+        """Unmap and unlink; idempotent."""
+        with _LIVE_LOCK:
+            _LIVE.pop(self.shm.name, None)
+        try:
+            self.shm.close()
+            self.shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Slab({self.name!r}, {self.capacity} bytes)"
+
+
+def live_segments() -> tuple[str, ...]:
+    """Names of every parent-owned slab still mapped (leak check)."""
+    with _LIVE_LOCK:
+        return tuple(sorted(_LIVE))
+
+
+def destroy_all() -> None:
+    """Unlink every tracked slab (interpreter-exit safety net)."""
+    with _LIVE_LOCK:
+        slabs = list(_LIVE.values())
+    for slab in slabs:
+        slab.destroy()
+
+
+atexit.register(destroy_all)
+
+
+def attach(name: str) -> shared_memory.SharedMemory:
+    """Worker-side: map a parent-owned segment by name (cached).
+
+    The attachment is *not* registered with the ``resource_tracker``:
+    the parent owns the segment's lifetime, and on CPython < 3.13 a
+    tracked attachment would be unlinked out from under the parent when
+    the tracker decides it leaked (gh-82300).  Workers share the
+    parent's tracker daemon, so registration is suppressed up front
+    rather than undone after — an un-register would erase the *parent's*
+    cache entry for the same name.  (CPython 3.13+ exposes this as
+    ``SharedMemory(..., track=False)``.)
+    """
+    seg = _ATTACHED.get(name)
+    if seg is None:
+        original_register = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            seg = shared_memory.SharedMemory(name=name, create=False)
+        finally:
+            resource_tracker.register = original_register
+        _ATTACHED[name] = seg
+        if len(_ATTACHED) > 64:
+            # Names recur via the free list, so the cache stays tiny in
+            # practice; bound it anyway against pathological churn.
+            stale = next(iter(_ATTACHED))
+            if stale != name:
+                _ATTACHED.pop(stale).close()
+    return seg
+
+
+def detach_all() -> None:
+    """Worker-side: unmap every cached attachment (worker exit)."""
+    while _ATTACHED:
+        _, seg = _ATTACHED.popitem()
+        try:
+            seg.close()
+        except Exception:  # pragma: no cover
+            pass
+
+
+def _round_capacity(nbytes: int) -> int:
+    cap = MIN_SLAB_BYTES
+    while cap < nbytes:
+        cap <<= 1
+    return cap
+
+
+class SlabAllocator:
+    """Size-bucketed free list of parent-owned slabs.
+
+    ``acquire`` returns a slab of at least the requested size (capacity
+    rounded up to a power of two); ``release`` parks it for reuse.  The
+    allocator caps how many bytes it keeps parked — beyond that,
+    released slabs are unlinked instead of hoarded.
+    """
+
+    def __init__(self, max_retained_bytes: int = 256 << 20) -> None:
+        self.max_retained_bytes = max_retained_bytes
+        self._free: dict[int, list[Slab]] = {}
+        self._retained = 0
+        self._lock = threading.Lock()
+
+    def acquire(self, nbytes: int) -> Slab:
+        cap = _round_capacity(max(1, nbytes))
+        with self._lock:
+            bucket = self._free.get(cap)
+            if bucket:
+                slab = bucket.pop()
+                self._retained -= slab.capacity
+                return slab
+        return Slab(cap)
+
+    def release(self, slab: Slab) -> None:
+        with self._lock:
+            if self._retained + slab.capacity <= self.max_retained_bytes:
+                self._free.setdefault(slab.capacity, []).append(slab)
+                self._retained += slab.capacity
+                return
+        slab.destroy()
+
+    def close(self) -> None:
+        """Unlink every parked slab (pool shutdown)."""
+        with self._lock:
+            slabs = [s for bucket in self._free.values() for s in bucket]
+            self._free = {}
+            self._retained = 0
+        for slab in slabs:
+            slab.destroy()
+
+    @property
+    def retained_bytes(self) -> int:
+        with self._lock:
+            return self._retained

@@ -1,0 +1,246 @@
+"""Worker-process side of the execution layer.
+
+Everything here is **spawn-safe**: :func:`worker_main` and every job
+function are module-level callables resolved by name, so a worker
+started with any ``multiprocessing`` start method (``spawn``, ``fork``,
+``forkserver``) can import this module and run jobs without the parent
+pickling code objects.
+
+Job functions are published in a string-keyed registry (the same lazy
+``"module:attr"`` convention as the backend registry) so a worker only
+imports the layers it actually executes.  A task is ``(job_id, fn_name,
+args, kwargs, opts)``; the worker answers with
+
+* ``("claim", worker_id, job_id)`` the moment it picks the task up —
+  written *before* execution so the parent can attribute a mid-job
+  crash to exactly one job;
+* ``("done", job_id, result, spans, metrics)`` or
+  ``("err", job_id, exception, spans, metrics)`` when it finishes.
+
+Telemetry does not vanish inside workers: when the parent's tracer (or
+a job's opts) asks for it, the job runs under this process's own
+tracer/metrics registry and the finished span dicts plus a metrics
+snapshot ride back on the completion record, where the parent folds
+them into its process-global collectors
+(:meth:`~repro.obs.trace.Tracer.fold`,
+:meth:`~repro.obs.metrics.MetricsRegistry.merge_snapshot`).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+import time
+import traceback
+from importlib import import_module
+from typing import Callable
+
+from ..errors import ExecError
+from ..obs.metrics import REGISTRY as _REGISTRY
+from ..obs.trace import TRACE as _TRACE
+from . import shm
+
+#: True inside a pool worker process; layers that would otherwise
+#: recurse into the pool (``parallel_deflate``) check this and run
+#: inline instead.
+_IN_WORKER = False
+
+
+def in_worker() -> bool:
+    """Is this process an execution-layer worker?"""
+    return _IN_WORKER
+
+
+#: Job-function registry: name -> callable or lazy "module:attr" spec.
+_WORKER_FNS: dict[str, Callable | str] = {
+    "echo": "repro.exec.worker:echo",
+    "crash": "repro.exec.worker:crash",
+    "backend_job": "repro.exec.worker:backend_job",
+    "deflate_chunk": "repro.deflate.parallel:deflate_chunk_job",
+}
+
+
+def register_worker_fn(name: str, fn: Callable | str,
+                       replace: bool = False) -> None:
+    """Publish a job function under ``name`` (both pool sides)."""
+    if not replace and name in _WORKER_FNS:
+        raise ExecError(f"worker fn {name!r} already registered")
+    _WORKER_FNS[name] = fn
+
+
+def resolve_worker_fn(name: str) -> Callable:
+    try:
+        fn = _WORKER_FNS[name]
+    except KeyError:
+        raise ExecError(f"unknown worker fn {name!r}; "
+                        f"have {sorted(_WORKER_FNS)}") from None
+    if isinstance(fn, str):
+        module_name, _, attr = fn.partition(":")
+        fn = getattr(import_module(module_name), attr)
+        _WORKER_FNS[name] = fn
+    return fn
+
+
+# -- built-in job functions --------------------------------------------------
+
+def echo(value: object = None) -> object:
+    """Round-trip probe: returns its argument (pool health checks)."""
+    return value
+
+
+def crash(exitcode: int = 13) -> None:
+    """Kill this worker mid-job (crash-recovery tests and chaos)."""
+    os._exit(exitcode)
+
+
+#: Worker-side backend cache: one instance per (backend, machine,
+#: kwargs) so a warm worker amortises driver-stack construction the
+#: same way the pool's lazily created per-chip instances do.
+_BACKENDS: dict[tuple, object] = {}
+
+
+def backend_job(*, backend: str, machine: str, backend_kwargs: dict,
+                kind: str, fmt: str, strategy: str = "auto",
+                history: bytes = b"", final: bool = True,
+                deadline_s: float | None = None,
+                src: tuple[str, int, int] | None = None,
+                data: bytes | None = None,
+                out: tuple[str, int, int] | None = None) -> dict:
+    """Run one backend compress/decompress in this worker.
+
+    The payload arrives as a shared-memory reference ``src = (slab,
+    offset, length)`` (or inline ``data`` for tiny jobs); the output is
+    written into the parent-owned ``out = (slab, offset, capacity)``
+    region when it fits, otherwise it rides inline on the completion
+    record.  Returns ``{"n", "stats", "inline"?}``.
+    """
+    from ..backend.registry import create_backend
+
+    key = (backend, machine, tuple(sorted(backend_kwargs.items())))
+    instance = _BACKENDS.get(key)
+    if instance is None:
+        instance = _BACKENDS[key] = create_backend(
+            backend, machine=machine, **backend_kwargs)
+    if data is None:
+        name, offset, length = src
+        data = bytes(shm.attach(name).buf[offset:offset + length])
+    if kind == "compress":
+        result = instance.compress(data, strategy=strategy, fmt=fmt,
+                                   history=history, final=final,
+                                   deadline_s=deadline_s)
+    else:
+        result = instance.decompress(data, fmt=fmt, history=history,
+                                     deadline_s=deadline_s)
+    output = result.output
+    record: dict = {"n": len(output), "stats": result.stats}
+    if out is not None and len(output) <= out[2]:
+        name, offset, _cap = out
+        shm.attach(name).buf[offset:offset + len(output)] = output
+    else:
+        record["inline"] = output
+    return record
+
+
+# -- telemetry capture -------------------------------------------------------
+
+def _run_traced(fn: Callable, args: tuple, kwargs: dict,
+                opts: dict) -> tuple[object, BaseException | None,
+                                     list | None, dict | None]:
+    """Execute one job, capturing this process's spans and metrics.
+
+    The worker's *global* tracer/registry are enabled for the duration
+    so the ordinary ``TRACE.enabled`` guards inside the kernels fire;
+    both are reset afterwards, leaving nothing behind between jobs.
+    """
+    want_trace = bool(opts.get("trace"))
+    want_metrics = bool(opts.get("metrics"))
+    if want_trace:
+        _TRACE.reset()
+        _TRACE.enable()
+    if want_metrics:
+        _REGISTRY.reset()
+        _REGISTRY.enabled = True
+    result: object = None
+    error: BaseException | None = None
+    try:
+        result = fn(*args, **kwargs)
+    except BaseException as exc:
+        error = exc
+    spans = metrics = None
+    if want_trace:
+        _TRACE.disable()
+        spans = [span.to_dict() for span in _TRACE.finished()]
+        _TRACE.reset()
+    if want_metrics:
+        _REGISTRY.enabled = False
+        metrics = _REGISTRY.snapshot()
+        _REGISTRY.reset()
+    return result, error, spans, metrics
+
+
+def _portable_error(exc: BaseException) -> BaseException:
+    """An exception safe to pickle across the completion channel."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        detail = "".join(traceback.format_exception(
+            type(exc), exc, exc.__traceback__))
+        return ExecError(f"worker job failed with unpicklable "
+                         f"{type(exc).__name__}: {exc}\n{detail}")
+
+
+# -- the worker loop ---------------------------------------------------------
+
+def worker_main(worker_id: int, tasks, results, write_lock) -> None:
+    """Entry point of one pool worker process.
+
+    ``tasks`` is the shared task queue (``None`` is the shutdown
+    sentinel), ``results`` the shared completion pipe guarded by
+    ``write_lock`` — writes go through the lock so concurrent workers
+    never interleave a record.
+    """
+    global _IN_WORKER
+    _IN_WORKER = True
+    # A forked worker inherits the parent's telemetry state and even its
+    # collected spans; start from a clean, disabled slate either way.
+    _TRACE.disable()
+    _TRACE.reset()
+    _REGISTRY.enabled = False
+    _REGISTRY.reset()
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+    def send(record: tuple) -> None:
+        with write_lock:
+            results.send(record)
+
+    try:
+        while True:
+            task = tasks.get()
+            if task is None:
+                send(("bye", worker_id))
+                return
+            job_id, fn_name, args, kwargs, opts = task
+            send(("claim", worker_id, job_id))
+            delay_s = opts.get("delay_s", 0.0)
+            if delay_s:
+                time.sleep(delay_s)
+            try:
+                fn = resolve_worker_fn(fn_name)
+            except ExecError as exc:
+                send(("err", job_id, exc, None, None))
+                continue
+            result, error, spans, metrics = _run_traced(
+                fn, args, kwargs, opts)
+            if error is not None:
+                send(("err", job_id, _portable_error(error), spans,
+                      metrics))
+            else:
+                try:
+                    send(("done", job_id, result, spans, metrics))
+                except Exception as exc:  # unpicklable result
+                    send(("err", job_id, _portable_error(exc), spans,
+                          metrics))
+    finally:
+        shm.detach_all()

@@ -242,6 +242,47 @@ class MetricsRegistry:
             out[name] = entry
         return out
 
+    def merge_snapshot(self, snap: dict) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        This is how metrics recorded inside pool worker processes reach
+        the parent's process-global registry: counters *add*, gauges
+        take the incoming value (last write wins, as for any gauge
+        set), histograms merge bucket-by-bucket — exact when both sides
+        registered the same bucket edges (they do; the worker runs the
+        same code), and conservatively folded by edge value otherwise.
+        """
+        for name, entry in snap.items():
+            kind = entry.get("type")
+            values = entry.get("values") or []
+            if kind == "counter":
+                counter = self.counter(name, entry.get("help", ""))
+                for value in values:
+                    counter.inc(value["value"], **value["labels"])
+            elif kind == "gauge":
+                gauge = self.gauge(name, entry.get("help", ""))
+                for value in values:
+                    gauge.set(value["value"], **value["labels"])
+            elif kind == "histogram":
+                edges = tuple(entry.get("bucket_edges")
+                              or LATENCY_BUCKETS)
+                hist = self.histogram(name, entry.get("help", ""),
+                                      buckets=edges)
+                for value in values:
+                    key = _label_key(value["labels"])
+                    with self._lock:
+                        state = hist._values.get(key)
+                        if state is None:
+                            state = hist._values[key] = _HistogramState(
+                                len(hist.buckets))
+                        for edge, count in value["buckets"]:
+                            if count:
+                                state.counts[bisect_left(
+                                    hist.buckets, edge)] += count
+                        state.counts[-1] += value["inf"]
+                        state.sum += value["sum"]
+                        state.count += value["count"]
+
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 #: Finished-span ring limit: tracing a long run must not grow without
 #: bound, so beyond this the oldest spans are dropped (and counted).
@@ -264,6 +264,62 @@ class Tracer:
                 del self.spans[0]
                 self.dropped += 1
             self.spans.append(span)
+
+    # -- cross-process folding ---------------------------------------------
+
+    def fold(self, span_dicts: list[dict],
+             parent: "Span | None" = None) -> list[Span]:
+        """Graft spans recorded in another process into this tracer.
+
+        ``span_dicts`` is a list of :meth:`Span.to_dict` records (the
+        form worker completion records carry).  Every span gets fresh
+        ids from this tracer so they cannot collide with local ones,
+        but the parent/child structure *within* the batch is preserved;
+        spans whose parent is not in the batch (the worker's roots)
+        attach under ``parent`` when given, else start a fresh trace.
+
+        Timestamps are kept as-is: ``perf_counter`` is
+        ``CLOCK_MONOTONIC`` on Linux, which is shared across processes
+        on the same host, so worker span times line up with local ones.
+        """
+        if not self.enabled or not span_dicts:
+            return []
+        if parent is not None and isinstance(parent, Span):
+            trace_id = parent.trace_id
+            root_parent = parent.span_id
+        else:
+            with self._lock:
+                trace_id = self._next_trace
+                self._next_trace += 1
+            root_parent = None
+        id_map: dict[int, int] = {}
+        with self._lock:
+            for record in span_dicts:
+                id_map[record["span_id"]] = self._next_span
+                self._next_span += 1
+        folded: list[Span] = []
+        for record in span_dicts:
+            old_parent = record.get("parent_id")
+            parent_id = id_map.get(old_parent, root_parent) \
+                if old_parent is not None else root_parent
+            span = Span(name=record["name"], trace_id=trace_id,
+                        span_id=id_map[record["span_id"]],
+                        parent_id=parent_id,
+                        start_s=record["start_s"], tracer=self)
+            span.end_s = record["start_s"] + record["duration_s"]
+            span.attrs = dict(record.get("attrs") or {})
+            span.events = [
+                SpanEvent(name=event["name"], timestamp_s=event["ts_s"],
+                          attrs=dict(event.get("attrs") or {}))
+                for event in record.get("events") or []]
+            folded.append(span)
+        with self._lock:
+            for span in folded:
+                if len(self.spans) >= self.max_spans:
+                    del self.spans[0]
+                    self.dropped += 1
+                self.spans.append(span)
+        return folded
 
     # -- inspection --------------------------------------------------------
 

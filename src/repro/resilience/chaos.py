@@ -219,6 +219,8 @@ class ServiceScenarioResult:
     breaker_closes: int = 0
     max_queue_depth: int = 0
     queue_bound: int = 0
+    worker_kills: int = 0
+    worker_restarts: int = 0
     faults_injected: dict[str, int] = field(default_factory=dict)
 
     @property
@@ -239,6 +241,10 @@ class ServiceScenarioResult:
             f" (bound {self.queue_bound})",
             f"  faults injected: {dict(sorted(self.faults_injected.items()))}",
         ]
+        if self.worker_kills:
+            lines.insert(-1,
+                         f"  exec workers killed={self.worker_kills}  "
+                         f"restarted={self.worker_restarts}")
         verdict = "SURVIVED" if self.survived else "FAILED"
         lines.append(f"result: {verdict}")
         return "\n".join(lines)
@@ -248,7 +254,9 @@ def run_service_scenario(*, seed: int = 7, jobs: int = DEFAULT_JOBS,
                          chips: int = 2,
                          machine: MachineParams | str = POWER9,
                          max_size: int = 4096, clients: int = 4,
-                         scenario: str | None = None
+                         scenario: str | None = None,
+                         backend: str = "nx",
+                         exec_workers: int | None = None
                          ) -> ServiceScenarioResult:
     """Inject faults while a live service handles concurrent clients.
 
@@ -264,6 +272,14 @@ def run_service_scenario(*, seed: int = 7, jobs: int = DEFAULT_JOBS,
     * breakers opened and closed (the fault plan guarantees failures;
       recovery probes must bring chips back);
     * queue depth snapshots never exceed the configured bound.
+
+    With ``exec_workers`` the pool runs batch submits through the
+    process-based execution layer, and the chaos dimension changes with
+    it: on backends without a modelled accelerator (``backend=
+    "software"``) there is nothing to fault-inject, so a killer thread
+    terminates live pool workers throughout the run instead — a crashed
+    worker's job must come back as a software rescue, never as wrong or
+    missing bytes.
     """
     import threading
 
@@ -293,14 +309,48 @@ def run_service_scenario(*, seed: int = 7, jobs: int = DEFAULT_JOBS,
     result = ServiceScenarioResult(name=name, jobs=jobs, clients=clients,
                                    queue_bound=queue_limit)
     pool = AcceleratorPool(machine=machine, chips=chips,
-                          policy="round_robin", backend="nx",
-                          health=health, verify=True)
-    injectors = [
-        FaultInjector(plans, seed=seed, chip=chip).install(
-            pool.backend_for(chip).accelerator)
-        for chip in range(chips)
-    ]
+                          policy="round_robin", backend=backend,
+                          health=health, verify=True,
+                          exec_workers=exec_workers)
+    injectors = []
+    if hasattr(pool.backend_for(0), "accelerator"):
+        injectors = [
+            FaultInjector(plans, seed=seed, chip=chip).install(
+                pool.backend_for(chip).accelerator)
+            for chip in range(chips)
+        ]
     lock = threading.Lock()
+    stop_chaos = threading.Event()
+    killer = None
+    exec_pool = pool._exec() if exec_workers else None
+    if exec_pool is not None:
+        # Chaos kills arrive far faster than real crashes would; give
+        # the respawn budget room so the scenario measures recovery,
+        # not the runaway-restart backstop.
+        exec_pool.restart_cap = max(exec_pool.restart_cap, 10 * jobs)
+
+        # A kill budget keeps the scenario about *recovery*: unbounded
+        # killing on a small host murders workers faster than spawn can
+        # replace them and the run degenerates into restart churn.
+        kill_budget = max(3, jobs // 8)
+
+        def kill_workers() -> None:
+            kill_rng = random.Random(seed * 31337)
+            while not stop_chaos.wait(0.25):
+                with lock:
+                    if result.worker_kills >= kill_budget:
+                        return
+                procs = [p for p in exec_pool._procs.values()
+                         if p.is_alive()]
+                if procs:
+                    kill_rng.choice(procs).terminate()
+                    with lock:
+                        result.worker_kills += 1
+
+        killer = threading.Thread(target=kill_workers,
+                                  name="repro-chaos-worker-killer",
+                                  daemon=True)
+        killer.start()
     with CompressionService(pool, qos=qos) as service:
         def client(worker: int) -> None:
             rng = random.Random(seed * 104729 + worker)
@@ -340,6 +390,11 @@ def run_service_scenario(*, seed: int = 7, jobs: int = DEFAULT_JOBS,
             thread.start()
         for thread in threads:
             thread.join()
+        stop_chaos.set()
+        if killer is not None:
+            killer.join(5.0)
+        if exec_pool is not None:
+            result.worker_restarts = exec_pool.worker_restarts
         stats = pool.stats()
         result.rescues = stats.rescues
         result.breaker_opens = stats.breaker_opens

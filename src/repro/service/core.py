@@ -176,14 +176,21 @@ class CompressionService:
                  starvation_bound: int = DEFAULT_STARVATION_BOUND,
                  batching: bool = True,
                  verify: bool = False,
+                 exec_workers: int | None = None,
                  **pool_kwargs) -> None:
         if pool is not None:
             self.pool = pool
             self._own_pool = False
         else:
+            # exec_workers enables the process-based execution layer on
+            # the service's pool: batch submits on synchronous backends
+            # run in persistent worker processes instead of on this
+            # dispatcher thread, so the dispatcher stays an I/O loop.
             self.pool = AcceleratorPool(machine=machine, chips=chips,
                                         policy=policy, backend=backend,
-                                        verify=verify, **pool_kwargs)
+                                        verify=verify,
+                                        exec_workers=exec_workers,
+                                        **pool_kwargs)
             self._own_pool = True
         self.qos = qos or QosPolicy(DEFAULT_CLASSES,
                                     starvation_bound=starvation_bound)
@@ -418,7 +425,11 @@ class CompressionService:
                                 "requests coalesced per dispatch",
                                 buckets=(1, 2, 4, 8, 16, 32)).observe(
                 len(live), qos=qcls.name)
-        use_batch = self.batching and len(live) > 1
+        # A singleton normally runs inline on the dispatcher thread, but
+        # when the pool fronts a process execution layer even a batch of
+        # one goes through submit/wait so the work leaves this I/O loop.
+        use_batch = self.batching and (
+            len(live) > 1 or getattr(self.pool, "exec_enabled", False))
         if use_batch:
             with _TRACE.span("service.batch", qos=qcls.name,
                              size=len(live)):

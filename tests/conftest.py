@@ -42,6 +42,22 @@ def payload_suite(text_20k, json_20k, random_8k, binary_20k) -> dict:
     }
 
 
+@pytest.fixture(scope="session", autouse=True)
+def no_leaked_shm_segments():
+    """The whole suite must leave /dev/shm the way it found it.
+
+    Slab ownership is strictly parent-side; any segment still tracked
+    after the default pool shuts down is a leak that would accumulate
+    in a long-lived service.
+    """
+    yield
+    from repro.exec import live_segments, shutdown_default_pool
+
+    shutdown_default_pool()
+    assert live_segments() == (), (
+        f"leaked shared-memory segments: {live_segments()}")
+
+
 @pytest.fixture(scope="session")
 def p9():
     return POWER9

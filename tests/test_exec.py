@@ -1,0 +1,304 @@
+"""Process execution layer: pools, slabs, telemetry relay, crashes."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.deflate import inflate, parallel_deflate
+from repro.deflate.parallel import deflate_chunk_job
+from repro.errors import ExecError, WorkerCrash
+from repro.exec import (ProcessWorkerPool, SlabAllocator,
+                        get_default_pool, live_segments,
+                        shutdown_default_pool)
+from repro.exec.shm import MIN_SLAB_BYTES, Slab, _round_capacity
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TRACE
+from repro.workloads.generators import generate
+
+
+@pytest.fixture(scope="module")
+def pool():
+    """One warm 2-worker spawn pool shared by the module's tests."""
+    p = ProcessWorkerPool(2, name="test-exec")
+    p.warm()
+    yield p
+    p.shutdown()
+
+
+# -- shared-memory slabs -----------------------------------------------------
+
+def test_slab_round_capacity():
+    assert _round_capacity(1) == MIN_SLAB_BYTES
+    assert _round_capacity(MIN_SLAB_BYTES) == MIN_SLAB_BYTES
+    assert _round_capacity(MIN_SLAB_BYTES + 1) == MIN_SLAB_BYTES * 2
+
+
+def test_slab_tracked_until_destroyed():
+    before = set(live_segments())
+    slab = Slab(MIN_SLAB_BYTES)
+    assert slab.name in live_segments()
+    slab.write(10, b"hello")
+    assert slab.read(10, 5) == b"hello"
+    slab.destroy()
+    slab.destroy()  # idempotent
+    assert set(live_segments()) == before
+
+
+def test_allocator_reuses_released_slabs():
+    alloc = SlabAllocator()
+    first = alloc.acquire(1000)
+    name = first.name
+    assert first.capacity == MIN_SLAB_BYTES
+    alloc.release(first)
+    assert alloc.retained_bytes == MIN_SLAB_BYTES
+    again = alloc.acquire(2000)
+    assert again.name == name  # same segment, no new shm_open
+    alloc.release(again)
+    alloc.close()
+    assert alloc.retained_bytes == 0
+    assert name not in live_segments()
+
+
+def test_allocator_retention_cap_destroys_overflow():
+    alloc = SlabAllocator(max_retained_bytes=MIN_SLAB_BYTES)
+    a, b = alloc.acquire(100), alloc.acquire(100)
+    alloc.release(a)
+    alloc.release(b)  # over the cap: unlinked, not parked
+    assert alloc.retained_bytes == MIN_SLAB_BYTES
+    assert b.name not in live_segments()
+    alloc.close()
+
+
+# -- pool basics -------------------------------------------------------------
+
+def test_echo_round_trip(pool):
+    job = pool.submit("echo", value={"k": [1, 2, 3]})
+    pool.wait([job], timeout_s=60.0)
+    assert job.error is None
+    assert job.result == {"k": [1, 2, 3]}
+
+
+def test_run_batch_preserves_order(pool):
+    results = pool.run_batch([("echo", {"value": i}) for i in range(8)],
+                             timeout_s=60.0)
+    assert results == list(range(8))
+
+
+def test_unknown_fn_fails_cleanly(pool):
+    job = pool.submit("no-such-fn")
+    pool.wait([job], timeout_s=60.0)
+    assert isinstance(job.error, ExecError)
+    assert "no-such-fn" in str(job.error)
+
+
+# -- crash handling ----------------------------------------------------------
+
+def test_worker_crash_detected_and_respawned(pool):
+    restarts = pool.worker_restarts
+    job = pool.submit("crash")
+    pool.wait([job], timeout_s=60.0)
+    assert job.crashed
+    assert isinstance(job.error, WorkerCrash)
+    assert pool.worker_restarts == restarts + 1
+    # The pool is still serviceable after the respawn.
+    probe = pool.submit("echo", value="alive")
+    pool.wait([probe], timeout_s=60.0)
+    assert probe.result == "alive"
+
+
+def test_run_batch_raises_when_crash_retries_exhausted(pool):
+    with pytest.raises(WorkerCrash):
+        pool.run_batch([("crash", {})], crash_retries=0, timeout_s=60.0)
+
+
+def test_restart_cap_breaks_pool():
+    p = ProcessWorkerPool(1, name="test-exec-cap")
+    p.warm()
+    try:
+        p.restart_cap = 0
+        job = p.submit("crash")
+        p.wait([job], timeout_s=60.0)
+        assert isinstance(job.error, (WorkerCrash, ExecError))
+        assert p.broken
+        with pytest.raises(ExecError):
+            p.submit("echo", value=1)
+    finally:
+        p.shutdown()
+
+
+def test_fail_job_resolves_handle_externally(pool):
+    job = pool.submit("echo", value=1, delay_s=1.0)
+    pool.fail_job(job, WorkerCrash("declared orphaned"))
+    assert job.done
+    assert isinstance(job.error, WorkerCrash)
+    # The worker's eventual (stale) completion must be ignored, and the
+    # pool must stay healthy.
+    probe = pool.submit("echo", value=2)
+    pool.wait([probe], timeout_s=60.0)
+    assert probe.result == 2
+    assert job.error is not None
+
+
+def test_default_pool_recreated_when_broken():
+    p1 = get_default_pool(1)
+    p1.broken = True
+    p2 = get_default_pool(1)
+    assert p2 is not p1
+    assert not p2.broken
+    shutdown_default_pool()
+
+
+# -- start-method parity -----------------------------------------------------
+
+def test_spawn_fork_inline_output_parity():
+    chunk = generate("markov_text", 40000, seed=41)
+    kwargs = {"level": 6, "strategy": "default", "final": True,
+              "data": chunk}
+    inline = deflate_chunk_job(**kwargs)["inline"]
+    for method in ("spawn", "fork"):
+        p = ProcessWorkerPool(1, start_method=method,
+                              name=f"test-{method}")
+        try:
+            record, = p.run_batch([("deflate_chunk", dict(kwargs))],
+                                  timeout_s=120.0)
+        finally:
+            p.shutdown()
+        assert record["inline"] == inline, method
+    assert inflate(inline) == chunk
+
+
+# -- telemetry relay ---------------------------------------------------------
+
+def test_merge_snapshot_counters_gauges_histograms():
+    src = MetricsRegistry()
+    src.enabled = True
+    src.counter("jobs", "n").inc(3, op="c")
+    src.gauge("depth", "d").set(7)
+    h = src.histogram("lat", "s", buckets=(1.0, 2.0, 4.0))
+    h.observe(0.5)
+    h.observe(3.0)
+    h.observe(100.0)
+
+    dst = MetricsRegistry()
+    dst.enabled = True
+    dst.counter("jobs", "n").inc(1, op="c")
+    dst.histogram("lat", "s", buckets=(1.0, 2.0, 4.0)).observe(1.5)
+    dst.merge_snapshot(src.snapshot())
+
+    assert dst.counter("jobs").value(op="c") == 4
+    assert dst.gauge("depth").value() == 7
+    state = dst.histogram("lat").state()
+    assert state.count == 4
+    assert state.counts == [1, 1, 1, 1]  # 0.5 | 1.5 | 3.0 | inf 100.0
+    assert state.sum == pytest.approx(105.0)
+
+
+def test_worker_spans_fold_under_parallel_span():
+    corpus = generate("markov_text", 100000, seed=42)
+    obs.reset()
+    obs.enable(trace=True, metrics=False)
+    try:
+        completed_before = get_default_pool(2).jobs_completed
+        result = parallel_deflate(corpus, level=6, chunk_size=1 << 15,
+                                  workers=2)
+        assert inflate(result.data) == corpus
+        # The pool path really ran (no silent inline fallback).
+        assert get_default_pool(2).jobs_completed > completed_before
+        parallel_spans = TRACE.finished("deflate.parallel")
+        assert len(parallel_spans) == 1
+        parent = parallel_spans[0]
+        kernels = TRACE.finished("deflate.kernel")
+        assert len(kernels) >= 4  # one per chunk, relayed from workers
+        by_id = {s.span_id: s for s in TRACE.finished()}
+        for kernel in kernels:
+            assert kernel.trace_id == parent.trace_id
+            node = kernel
+            while node.parent_id is not None:
+                node = by_id[node.parent_id]
+            assert node.span_id == parent.span_id
+    finally:
+        obs.disable()
+        obs.reset()
+        shutdown_default_pool()
+
+
+def _backend_counter_families(snap: dict) -> dict:
+    keep = ("repro_backend_requests_total", "repro_backend_bytes_in_total",
+            "repro_backend_bytes_out_total")
+    return {name: snap[name]["values"] for name in keep if name in snap}
+
+
+def test_exec_counter_arithmetic_matches_serial_path():
+    """Regression: the exec seam must not double- or under-count.
+
+    The same jobs through the same pool surface — once inline, once on
+    worker processes — must leave byte-identical outputs and identical
+    backend counter arithmetic in the parent registry.
+    """
+    from repro.backend.pool import AcceleratorPool
+
+    payloads = [generate("json_records", 8000, seed=s) for s in (1, 2, 3)]
+
+    def run(exec_workers):
+        obs.reset()
+        obs.enable(trace=False, metrics=True)
+        try:
+            with AcceleratorPool("POWER9", chips=1, backend="software",
+                                 exec_workers=exec_workers) as ap:
+                jobs = [ap.submit_compress(p, strategy="auto", fmt="gzip")
+                        for p in payloads]
+                ap.wait_all()
+                outs = [j.result.output for j in jobs]
+            return outs, _backend_counter_families(obs.registry().snapshot())
+        finally:
+            obs.disable()
+            obs.reset()
+
+    serial_outs, serial_counters = run(exec_workers=None)
+    try:
+        exec_outs, exec_counters = run(exec_workers=2)
+    finally:
+        shutdown_default_pool()
+    assert exec_outs == serial_outs
+    assert serial_counters  # the serial path populated the families
+    assert exec_counters == serial_counters
+
+
+# -- backend-surface crash rescue --------------------------------------------
+
+def test_accelerator_pool_rescues_crashed_worker_batch():
+    """A worker killed mid-batch costs retries, never bytes."""
+    from repro.backend.pool import AcceleratorPool
+
+    exec_pool = ProcessWorkerPool(1, name="test-rescue")
+    exec_pool.warm()
+    payloads = [generate("markov_text", 6000, seed=s) for s in (7, 8, 9)]
+    try:
+        with AcceleratorPool("POWER9", chips=1, backend="software",
+                             exec_pool=exec_pool) as ap:
+            serial = [ap.backend_for(0).compress(
+                p, strategy="auto", fmt="gzip").output for p in payloads]
+            exec_pool.default_delay_s = 0.3  # jobs dwell long enough
+            jobs = [ap.submit_compress(p, strategy="auto", fmt="gzip")
+                    for p in payloads]
+            # Kill only once a claim record has landed, so the crash
+            # provably takes a claimed job with it (killing earlier just
+            # replays the still-queued descriptors on the respawn).
+            deadline = time.monotonic() + 30.0
+            while not exec_pool._claimed:
+                exec_pool.poll()
+                assert time.monotonic() < deadline, "no claim arrived"
+                time.sleep(0.01)
+            for proc in list(exec_pool._procs.values()):
+                proc.terminate()
+            exec_pool.default_delay_s = None
+            ap.wait_all()
+            assert [j.result.output for j in jobs] == serial
+            assert all(j.error is None for j in jobs)
+            assert ap.stats().rescues >= 1
+    finally:
+        exec_pool.shutdown()
+        assert exec_pool.allocator.retained_bytes == 0

@@ -1,0 +1,84 @@
+"""CI smoke test for the process-based execution layer.
+
+Three checks, all host-independent (they hold even on a 1-CPU runner):
+
+* a 2-worker pool-backed ``parallel_deflate`` produces **byte-identical**
+  output to the serial path (the pigz-style chunking is deterministic,
+  so worker count must never change the stream);
+* a warm pool beats a cold one on the same call (the whole point of
+  persistent workers is not paying spawn per call — this is true on any
+  host, unlike multi-core scaling);
+* after shutdown, zero shared-memory segments remain (slab ownership is
+  parent-side only; a leak here means an ``/dev/shm`` leak in prod).
+
+Usage::
+
+    PYTHONPATH=src python tools/parallel_smoke.py
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def main() -> int:
+    from repro.deflate.inflate import inflate
+    from repro.deflate.parallel import parallel_deflate
+    from repro.exec import (get_default_pool, live_segments,
+                            shutdown_default_pool)
+    from repro.workloads.generators import generate
+
+    corpus = generate("markov_text", 262144, seed=33)
+    chunk = 16384  # enough chunks that 2 workers genuinely interleave
+
+    serial = parallel_deflate(corpus, level=6, workers=1,
+                              chunk_size=chunk).data
+    pooled = parallel_deflate(corpus, level=6, workers=2,
+                              chunk_size=chunk).data
+    if pooled != serial:
+        print("parallel smoke FAILED: 2-worker output differs from "
+              f"serial ({len(pooled)} vs {len(serial)} bytes)")
+        return 1
+    if inflate(pooled) != corpus:
+        print("parallel smoke FAILED: round-trip mismatch")
+        return 1
+
+    # Warm-vs-cold: same call, with and without a pre-started pool.
+    shutdown_default_pool()
+    t0 = time.perf_counter()
+    parallel_deflate(corpus, level=6, workers=2, chunk_size=chunk)
+    cold_s = time.perf_counter() - t0
+    warm_s = min(
+        _timed(lambda: parallel_deflate(corpus, level=6, workers=2,
+                                        chunk_size=chunk))
+        for _ in range(3))
+    if warm_s >= cold_s:
+        print(f"parallel smoke FAILED: warm pool ({warm_s:.3f}s) not "
+              f"faster than cold ({cold_s:.3f}s); persistent workers "
+              "are not being reused")
+        return 1
+
+    pool = get_default_pool()
+    restarts = pool.worker_restarts
+    shutdown_default_pool()
+    leaked = live_segments()
+    if leaked:
+        print(f"parallel smoke FAILED: leaked shm segments {leaked}")
+        return 1
+    print(f"parallel smoke passed: {len(corpus)} bytes, "
+          f"2-worker output byte-identical to serial "
+          f"({len(serial)} bytes); cold {cold_s * 1e3:.1f} ms, "
+          f"warm {warm_s * 1e3:.1f} ms "
+          f"({cold_s / warm_s:.1f}x); {restarts} worker restarts; "
+          "0 leaked segments")
+    return 0
+
+
+def _timed(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

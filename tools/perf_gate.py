@@ -33,6 +33,14 @@ the hot paths (saturation throughput and accepted/s must not collapse).
 Latency metrics live outside the gated section — lower is better, so
 a floor would read improvements as regressions.  ``--skip-service`` /
 ``--service-only`` / ``--fresh-service FILE`` mirror the obs flags.
+
+A fourth section gates the process execution layer: the warm-pool
+parallel-deflate sweep from the hot-path bench must not collapse
+against the committed per-worker-count rates, and on a multi-core host
+the warm 2-worker rate must beat the warm 1-worker rate (on a 1-CPU
+host the speedup check is skipped — ``meta.cpus`` decides, so a small
+CI box cannot fake or mask scaling).  ``--skip-parallel`` /
+``--parallel-only`` mirror the other section flags.
 """
 
 from __future__ import annotations
@@ -110,6 +118,54 @@ def gate_service(fresh: dict, baseline: dict,
     return failures
 
 
+def gate_parallel(fresh: dict, baseline: dict,
+                  tolerance: float) -> list[str]:
+    """Floor + scaling sanity on the warm-pool parallel sweep.
+
+    Per-worker-count warm rates obey the same relative floor as the
+    scalar kernels.  The scaling check (warm 2-worker > warm 1-worker)
+    only runs when the *fresh* host has at least two CPUs: a 1-CPU box
+    cannot scale however good the pool is, and pretending otherwise
+    would either always fail there or force the bar so low it gates
+    nothing anywhere.
+    """
+    failures: list[str] = []
+    committed = baseline.get("results", {}).get("parallel_deflate_mbps")
+    measured = fresh.get("results", {}).get("parallel_deflate_mbps")
+    if not isinstance(measured, dict) or not measured:
+        return ["parallel_deflate_mbps: missing from fresh run"]
+    if isinstance(committed, dict):
+        for count, base in committed.items():
+            got = measured.get(count)
+            if not isinstance(got, (int, float)):
+                failures.append(
+                    f"parallel_deflate_mbps[{count}w]: missing "
+                    "from fresh run")
+                continue
+            floor = (1.0 - tolerance) * base
+            if got < floor:
+                failures.append(
+                    f"parallel_deflate_mbps[{count}w]: {got:.3f} MB/s "
+                    f"< floor {floor:.3f} (committed {base:.3f})")
+    if not isinstance(
+            fresh.get("results", {}).get("parallel_deflate_cold_mbps"),
+            dict):
+        failures.append(
+            "parallel_deflate_cold_mbps: missing from fresh run "
+            "(cold/warm split not recorded)")
+    cpus = fresh.get("meta", {}).get("cpus", 1)
+    warm1 = measured.get("1")
+    warm2 = measured.get("2")
+    if cpus >= 2 and isinstance(warm1, (int, float)) \
+            and isinstance(warm2, (int, float)) and warm1 > 0:
+        if warm2 <= warm1:
+            failures.append(
+                f"warm pool does not scale on {cpus} CPUs: "
+                f"2 workers {warm2:.3f} MB/s <= 1 worker "
+                f"{warm1:.3f} MB/s")
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--tolerance", type=float, default=0.5,
@@ -144,6 +200,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="skip the serving-stack section")
     parser.add_argument("--service-only", action="store_true",
                         help="only gate the serving stack")
+    parser.add_argument("--skip-parallel", action="store_true",
+                        help="skip the execution-layer section")
+    parser.add_argument("--parallel-only", action="store_true",
+                        help="only gate the execution layer")
     args = parser.parse_args(argv)
 
     if not 0.0 <= args.tolerance < 1.0:
@@ -153,23 +213,35 @@ def main(argv: list[str] | None = None) -> int:
     if args.skip_service and args.service_only:
         parser.error("--skip-service and --service-only are "
                      "mutually exclusive")
-    if args.obs_only and args.service_only:
-        parser.error("--obs-only and --service-only are "
+    if args.skip_parallel and args.parallel_only:
+        parser.error("--skip-parallel and --parallel-only are "
                      "mutually exclusive")
+    exclusive = [flag for flag, on in
+                 (("--obs-only", args.obs_only),
+                  ("--service-only", args.service_only),
+                  ("--parallel-only", args.parallel_only)) if on]
+    if len(exclusive) > 1:
+        parser.error(" and ".join(exclusive) + " are mutually exclusive")
     sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
     failures: list[str] = []
-    if not (args.obs_only or args.service_only):
-        if not args.baseline.exists():
+    fresh = None
+    only_elsewhere = (args.obs_only or args.service_only
+                      or args.parallel_only)
+    need_hotpath = (not only_elsewhere
+                    or (args.parallel_only and not args.skip_parallel))
+    if need_hotpath and args.baseline.exists():
+        if args.fresh is not None:
+            fresh = json.loads(args.fresh.read_text())
+        else:
+            from bench_hotpath import run_bench
+            fresh = run_bench(quick=args.quick)
+    if not only_elsewhere:
+        if fresh is None:
             print(f"perf gate: no baseline at {args.baseline}; "
                   "nothing to gate")
         else:
             baseline = json.loads(args.baseline.read_text())
-            if args.fresh is not None:
-                fresh = json.loads(args.fresh.read_text())
-            else:
-                from bench_hotpath import run_bench
-                fresh = run_bench(quick=args.quick)
             failures += gate(fresh, baseline, args.tolerance)
             for key, value in fresh.get("results", {}).items():
                 base = baseline.get("results", {}).get(key)
@@ -178,7 +250,28 @@ def main(argv: list[str] | None = None) -> int:
                     print(f"  {key:24s} {value:10.3f} MB/s  "
                           f"(committed {base:.3f})")
 
-    if not args.skip_obs and not args.service_only:
+    if not args.skip_parallel and not (args.obs_only
+                                       or args.service_only):
+        if fresh is None:
+            print(f"perf gate: no baseline at {args.baseline}; "
+                  "execution layer not gated")
+        else:
+            baseline = json.loads(args.baseline.read_text())
+            failures += gate_parallel(fresh, baseline, args.tolerance)
+            warm = fresh.get("results", {}).get(
+                "parallel_deflate_mbps", {})
+            cold = fresh.get("results", {}).get(
+                "parallel_deflate_cold_mbps", {})
+            cpus = fresh.get("meta", {}).get("cpus", 1)
+            for count in sorted(warm, key=int):
+                print(f"  parallel {count}w: warm "
+                      f"{warm[count]:8.3f} MB/s  cold "
+                      f"{cold.get(count, 0.0):8.3f} MB/s"
+                      + ("" if count == "1" else
+                         f"  ({cpus} CPU host)"))
+
+    if not args.skip_obs and not (args.service_only
+                                  or args.parallel_only):
         if args.fresh_obs is not None:
             fresh_obs = json.loads(args.fresh_obs.read_text())
         else:
@@ -190,7 +283,8 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"  {key:32s} {value:8.3f} %  "
                       f"(ceiling {args.max_obs_overhead:.1f} %)")
 
-    if not args.skip_service and not args.obs_only:
+    if not args.skip_service and not (args.obs_only
+                                      or args.parallel_only):
         if not args.service_baseline.exists():
             print(f"perf gate: no service baseline at "
                   f"{args.service_baseline}; nothing to gate")
