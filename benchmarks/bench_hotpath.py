@@ -118,6 +118,45 @@ def run_bench(quick: bool = False, level: int = 6,
         results["parallel_deflate_mbps"] = warm_scaling
         results["parallel_deflate_cold_mbps"] = cold_scaling
 
+    # Speculative parallel-inflate scaling, on the *same* corpus and
+    # scale as the deflate sweep so gate comparisons are apples-to-
+    # apples.  Rates are output (uncompressed) MB/s — the number a
+    # scan-side consumer feels.
+    inflate_chunk = None
+    try:
+        from repro.deflate.containers import gzip_compress
+        from repro.deflate.parallel_inflate import parallel_inflate
+        from repro.exec.pool import shutdown_default_pool
+    except ImportError:
+        parallel_inflate = None
+    if parallel_inflate is not None:
+        gzip_payload = gzip_compress(corpus, level=level)
+        # Floor at the engine minimum (4 KiB), not the deflate floor:
+        # compressed payloads are ~4x smaller than the corpus, and the
+        # quick run must still produce two chunks per worker or the
+        # sweep silently degenerates to the serial path.
+        inflate_chunk = max(4096,
+                            len(gzip_payload) // (2 * max(workers)))
+        cold_inflate: dict[str, float] = {}
+        warm_inflate: dict[str, float] = {}
+        for nworkers in workers:
+            shutdown_default_pool()
+            run = lambda: parallel_inflate(gzip_payload,  # noqa: E731
+                                           "gzip",
+                                           chunk_size=inflate_chunk,
+                                           workers=nworkers)
+            cold_s = _best_of(run, 1,
+                              name=f"parallel_inflate_cold_{nworkers}w")
+            warm_s = _best_of(run, repeats,
+                              name=f"parallel_inflate_warm_{nworkers}w")
+            cold_inflate[str(nworkers)] = round(
+                _mbps(len(corpus), cold_s), 3)
+            warm_inflate[str(nworkers)] = round(
+                _mbps(len(corpus), warm_s), 3)
+        shutdown_default_pool()
+        results["parallel_inflate_mbps"] = warm_inflate
+        results["parallel_inflate_cold_mbps"] = cold_inflate
+
     meta = {
         "corpus": "calgary-like",
         "scale": scale,
@@ -131,6 +170,18 @@ def run_bench(quick: bool = False, level: int = 6,
         # how good the pool is, and the gate reads this field.
         "cpus": os.cpu_count() or 1,
         "parallel_chunk_bytes": chunk_size,
+        # Inflate rows share the deflate corpus/scale and carry their
+        # own cpus field so a gate comparing inflate sweeps across
+        # hosts never has to guess which deflate meta applied.
+        "inflate": {
+            "corpus": "calgary-like",
+            "scale": scale,
+            "bytes": len(corpus),
+            "gzip_bytes": (len(gzip_payload)
+                           if parallel_inflate is not None else None),
+            "cpus": os.cpu_count() or 1,
+            "parallel_chunk_bytes": inflate_chunk,
+        },
     }
     return {"meta": meta,
             "results": {k: (v if isinstance(v, dict) else round(v, 3))

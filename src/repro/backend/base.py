@@ -55,6 +55,10 @@ class BackendCapabilities:
     compress_gbps: float
     decompress_gbps: float
     per_call_overhead_s: float = 0.0
+    #: Decompression scales with worker count (speculative chunk
+    #: decode à la rapidgzip); schedulers may treat ``decompress_gbps``
+    #: as an aggregate rather than a single-stream rate.
+    parallel_inflate: bool = False
 
     @property
     def default_format(self) -> str:

@@ -4,6 +4,8 @@ Commands:
 
 * ``compress``   — compress a file through the accelerator model
 * ``decompress`` — decompress a file (gzip/zlib/raw)
+* ``cat``        — decompress to stdout; ``--range OFF:LEN`` serves a
+  random read through a seek-index sidecar without decoding the prefix
 * ``machines``   — list modelled machines and their calibrated rates
 * ``backends``   — list registered backends and their capabilities
 * ``advise``     — offload advice for a request size
@@ -107,8 +109,38 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["gzip", "zlib", "raw"])
     p_dec.add_argument("--deadline-ms", type=float, default=None,
                        help="per-job deadline in modelled milliseconds")
+    p_dec.add_argument("--parallel-workers", type=int, default=None,
+                       help="decompress on N worker processes "
+                            "(speculative chunk decode; implies the "
+                            "software-parallel backend, output is "
+                            "byte-identical for every worker count)")
+    p_dec.add_argument("--chunk-size", type=int, default=None,
+                       help="bytes per speculative chunk (default "
+                            "128 KiB; only with --parallel-workers)")
     _add_machine_arg(p_dec)
     _add_backend_args(p_dec, pool=True)
+
+    p_cat = sub.add_parser(
+        "cat", help="decompress to stdout; --range serves random reads "
+                    "through a seek index without decoding the prefix")
+    p_cat.add_argument("input", type=pathlib.Path)
+    p_cat.add_argument("-o", "--output", type=pathlib.Path,
+                       help="write bytes here instead of stdout")
+    p_cat.add_argument("--fmt", default="gzip",
+                       choices=["gzip", "zlib", "raw"])
+    p_cat.add_argument("--range", default=None, metavar="OFF:LEN",
+                       help="uncompressed byte range to serve "
+                            "(e.g. 1048576:4096)")
+    p_cat.add_argument("--index", type=pathlib.Path, default=None,
+                       help="seek-index sidecar path "
+                            "(default: INPUT.rsix)")
+    p_cat.add_argument("--no-index", action="store_true",
+                       help="never read or write an index sidecar")
+    p_cat.add_argument("--workers", type=int, default=None,
+                       help="pool workers for full decodes (default: "
+                            "cpu count)")
+    p_cat.add_argument("--chunk-size", type=int, default=None,
+                       help="bytes per speculative chunk")
 
     sub.add_parser("machines", help="list machine models")
 
@@ -291,6 +323,96 @@ def cmd_decompress(args: argparse.Namespace) -> int:
     print(f"  modelled time on {args.machine}: "
           f"{seconds * 1e6:.1f} us")
     return 0
+
+
+def _parse_range(spec: str) -> tuple[int, int]:
+    try:
+        off_s, len_s = spec.split(":", 1)
+        offset, length = int(off_s, 0), int(len_s, 0)
+    except ValueError:
+        raise ReproError(f"--range wants OFF:LEN, got {spec!r}") from None
+    if offset < 0 or length < 0:
+        raise ReproError(f"--range values must be >= 0, got {spec!r}")
+    return offset, length
+
+
+def cmd_cat(args: argparse.Namespace) -> int:
+    """Decompress to stdout, or serve a random read via the seek index.
+
+    Bytes go to stdout (or ``-o``); everything human-readable goes to
+    stderr so ``repro cat f.gz > f`` stays clean.  A corrupt or stale
+    index sidecar is *reported and ignored* — the read falls back to a
+    full decode, never to wrong bytes.
+    """
+    from .deflate.parallel_inflate import read_range
+    from .deflate.seekindex import SeekIndex
+    from .errors import SeekIndexError
+    from .exec.pool import shutdown_default_pool
+
+    payload = args.input.read_bytes()
+    index_path = args.index or args.input.with_name(
+        args.input.name + ".rsix")
+    note = lambda msg: print(msg, file=sys.stderr)  # noqa: E731
+
+    index = None
+    if not args.no_index and index_path.exists():
+        try:
+            index = SeekIndex.load(index_path)
+            if index.compressed_size != len(payload) or \
+                    index.fmt != args.fmt:
+                raise SeekIndexError("index does not match this payload")
+        except SeekIndexError as exc:
+            note(f"ignoring index {index_path}: {exc}")
+            index = None
+
+    if args.range is not None:
+        offset, length = _parse_range(args.range)
+        if index is not None:
+            result = read_range(payload, offset, length, index=index)
+            data = result.data
+            note(f"range {offset}:{length} via index: decoded "
+                 f"{human_bytes(result.decoded_bytes)}, skipped "
+                 f"{human_bytes(result.skipped_bytes)} of prefix")
+        else:
+            data, index = _cat_full_decode(args, payload, index_path,
+                                           note)
+            data = data[offset:offset + length]
+            note(f"range {offset}:{length} via full decode "
+                 "(no usable index)")
+    else:
+        data, index = _cat_full_decode(args, payload, index_path, note)
+
+    if args.output is not None:
+        args.output.write_bytes(data)
+    else:
+        sys.stdout.buffer.write(data)
+        sys.stdout.buffer.flush()
+    shutdown_default_pool()
+    return 0
+
+
+def _cat_full_decode(args: argparse.Namespace, payload: bytes,
+                     index_path: pathlib.Path, note) -> tuple[bytes, object]:
+    from .deflate.parallel_inflate import parallel_inflate
+
+    build = not args.no_index
+    result = parallel_inflate(payload, args.fmt,
+                              workers=args.workers,
+                              **({"chunk_size": args.chunk_size}
+                                 if args.chunk_size else {}),
+                              build_index=build)
+    note(f"decoded {human_bytes(len(result.data))} from "
+         f"{human_bytes(len(payload))} ({result.members} member(s), "
+         f"{result.chunks_used} parallel chunk(s), "
+         f"{result.serial_segments} serial segment(s))")
+    if build and result.index is not None and not index_path.exists():
+        try:
+            result.index.save(index_path)
+            note(f"wrote seek index {index_path} "
+                 f"({len(result.index.points)} points)")
+        except OSError as exc:
+            note(f"could not write index {index_path}: {exc}")
+    return result.data, result.index
 
 
 def cmd_machines(_args: argparse.Namespace) -> int:
@@ -492,6 +614,7 @@ def cmd_submit(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "compress": cmd_compress,
     "decompress": cmd_decompress,
+    "cat": cmd_cat,
     "machines": cmd_machines,
     "backends": cmd_backends,
     "advise": cmd_advise,

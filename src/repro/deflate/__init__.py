@@ -19,6 +19,14 @@ from .gzip_stream import GzipReader
 from .inflate_stream import InflateStream, inflate_incremental
 from .matcher import LEVEL_CONFIGS, MatcherConfig, MatchStats, tokenize
 from .parallel import DEFAULT_CHUNK_SIZE, parallel_deflate
+from .parallel_inflate import (
+    DEFAULT_INFLATE_CHUNK_SIZE,
+    ParallelInflateResult,
+    RangeReadResult,
+    parallel_inflate,
+    read_range,
+)
+from .seekindex import DEFAULT_SPACING, SeekIndex, SeekPoint, build_index
 
 __all__ = [
     "adler32",
@@ -37,6 +45,15 @@ __all__ = [
     "tokenize",
     "parallel_deflate",
     "DEFAULT_CHUNK_SIZE",
+    "parallel_inflate",
+    "ParallelInflateResult",
+    "RangeReadResult",
+    "read_range",
+    "DEFAULT_INFLATE_CHUNK_SIZE",
+    "SeekIndex",
+    "SeekPoint",
+    "build_index",
+    "DEFAULT_SPACING",
     "zlib_compress",
     "zlib_decompress",
     "gzip_compress",

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Callable
 
 from ..errors import DeflateError
 from .bitio import BitReader
@@ -56,10 +57,19 @@ class _State(enum.Enum):
 
 @dataclass
 class InflateStream:
-    """Resumable raw-DEFLATE decoder."""
+    """Resumable raw-DEFLATE decoder.
+
+    ``on_block_boundary(bit_offset, is_final)`` — when set — fires at
+    the end of every block with the **absolute** bit offset of the next
+    element (stable across input compaction) and whether the block that
+    just ended carried BFINAL.  Inside the callback :meth:`window` and
+    :attr:`produced` describe the decode state at exactly that
+    boundary, which is everything a seek index needs to resume there.
+    """
 
     history: bytes = b""
     max_output: int = 1 << 31
+    on_block_boundary: Callable[[int, bool], None] | None = None
     _out: bytearray = field(init=False, repr=False)
     _base: int = field(init=False)
 
@@ -70,6 +80,7 @@ class InflateStream:
         self._emitted = self._base
         self._buf = bytearray()
         self._bits_consumed = 0  # within _buf
+        self._in_base = 0  # bits dropped from _buf by compaction
         self._state = _State.BLOCK_HEADER
         self._final_block = False
         self._stored_left = 0
@@ -110,6 +121,32 @@ class InflateStream:
             raise DeflateError("stream not finished")
         start = (self._bits_consumed + 7) // 8
         return bytes(self._buf[start:])
+
+    @property
+    def trailing_garbage_bytes(self) -> int:
+        """How many fed bytes lie past the final block (0 while decoding).
+
+        ``unused_bytes()`` hands the bytes back but their *count* used to
+        be implicit; container layers that only need to account for a
+        trailer (or report junk after it) read this without copying.
+        """
+        if self._state is not _State.DONE:
+            return 0
+        return len(self._buf) - (self._bits_consumed + 7) // 8
+
+    @property
+    def produced(self) -> int:
+        """Plaintext bytes emitted so far (excludes the history prefix)."""
+        return self._emitted - self._base
+
+    def window(self) -> bytes:
+        """The current 32 KiB back-reference window (history included).
+
+        A decode resumed from :class:`InflateStream` seeded with this as
+        ``history``, at the bit offset the block-boundary callback
+        reported, continues byte-identically — the seek-index contract.
+        """
+        return bytes(self._out[-32768:])
 
     # -- the resumable decode loop --------------------------------------------
 
@@ -197,7 +234,7 @@ class InflateStream:
 
     def _do_stored_data(self, reader: BitReader) -> bool:
         if self._stored_left == 0:
-            self._end_block()
+            self._end_block(reader)
             return True
         available = (len(self._buf) * 8 - reader.bits_consumed) // 8
         take = min(self._stored_left, available)
@@ -207,7 +244,7 @@ class InflateStream:
         self._emit(chunk)
         self._stored_left -= take
         if self._stored_left == 0:
-            self._end_block()
+            self._end_block(reader)
         return True
 
     def _do_dyn_counts(self, reader: BitReader) -> bool:
@@ -277,7 +314,7 @@ class InflateStream:
                 self._emit(bytes([sym]))
             elif sym == END_OF_BLOCK:
                 self._bits_consumed = reader.bits_consumed
-                self._end_block()
+                self._end_block(reader)
                 return True
             else:
                 if sym > 285:
@@ -318,9 +355,15 @@ class InflateStream:
         if self._emitted - self._base > self.max_output:
             raise DeflateError("output exceeds allowed size")
 
-    def _end_block(self) -> None:
+    def _end_block(self, reader: BitReader) -> None:
         self._state = (_State.DONE if self._final_block
                        else _State.BLOCK_HEADER)
+        if self.on_block_boundary is not None:
+            # reader.bits_consumed is exact within the current _buf even
+            # when the refill ran ahead; _in_base restores what
+            # compaction dropped, so the offset is absolute.
+            self.on_block_boundary(self._in_base + reader.bits_consumed,
+                                   self._final_block)
 
     def _compact(self) -> None:
         """Drop fully consumed input bytes and old output beyond the
@@ -329,6 +372,7 @@ class InflateStream:
         if drop:
             del self._buf[:drop]
             self._bits_consumed -= drop * 8
+            self._in_base += drop * 8
         excess = len(self._out) - 32768
         if excess > 0:
             del self._out[:excess]

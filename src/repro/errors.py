@@ -25,6 +25,16 @@ class HuffmanError(DeflateError):
     """An invalid Huffman code description (over/under-subscribed, etc.)."""
 
 
+class SeekIndexError(ReproError):
+    """A seek-index artifact is unreadable (bad magic, version, CRC...).
+
+    Deliberately *not* a :class:`DeflateError`: the compressed stream
+    itself may be perfectly fine — only the sidecar index is unusable.
+    Callers recover by falling back to a full serial decode; the index
+    layer never serves bytes from an artifact it cannot verify.
+    """
+
+
 class AcceleratorError(ReproError):
     """The accelerator model rejected or failed a job."""
 

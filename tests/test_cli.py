@@ -92,3 +92,68 @@ class TestSelftestCommand:
         assert main(["selftest"]) == 0
         assert "PASS" in capsys.readouterr().out
         assert main(["selftest", "--machine", "z15"]) == 0
+
+
+class TestCat:
+    """``repro cat``: full decode, sidecar index, ranged random reads."""
+
+    @pytest.fixture
+    def gz_pair(self, tmp_path):
+        """Two-member gzip archive on disk plus its plain bytes."""
+        a = generate("markov_text", 60000, seed=7)
+        b = generate("json_records", 40000, seed=8)
+        from repro.deflate.containers import gzip_compress
+
+        gz = tmp_path / "two.gz"
+        gz.write_bytes(gzip_compress(a, level=6)
+                       + gzip_compress(b, level=6))
+        return gz, a + b
+
+    def test_full_decode_writes_sidecar(self, gz_pair, tmp_path):
+        gz, plain = gz_pair
+        out = tmp_path / "plain.bin"
+        assert main(["cat", str(gz), "-o", str(out), "--workers", "1"]) \
+            == 0
+        assert out.read_bytes() == plain
+        assert gz.with_name(gz.name + ".rsix").exists()
+
+    def test_range_via_sidecar_index(self, gz_pair, tmp_path, capsys):
+        gz, plain = gz_pair
+        full = tmp_path / "full.bin"
+        main(["cat", str(gz), "-o", str(full), "--workers", "1"])
+        part = tmp_path / "part.bin"
+        assert main(["cat", str(gz), "--range", "61000:2048",
+                     "-o", str(part), "--workers", "1"]) == 0
+        assert part.read_bytes() == plain[61000:63048]
+        assert "via index" in capsys.readouterr().err
+
+    def test_range_without_index_falls_back(self, gz_pair, tmp_path,
+                                            capsys):
+        gz, plain = gz_pair
+        part = tmp_path / "part.bin"
+        assert main(["cat", str(gz), "--range", "100:50", "-o",
+                     str(part), "--no-index", "--workers", "1"]) == 0
+        assert part.read_bytes() == plain[100:150]
+        assert "full decode" in capsys.readouterr().err
+
+    def test_corrupt_sidecar_ignored_not_trusted(self, gz_pair,
+                                                 tmp_path, capsys):
+        gz, plain = gz_pair
+        gz.with_name(gz.name + ".rsix").write_bytes(b"RSIXgarbage")
+        part = tmp_path / "part.bin"
+        assert main(["cat", str(gz), "--range", "500:100", "-o",
+                     str(part), "--workers", "1"]) == 0
+        assert part.read_bytes() == plain[500:600]
+        assert "ignoring index" in capsys.readouterr().err
+
+    def test_bad_range_spec(self, gz_pair, capsys):
+        gz, _ = gz_pair
+        assert main(["cat", str(gz), "--range", "nonsense"]) != 0
+        assert "OFF:LEN" in capsys.readouterr().err
+        assert main(["cat", str(gz), "--range=-5:10"]) != 0
+
+    def test_stdout_path(self, gz_pair, capsysbinary):
+        gz, plain = gz_pair
+        assert main(["cat", str(gz), "--no-index", "--workers", "1"]) \
+            == 0
+        assert capsysbinary.readouterr().out == plain

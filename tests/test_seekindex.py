@@ -1,0 +1,198 @@
+"""Seek index: serialisation safety and random reads that skip work.
+
+The invariant under test: an index can be *lost* (unreadable blobs
+raise the typed ``SeekIndexError`` and callers fall back to a full
+decode) but it can never be *wrong* — no corruption of the sidecar may
+steer ``read_range`` toward bytes that differ from decompress-then-
+slice.
+"""
+
+import pytest
+
+from repro.deflate.containers import gzip_compress, zlib_compress
+from repro.deflate.parallel_inflate import parallel_inflate, read_range
+from repro.deflate.seekindex import (DEFAULT_SPACING, MAGIC, SeekIndex,
+                                     build_index)
+from repro.errors import DeflateError, ReproError, SeekIndexError
+from repro.obs.metrics import REGISTRY
+from repro.workloads.generators import generate
+
+
+@pytest.fixture(scope="module")
+def archive():
+    """Three-member gzip archive plus its plain bytes and index."""
+    parts = [generate("markov_text", 80000, seed=61),
+             generate("json_records", 60000, seed=62),
+             generate("binary_executable", 50000, seed=63)]
+    plain = b"".join(parts)
+    blob = b"".join(gzip_compress(p, level=6) for p in parts)
+    result = parallel_inflate(blob, "gzip", workers=1, build_index=True,
+                              index_spacing=32768)
+    assert result.data == plain
+    return blob, plain, result.index
+
+
+class TestRoundTrip:
+    def test_bytes_round_trip(self, archive):
+        _, _, index = archive
+        back = SeekIndex.from_bytes(index.to_bytes())
+        assert back.fmt == index.fmt
+        assert back.compressed_size == index.compressed_size
+        assert back.output_size == index.output_size
+        assert back.members == index.members
+        assert back.points == index.points
+
+    def test_save_load(self, archive, tmp_path):
+        _, _, index = archive
+        path = tmp_path / "a.rsix"
+        index.save(path)
+        assert SeekIndex.load(path).points == index.points
+
+    def test_build_index_function(self, archive):
+        blob, plain, _ = archive
+        index = build_index(blob, "gzip", spacing=32768)
+        assert index.output_size == len(plain)
+        assert index.compressed_size == len(blob)
+        rr = read_range(blob, 100000, 3000, index=index)
+        assert rr.data == plain[100000:103000]
+
+    def test_locate_monotonic(self, archive):
+        _, _, index = archive
+        offs = [p.out_offset for p in index.points]
+        assert offs == sorted(offs)
+        assert index.locate(0).out_offset == 0
+        late = index.locate(index.output_size - 1)
+        assert late.out_offset <= index.output_size - 1
+
+
+class TestCorruption:
+    """Every mutilation must raise SeekIndexError, never decode wrong."""
+
+    def test_bad_magic(self, archive):
+        _, _, index = archive
+        blob = bytearray(index.to_bytes())
+        blob[:4] = b"XSIX"
+        with pytest.raises(SeekIndexError):
+            SeekIndex.from_bytes(bytes(blob))
+
+    def test_unknown_version(self, archive):
+        _, _, index = archive
+        blob = bytearray(index.to_bytes())
+        blob[4] = 0xFF  # version low byte
+        with pytest.raises(SeekIndexError):
+            SeekIndex.from_bytes(bytes(blob))
+
+    @pytest.mark.parametrize("cut", [0, 3, 10, 40, -5, -1])
+    def test_truncation(self, archive, cut):
+        _, _, index = archive
+        blob = index.to_bytes()
+        with pytest.raises(SeekIndexError):
+            SeekIndex.from_bytes(blob[:cut if cut >= 0 else cut])
+
+    @pytest.mark.parametrize("pos", [6, 20, 100, -8])
+    def test_bit_flips_caught_by_crc(self, archive, pos):
+        _, _, index = archive
+        blob = bytearray(index.to_bytes())
+        blob[pos] ^= 0x01
+        with pytest.raises(SeekIndexError):
+            SeekIndex.from_bytes(bytes(blob))
+
+    def test_stray_trailing_bytes(self, archive):
+        _, _, index = archive
+        with pytest.raises(SeekIndexError):
+            SeekIndex.from_bytes(index.to_bytes() + b"\x00")
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(SeekIndexError):
+            SeekIndex.load(tmp_path / "nope.rsix")
+
+    def test_magic_constant(self):
+        assert MAGIC == b"RSIX"
+
+    def test_mismatched_payload_rejected(self, archive):
+        blob, _, index = archive
+        with pytest.raises(SeekIndexError):
+            read_range(blob[:-1], 0, 10, index=index)
+
+    def test_mismatched_fmt_rejected(self, archive):
+        blob, _, index = archive
+        with pytest.raises(SeekIndexError):
+            read_range(blob, 0, 10, index=index, fmt="zlib")
+
+
+class TestReadRange:
+    @pytest.mark.parametrize("kind", ["markov_text", "json_records",
+                                      "random_bytes", "zero_bytes",
+                                      "csv_table", "dna_sequence"])
+    def test_golden_parity_per_family(self, kind):
+        parts = [generate(kind, 45000, seed=s) for s in (71, 72)]
+        plain = b"".join(parts)
+        blob = b"".join(gzip_compress(p, level=6) for p in parts)
+        result = parallel_inflate(blob, "gzip", workers=1,
+                                  build_index=True, index_spacing=16384)
+        for off in (0, 1, 44999, 45000, 60001, len(plain) - 10):
+            rr = read_range(blob, off, 4096, index=result.index)
+            assert rr.data == plain[off:off + 4096], (kind, off)
+
+    def test_prefix_is_skipped(self, archive):
+        blob, plain, index = archive
+        off = 150000
+        rr = read_range(blob, off, 2000, index=index)
+        assert rr.data == plain[off:off + 2000]
+        assert rr.skipped_bytes > 0
+        assert rr.decoded_bytes < len(plain)
+        assert rr.skipped_bytes + rr.decoded_bytes >= off + 2000
+
+    def test_read_crossing_member_boundary(self, archive):
+        blob, plain, index = archive
+        off = 80000 - 500  # straddles member 0 -> 1
+        rr = read_range(blob, off, 1000, index=index)
+        assert rr.data == plain[off:off + 1000]
+
+    def test_clip_past_end(self, archive):
+        blob, plain, index = archive
+        rr = read_range(blob, len(plain) - 100, 5000, index=index)
+        assert rr.data == plain[-100:]
+
+    def test_zero_length(self, archive):
+        blob, _, index = archive
+        assert read_range(blob, 1000, 0, index=index).data == b""
+
+    def test_negative_rejected(self, archive):
+        blob, _, index = archive
+        with pytest.raises(DeflateError):
+            read_range(blob, -1, 10, index=index)
+        with pytest.raises(DeflateError):
+            read_range(blob, 0, -10, index=index)
+
+    def test_zlib_index_round_trip(self):
+        data = generate("markov_text", 90000, seed=73)
+        blob = zlib_compress(data, level=6)
+        result = parallel_inflate(blob, "zlib", workers=1,
+                                  build_index=True, index_spacing=16384)
+        rr = read_range(blob, 40000, 1000, index=result.index)
+        assert rr.data == data[40000:41000]
+
+    def test_metrics_record_skip(self, archive):
+        blob, plain, index = archive
+        REGISTRY.enabled = True
+        try:
+            REGISTRY.reset()
+            read_range(blob, 150000, 1024, index=index)
+            snap = REGISTRY.snapshot()
+            skipped = snap["repro_inflate_range_skipped_bytes_total"]
+            assert skipped["values"][0]["value"] > 0
+            reads = snap["repro_inflate_random_reads_total"]
+            assert reads["values"][0]["value"] == 1
+        finally:
+            REGISTRY.enabled = False
+            REGISTRY.reset()
+
+    def test_default_spacing_sane(self):
+        assert DEFAULT_SPACING == 1 << 20
+
+
+class TestReproErrorHierarchy:
+    def test_seekindexerror_is_reproerror_not_deflate(self):
+        assert issubclass(SeekIndexError, ReproError)
+        assert not issubclass(SeekIndexError, DeflateError)

@@ -1,10 +1,15 @@
 """CI smoke test for the process-based execution layer.
 
-Three checks, all host-independent (they hold even on a 1-CPU runner):
+Five checks, all host-independent (they hold even on a 1-CPU runner):
 
 * a 2-worker pool-backed ``parallel_deflate`` produces **byte-identical**
   output to the serial path (the pigz-style chunking is deterministic,
   so worker count must never change the stream);
+* a 2-worker pool-backed ``parallel_inflate`` on a multi-member gzip
+  archive is byte-identical to the serial decode for the same input
+  (speculation may win or lose, it must never change bytes);
+* a ``read_range`` through the seek index recorded during that decode
+  returns golden bytes while *skipping* the uncompressed prefix;
 * a warm pool beats a cold one on the same call (the whole point of
   persistent workers is not paying spawn per call — this is true on any
   host, unlike multi-core scaling);
@@ -43,6 +48,35 @@ def main() -> int:
         print("parallel smoke FAILED: round-trip mismatch")
         return 1
 
+    # Pooled speculative inflate: byte parity on a multi-member gzip
+    # archive, then one indexed random read that skips the prefix.
+    from repro.deflate.containers import gzip_compress
+    from repro.deflate.parallel_inflate import parallel_inflate, read_range
+
+    second = generate("json_records", 131072, seed=34)
+    plain = corpus + second
+    archive = gzip_compress(corpus, level=6) + gzip_compress(second,
+                                                             level=6)
+    serial_inf = parallel_inflate(archive, "gzip", workers=1,
+                                  chunk_size=chunk)
+    pooled_inf = parallel_inflate(archive, "gzip", workers=2,
+                                  chunk_size=chunk, build_index=True,
+                                  index_spacing=65536)
+    if pooled_inf.data != plain or serial_inf.data != plain:
+        print("parallel smoke FAILED: parallel inflate output differs "
+              f"from golden ({len(pooled_inf.data)} vs {len(plain)})")
+        return 1
+    off, length = len(corpus) + 1000, 2048
+    rr = read_range(archive, off, length, index=pooled_inf.index)
+    if rr.data != plain[off:off + length]:
+        print("parallel smoke FAILED: indexed --range read returned "
+              "wrong bytes")
+        return 1
+    if rr.skipped_bytes <= 0:
+        print("parallel smoke FAILED: indexed range read decoded the "
+              f"whole prefix (skipped {rr.skipped_bytes} bytes)")
+        return 1
+
     # Warm-vs-cold: same call, with and without a pre-started pool.
     shutdown_default_pool()
     t0 = time.perf_counter()
@@ -67,7 +101,10 @@ def main() -> int:
         return 1
     print(f"parallel smoke passed: {len(corpus)} bytes, "
           f"2-worker output byte-identical to serial "
-          f"({len(serial)} bytes); cold {cold_s * 1e3:.1f} ms, "
+          f"({len(serial)} bytes); inflate parity on "
+          f"{len(archive)}-byte 2-member archive "
+          f"({pooled_inf.chunks_used} chunks used); range read skipped "
+          f"{rr.skipped_bytes} prefix bytes; cold {cold_s * 1e3:.1f} ms, "
           f"warm {warm_s * 1e3:.1f} ms "
           f"({cold_s / warm_s:.1f}x); {restarts} worker restarts; "
           "0 leaked segments")

@@ -35,12 +35,13 @@ a floor would read improvements as regressions.  ``--skip-service`` /
 ``--service-only`` / ``--fresh-service FILE`` mirror the obs flags.
 
 A fourth section gates the process execution layer: the warm-pool
-parallel-deflate sweep from the hot-path bench must not collapse
-against the committed per-worker-count rates, and on a multi-core host
-the warm 2-worker rate must beat the warm 1-worker rate (on a 1-CPU
-host the speedup check is skipped — ``meta.cpus`` decides, so a small
-CI box cannot fake or mask scaling).  ``--skip-parallel`` /
-``--parallel-only`` mirror the other section flags.
+parallel-deflate *and* speculative parallel-inflate sweeps from the
+hot-path bench must not collapse against the committed per-worker-count
+rates, and on a multi-core host each sweep's warm 2-worker rate must
+beat its warm 1-worker rate (on a 1-CPU host the speedup check is
+skipped — ``meta.cpus`` decides, so a small CI box cannot fake or mask
+scaling).  ``--skip-parallel`` / ``--parallel-only`` mirror the other
+section flags.
 """
 
 from __future__ import annotations
@@ -118,9 +119,9 @@ def gate_service(fresh: dict, baseline: dict,
     return failures
 
 
-def gate_parallel(fresh: dict, baseline: dict,
-                  tolerance: float) -> list[str]:
-    """Floor + scaling sanity on the warm-pool parallel sweep.
+def _gate_sweep(fresh: dict, baseline: dict, key: str,
+                tolerance: float) -> list[str]:
+    """Floor + scaling sanity on one warm-pool worker sweep.
 
     Per-worker-count warm rates obey the same relative floor as the
     scalar kernels.  The scaling check (warm 2-worker > warm 1-worker)
@@ -130,28 +131,28 @@ def gate_parallel(fresh: dict, baseline: dict,
     nothing anywhere.
     """
     failures: list[str] = []
-    committed = baseline.get("results", {}).get("parallel_deflate_mbps")
-    measured = fresh.get("results", {}).get("parallel_deflate_mbps")
+    committed = baseline.get("results", {}).get(key)
+    measured = fresh.get("results", {}).get(key)
     if not isinstance(measured, dict) or not measured:
-        return ["parallel_deflate_mbps: missing from fresh run"]
+        if isinstance(committed, dict):
+            return [f"{key}: missing from fresh run"]
+        return []  # neither side has the sweep: nothing to gate
     if isinstance(committed, dict):
         for count, base in committed.items():
             got = measured.get(count)
             if not isinstance(got, (int, float)):
                 failures.append(
-                    f"parallel_deflate_mbps[{count}w]: missing "
-                    "from fresh run")
+                    f"{key}[{count}w]: missing from fresh run")
                 continue
             floor = (1.0 - tolerance) * base
             if got < floor:
                 failures.append(
-                    f"parallel_deflate_mbps[{count}w]: {got:.3f} MB/s "
+                    f"{key}[{count}w]: {got:.3f} MB/s "
                     f"< floor {floor:.3f} (committed {base:.3f})")
-    if not isinstance(
-            fresh.get("results", {}).get("parallel_deflate_cold_mbps"),
-            dict):
+    cold_key = key.replace("_mbps", "_cold_mbps")
+    if not isinstance(fresh.get("results", {}).get(cold_key), dict):
         failures.append(
-            "parallel_deflate_cold_mbps: missing from fresh run "
+            f"{cold_key}: missing from fresh run "
             "(cold/warm split not recorded)")
     cpus = fresh.get("meta", {}).get("cpus", 1)
     warm1 = measured.get("1")
@@ -160,9 +161,26 @@ def gate_parallel(fresh: dict, baseline: dict,
             and isinstance(warm2, (int, float)) and warm1 > 0:
         if warm2 <= warm1:
             failures.append(
-                f"warm pool does not scale on {cpus} CPUs: "
+                f"{key}: warm pool does not scale on {cpus} CPUs: "
                 f"2 workers {warm2:.3f} MB/s <= 1 worker "
                 f"{warm1:.3f} MB/s")
+    return failures
+
+
+def gate_parallel(fresh: dict, baseline: dict,
+                  tolerance: float) -> list[str]:
+    """Gate both directions of the execution layer: the chunked
+    parallel-deflate sweep and the speculative parallel-inflate sweep.
+    The deflate sweep is mandatory; the inflate sweep is gated whenever
+    either side recorded it."""
+    failures = _gate_sweep(fresh, baseline, "parallel_deflate_mbps",
+                           tolerance)
+    if not failures and not isinstance(
+            fresh.get("results", {}).get("parallel_deflate_mbps"), dict):
+        # Mandatory even when the committed baseline predates the sweep.
+        failures.append("parallel_deflate_mbps: missing from fresh run")
+    failures += _gate_sweep(fresh, baseline, "parallel_inflate_mbps",
+                            tolerance)
     return failures
 
 
@@ -258,17 +276,18 @@ def main(argv: list[str] | None = None) -> int:
         else:
             baseline = json.loads(args.baseline.read_text())
             failures += gate_parallel(fresh, baseline, args.tolerance)
-            warm = fresh.get("results", {}).get(
-                "parallel_deflate_mbps", {})
-            cold = fresh.get("results", {}).get(
-                "parallel_deflate_cold_mbps", {})
             cpus = fresh.get("meta", {}).get("cpus", 1)
-            for count in sorted(warm, key=int):
-                print(f"  parallel {count}w: warm "
-                      f"{warm[count]:8.3f} MB/s  cold "
-                      f"{cold.get(count, 0.0):8.3f} MB/s"
-                      + ("" if count == "1" else
-                         f"  ({cpus} CPU host)"))
+            for label, key in (("deflate", "parallel_deflate_mbps"),
+                               ("inflate", "parallel_inflate_mbps")):
+                warm = fresh.get("results", {}).get(key, {})
+                cold = fresh.get("results", {}).get(
+                    key.replace("_mbps", "_cold_mbps"), {})
+                for count in sorted(warm, key=int):
+                    print(f"  parallel {label} {count}w: warm "
+                          f"{warm[count]:8.3f} MB/s  cold "
+                          f"{cold.get(count, 0.0):8.3f} MB/s"
+                          + ("" if count == "1" else
+                             f"  ({cpus} CPU host)"))
 
     if not args.skip_obs and not (args.service_only
                                   or args.parallel_only):
