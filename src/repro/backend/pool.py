@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 from ..errors import (AcceleratorError, ChipUnavailable, ConfigError,
                       DeadlineExceeded, ExecError, WorkerCrash)
 from ..nx.params import POWER9, MachineParams, Topology, get_machine
+from ..obs.flight import FLIGHT as _FLIGHT
 from ..obs.metrics import REGISTRY as _REGISTRY
 from ..obs.trace import TRACE as _TRACE
 from ..perf.routing import MultiChipRouter, RoutingResult, choose_chip
@@ -282,6 +283,7 @@ class AcceleratorPool:
         if not available:
             if self.allow_software_rescue:
                 _TRACE.event("pool.all_chips_down")
+                _FLIGHT.auto_dump("all_chips_down", chips=self.chips)
                 return SOFTWARE
             raise ChipUnavailable(
                 "every chip's circuit breaker is open")
@@ -316,6 +318,18 @@ class AcceleratorPool:
 
     def _route_traced(self, nbytes: int, home: int) -> int:
         """Route + probes + dispatch accounting, under a span."""
+        chip, _span = self._route_spanned(nbytes, home)
+        return chip
+
+    def _route_spanned(self, nbytes: int, home: int) -> tuple[int, object]:
+        """Like :meth:`_route_traced`, also returning the route span.
+
+        The (closed) ``pool.route`` span is the parent that worker-side
+        spans folded back from the execution layer nest under — fold
+        only reads its identifiers, so handing out a finished span is
+        fine.
+        """
+        span = None
         if _TRACE.enabled:
             with _TRACE.span("pool.route", policy=self.policy,
                              nbytes=nbytes, home=home) as span:
@@ -324,7 +338,7 @@ class AcceleratorPool:
         else:
             chip = self._route_healthy(nbytes, home)
         self._dispatch(chip)
-        return chip
+        return chip, span
 
     def _route_healthy(self, nbytes: int, home: int) -> int:
         """One routing tick; half-open picks must pass their probes."""
@@ -336,6 +350,7 @@ class AcceleratorPool:
         # Every half-open candidate failed its probe this tick.
         if self.allow_software_rescue:
             _TRACE.event("pool.all_chips_down")
+            _FLIGHT.auto_dump("all_chips_down", chips=self.chips)
             return SOFTWARE
         raise ChipUnavailable("no chip passed its recovery probe")
 
@@ -382,6 +397,8 @@ class AcceleratorPool:
             # A late chip is a sick chip, but the deadline is the
             # caller's contract — no software rescue behind its back.
             self._note_health(chip, healthy=False)
+            _FLIGHT.auto_dump("deadline_exceeded", layer="pool",
+                              kind="compress", chip=chip, nbytes=len(data))
             raise
         except AcceleratorError as exc:
             if chip == SOFTWARE:
@@ -408,6 +425,9 @@ class AcceleratorPool:
                                             deadline_s=deadline_s)
         except DeadlineExceeded:
             self._note_health(chip, healthy=False)
+            _FLIGHT.auto_dump("deadline_exceeded", layer="pool",
+                              kind="decompress", chip=chip,
+                              nbytes=len(payload))
             raise
         except AcceleratorError as exc:
             if chip == SOFTWARE:
@@ -440,6 +460,8 @@ class AcceleratorPool:
         with self._lock:
             self.rescues += 1
         _TRACE.event("pool.rescue", kind=kind, cause=type(cause).__name__)
+        _FLIGHT.record("pool.rescue", kind=kind,
+                       cause=type(cause).__name__, nbytes=len(data))
         if _REGISTRY.enabled:
             _REGISTRY.counter(
                 "repro_resilience_rescues_total",
@@ -466,6 +488,8 @@ class AcceleratorPool:
         backend_name = ("software" if chip == SOFTWARE
                         else self.backend_name)
         note_mismatch(backend_name, fmt, len(original))
+        _FLIGHT.auto_dump("verify_failure", backend=backend_name,
+                          fmt=fmt, chip=chip, nbytes=len(original))
         with self._lock:
             self.verify_failures += 1
         self._note_health(chip, healthy=False)
@@ -495,7 +519,7 @@ class AcceleratorPool:
     def _submit(self, kind: str, data: bytes, strategy: object,
                 fmt: str | None, home: int,
                 deadline_s: float | None = None) -> PoolJob:
-        chip = self._route_traced(len(data), home)
+        chip, route_span = self._route_spanned(len(data), home)
         backend = self.backend_for(chip)
         fmt = fmt or backend.capabilities().default_format
         with self._lock:
@@ -522,7 +546,8 @@ class AcceleratorPool:
             # _finish_pending path as driver completions, so rescue,
             # breakers, and verify behave identically.
             pending = self._submit_exec(chip, kind, data, strategy, fmt,
-                                        deadline_s)
+                                        deadline_s,
+                                        span_parent=route_span)
             with self._lock:
                 self._pending_bytes[chip] += len(data)
                 self._by_pending[(chip, pending.sequence)] = job
@@ -600,8 +625,15 @@ class AcceleratorPool:
 
     def _submit_exec(self, chip: int, kind: str, data: bytes,
                      strategy: str, fmt: str,
-                     deadline_s: float | None) -> _ExecPending:
-        """Ship one job to a pool worker; payload via shared memory."""
+                     deadline_s: float | None,
+                     span_parent: object = None) -> _ExecPending:
+        """Ship one job to a pool worker; payload via shared memory.
+
+        ``span_parent`` (normally the request's ``pool.route`` span) is
+        where the worker's folded spans nest; the current wire trace
+        context rides along as a ``traceparent`` so the worker's root
+        span also joins the originating trace on the wire level.
+        """
         pool = self._exec_pool
         allocator = pool.allocator
         src_slab = allocator.acquire(max(1, len(data)))
@@ -614,9 +646,12 @@ class AcceleratorPool:
             cap = len(data) + len(data) // 4 + 256
             out_slab = allocator.acquire(cap)
             out = (out_slab.name, 0, cap)
+        ctx = _TRACE.current_ctx()
         exec_job = pool.submit(
             "backend_job",
-            span_parent=_TRACE.current(),
+            span_parent=(span_parent if span_parent is not None
+                         else _TRACE.current()),
+            traceparent=ctx.to_traceparent() if ctx else None,
             backend=self.backend_name,
             machine=self.machine.name,
             backend_kwargs=self._backend_kwargs,

@@ -11,9 +11,14 @@ Commands:
 * ``advise``     — offload advice for a request size
 * ``ratio``      — compare codec ratios on a file or named generator
 * ``stats``      — telemetry snapshot: metrics registry + engine health
+  (or ``--url`` to scrape a live server's ops endpoint)
 * ``chaos``      — seeded fault-injection survival campaign
-* ``serve``      — compression job server (QoS queues, batching)
+* ``serve``      — compression job server (QoS queues, batching);
+  ``--http-port`` adds the ops plane (``/metrics`` ``/healthz``
+  ``/traces/recent`` ``/flight`` ``/ops``)
 * ``submit``     — client: send a file to a running server
+* ``top``        — live fleet view: poll a server's ops endpoint and
+  render rolling-window latency/throughput/shed/breaker state
 
 Telemetry is off by default; ``repro --trace <command>`` records spans
 for every job and writes a Chrome ``trace_event`` JSON (open it in
@@ -172,6 +177,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument("--format", default="both",
                          choices=["json", "prometheus", "both"],
                          help="snapshot rendering (default: both)")
+    p_stats.add_argument("--url", default=None,
+                         help="scrape a live server's ops endpoint "
+                              "(e.g. http://127.0.0.1:8080) instead of "
+                              "probing local engines")
 
     p_chaos = sub.add_parser(
         "chaos", help="seeded fault-injection survival campaign")
@@ -220,6 +229,11 @@ def build_parser() -> argparse.ArgumentParser:
                               "processes (zero-copy shared-memory "
                               "payloads; the dispatcher stays an I/O "
                               "loop)")
+    p_serve.add_argument("--http-port", type=int, default=None,
+                         help="also serve the HTTP ops plane on this "
+                              "port (0 = ephemeral; adds /metrics, "
+                              "/healthz, /traces/recent, /flight, /ops "
+                              "and enables tracing+metrics)")
     _add_machine_arg(p_serve)
     _add_backend_args(p_serve)
 
@@ -240,6 +254,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_sub.add_argument("--retries", type=int, default=3,
                        help="retry budget for overload rejections "
                             "(default: 3, honouring retry_after_s)")
+
+    p_top = sub.add_parser(
+        "top", help="live fleet view over a server's HTTP ops plane")
+    p_top.add_argument("--url", required=True,
+                       help="ops base URL, e.g. http://127.0.0.1:8080")
+    p_top.add_argument("--interval", type=float, default=2.0,
+                       help="seconds between refreshes (default: 2)")
+    p_top.add_argument("--once", action="store_true",
+                       help="print one snapshot and exit (scripts/CI)")
     return parser
 
 
@@ -509,6 +532,8 @@ def cmd_stats(args: argparse.Namespace) -> int:
     from . import obs
     from .nx.selftest import run_selftest
 
+    if args.url is not None:
+        return _stats_scrape(args)
     obs.enable(trace=False, metrics=True)
     machines = [args.machine] if args.machine else sorted(MACHINES)
     for name in machines:
@@ -520,6 +545,83 @@ def cmd_stats(args: argparse.Namespace) -> int:
     if args.format in ("prometheus", "both"):
         print(registry.to_prometheus())
     return 0
+
+
+def _ops_get(base: str, path: str) -> bytes:
+    """One GET against a server's ops plane; ReproError on failure."""
+    import urllib.error
+    import urllib.request
+
+    url = base.rstrip("/") + path
+    try:
+        with urllib.request.urlopen(url, timeout=10.0) as response:
+            return response.read()
+    except (urllib.error.URLError, OSError) as exc:
+        raise ReproError(f"cannot reach ops endpoint {url}: {exc}") \
+            from exc
+
+
+def _stats_scrape(args: argparse.Namespace) -> int:
+    import json as _json
+
+    if args.format in ("json", "both"):
+        print(_json.dumps(_json.loads(_ops_get(args.url, "/ops")),
+                          indent=2, sort_keys=True))
+    if args.format in ("prometheus", "both"):
+        print(_ops_get(args.url, "/metrics").decode(errors="replace"),
+              end="")
+    return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Poll ``/ops`` and render the fleet view; ctrl-C exits."""
+    import json as _json
+    import time as _time
+
+    while True:
+        ops = _json.loads(_ops_get(args.url, "/ops"))
+        print(render_top(ops, args.url))
+        if args.once:
+            return 0
+        try:
+            _time.sleep(max(0.1, args.interval))
+        except KeyboardInterrupt:
+            return 0
+
+
+def render_top(ops: dict, url: str) -> str:
+    """The ``repro top`` screen for one ``/ops`` document."""
+    lines = [f"repro top — {url}  (uptime "
+             f"{ops.get('uptime_s', 0.0):.0f}s)"]
+    service = ops.get("service")
+    if service:
+        lines.append(
+            f"  service: {service.get('state', '?')}  "
+            f"accepted {service.get('accepted', 0)}  "
+            f"completed {service.get('completed', 0)}  "
+            f"rejected {service.get('rejected', 0)}  "
+            f"expired {service.get('expired', 0)}  "
+            f"queued {service.get('queued', 0)}")
+        breakers = ops.get("breakers") or {}
+        if breakers:
+            states = " ".join(f"chip{chip}:{state}"
+                              for chip, state in sorted(breakers.items()))
+            lines.append(f"  breakers: {states}")
+    windows = ops.get("windows") or {}
+    if windows:
+        table = Table(headers=["window metric", "labels", "count",
+                               "rate/s", "mean", "p50", "p99"])
+        for name in sorted(windows):
+            for labels, stats in sorted(windows[name].items()):
+                table.add(name, labels or "-", stats.get("count", 0),
+                          f"{stats.get('rate_per_s', 0.0):.2f}",
+                          f"{stats.get('mean', 0.0):.4g}",
+                          f"{stats.get('p50', 0.0):.4g}",
+                          f"{stats.get('p99', 0.0):.4g}")
+        lines.append(table.render("rolling windows (last 60s)"))
+    else:
+        lines.append("  no rolling-window samples yet")
+    return "\n".join(lines)
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
@@ -555,10 +657,27 @@ def _cmd_chaos_under_load(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
+    import signal as _signal
     import time as _time
 
     from .service import CompressionService, serve
 
+    # SIGTERM must drain like ctrl-C does: the default disposition
+    # kills the dispatcher without running cleanup, orphaning pool
+    # worker processes (which then hold inherited pipes open forever).
+    def _graceful(_signum, _frame):
+        raise KeyboardInterrupt
+
+    _signal.signal(_signal.SIGTERM, _graceful)
+
+    ops = None
+    if args.http_port is not None:
+        # The ops plane is only as good as its telemetry: turn the
+        # collectors on before the service starts taking jobs.
+        from . import obs
+        from .obs.http import OpsServer
+
+        obs.enable(trace=True, metrics=True)
     service = CompressionService(machine=args.machine, chips=args.chips,
                                  policy=args.policy,
                                  backend=args.backend,
@@ -568,6 +687,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
     print(f"serving on {args.host}:{server.port} "
           f"(machine {args.machine}, {args.chips} chip(s), "
           f"policy {args.policy})", flush=True)
+    if args.http_port is not None:
+        ops = OpsServer(service=service, host=args.host,
+                        port=args.http_port)
+        ops.start()
+        print(f"ops on http://{args.host}:{ops.port} "
+              f"(/metrics /healthz /traces/recent /flight /ops)",
+              flush=True)
     try:
         if args.duration_s is not None:
             _time.sleep(args.duration_s)
@@ -577,6 +703,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         pass
     finally:
+        if ops is not None:
+            ops.stop()
         server.shutdown()
         service.close()
         stats = service.stats()
@@ -624,6 +752,7 @@ _COMMANDS = {
     "chaos": cmd_chaos,
     "serve": cmd_serve,
     "submit": cmd_submit,
+    "top": cmd_top,
 }
 
 

@@ -16,6 +16,7 @@ from ..backend.registry import create_backend
 from ..deflate import gzip_decompress, inflate, zlib_decompress
 from ..errors import ConfigError
 from ..nx.params import POWER9, MachineParams, get_machine
+from ..obs.flight import FLIGHT as _FLIGHT
 from ..obs.metrics import REGISTRY as _REGISTRY
 from ..obs.metrics import record_job
 from ..obs.trace import TRACE as _TRACE
@@ -268,6 +269,9 @@ class NxGzip:
         self.stats.modelled_seconds += result.stats.elapsed_seconds
         self.stats.faults += result.stats.translation_faults
         self.stats.fallbacks += int(result.stats.fallback_to_software)
+        # One compact ring append per job: the always-on black box.
+        _FLIGHT.record("api." + op, nbytes=nin, out=nout,
+                       backend=self.backend_name)
         if _REGISTRY.enabled:
             # SessionStats stays the per-session view; the registry is
             # the cross-session aggregate fed from the same point.

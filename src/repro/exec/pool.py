@@ -41,6 +41,7 @@ import threading
 import time
 
 from ..errors import ConfigError, ExecError, WorkerCrash
+from ..obs.flight import FLIGHT as _FLIGHT
 from ..obs.metrics import REGISTRY as _REGISTRY
 from ..obs.trace import TRACE as _TRACE
 from .shm import SlabAllocator
@@ -255,7 +256,8 @@ class ProcessWorkerPool:
 
     def submit(self, fn: str, *, span_parent: object = None,
                trace: bool | None = None, metrics: bool = False,
-               delay_s: float | None = None, **kwargs) -> ExecJob:
+               delay_s: float | None = None,
+               traceparent: str | None = None, **kwargs) -> ExecJob:
         """Queue one job; returns a handle resolved by poll/wait.
 
         ``fn`` names a registered worker function; ``kwargs`` are its
@@ -263,7 +265,9 @@ class ProcessWorkerPool:
         the worker's folded spans will nest under; ``trace`` defaults to
         the global tracer's enabled flag.  ``metrics=True`` additionally
         captures a worker-side metrics snapshot, merged into the global
-        registry at completion.
+        registry at completion.  ``traceparent`` (a W3C-style header
+        string) rides in the job descriptor so the worker's root span
+        joins the originating wire trace.
         """
         self._ensure_started()
         opts = {
@@ -271,6 +275,8 @@ class ProcessWorkerPool:
             "metrics": metrics,
             "delay_s": self.default_delay_s if delay_s is None else delay_s,
         }
+        if traceparent:
+            opts["traceparent"] = traceparent
         with self._lock:
             job_id = next(self._next_job)
             job = ExecJob(job_id, fn, (fn, kwargs, opts), span_parent)
@@ -412,6 +418,12 @@ class ProcessWorkerPool:
                     worker=worker_id, exitcode=exitcode)
                 job.done = True
                 self.jobs_completed += 1
+                _FLIGHT.auto_dump("worker_crash", pool=self.name,
+                                  worker=worker_id, exitcode=exitcode,
+                                  job_id=job.job_id, fn=job.fn)
+            else:
+                _FLIGHT.record("exec.worker_exit", pool=self.name,
+                               worker=worker_id, exitcode=exitcode)
             if self.broken:
                 continue
             if self.worker_restarts >= self.restart_cap:
@@ -473,7 +485,9 @@ class ProcessWorkerPool:
 
     def run_batch(self, calls: list[tuple[str, dict]], *,
                   span_parent: object = None, crash_retries: int = 2,
-                  timeout_s: float | None = None) -> list[object]:
+                  timeout_s: float | None = None,
+                  traceparent: str | None = None,
+                  metrics: bool = False) -> list[object]:
         """Run ``calls`` (``(fn, kwargs)`` pairs) and return results in
         order.
 
@@ -482,7 +496,9 @@ class ProcessWorkerPool:
         their descriptors, so re-execution is safe.  Any other failure
         (or crash-retry exhaustion) raises that job's error.
         """
-        jobs = [self.submit(fn, span_parent=span_parent, **kwargs)
+        jobs = [self.submit(fn, span_parent=span_parent,
+                            traceparent=traceparent, metrics=metrics,
+                            **kwargs)
                 for fn, kwargs in calls]
         retries_left = crash_retries
         while True:

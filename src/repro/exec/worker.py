@@ -37,6 +37,7 @@ from importlib import import_module
 from typing import Callable
 
 from ..errors import ExecError
+from ..obs.context import TraceContext
 from ..obs.metrics import REGISTRY as _REGISTRY
 from ..obs.trace import TRACE as _TRACE
 from . import shm
@@ -56,6 +57,7 @@ def in_worker() -> bool:
 _WORKER_FNS: dict[str, Callable | str] = {
     "echo": "repro.exec.worker:echo",
     "crash": "repro.exec.worker:crash",
+    "crash_once": "repro.exec.worker:crash_once",
     "backend_job": "repro.exec.worker:backend_job",
     "deflate_chunk": "repro.deflate.parallel:deflate_chunk_job",
     "inflate_chunk": "repro.deflate.parallel_inflate:inflate_chunk_job",
@@ -71,14 +73,27 @@ def register_worker_fn(name: str, fn: Callable | str,
 
 
 def resolve_worker_fn(name: str) -> Callable:
+    """Resolve a job-fn name to a callable, importing lazily.
+
+    A name spelled ``module:attr`` resolves by import even without a
+    prior :func:`register_worker_fn` — registrations made in the
+    submitting process don't propagate to spawned workers, so a fully
+    qualified name is the portable way to ship a custom fn.
+    """
     try:
         fn = _WORKER_FNS[name]
     except KeyError:
-        raise ExecError(f"unknown worker fn {name!r}; "
-                        f"have {sorted(_WORKER_FNS)}") from None
+        if ":" not in name:
+            raise ExecError(f"unknown worker fn {name!r}; "
+                            f"have {sorted(_WORKER_FNS)}") from None
+        fn = name
     if isinstance(fn, str):
         module_name, _, attr = fn.partition(":")
-        fn = getattr(import_module(module_name), attr)
+        try:
+            fn = getattr(import_module(module_name), attr)
+        except (ImportError, AttributeError) as exc:
+            raise ExecError(
+                f"cannot resolve worker fn {name!r}: {exc}") from exc
         _WORKER_FNS[name] = fn
     return fn
 
@@ -92,6 +107,22 @@ def echo(value: object = None) -> object:
 
 def crash(exitcode: int = 13) -> None:
     """Kill this worker mid-job (crash-recovery tests and chaos)."""
+    os._exit(exitcode)
+
+
+def crash_once(marker: str, value: object = None,
+               exitcode: int = 13) -> object:
+    """Crash the first time, succeed on resubmission.
+
+    ``marker`` is a filesystem path used as a cross-process latch: the
+    first call creates it and kills the worker; the retry sees it and
+    returns ``value``.  Exercises the exactly-once telemetry-fold
+    guarantee across a crash/resubmit cycle.
+    """
+    if os.path.exists(marker):
+        return value
+    with open(marker, "w"):
+        pass
     os._exit(exitcode)
 
 
@@ -153,6 +184,13 @@ def _run_traced(fn: Callable, args: tuple, kwargs: dict,
     The worker's *global* tracer/registry are enabled for the duration
     so the ordinary ``TRACE.enabled`` guards inside the kernels fire;
     both are reset afterwards, leaving nothing behind between jobs.
+
+    Traced jobs run under a ``worker.job`` root span.  When the
+    descriptor carries a wire trace context (``opts["traceparent"]``,
+    forwarded from the submitting process), the root span joins that
+    trace — the parent's :meth:`~repro.obs.trace.Tracer.fold` re-parents
+    it locally, and the wire id keeps the join valid even when the spans
+    are exported straight from a worker dump.
     """
     want_trace = bool(opts.get("trace"))
     want_metrics = bool(opts.get("metrics"))
@@ -165,7 +203,18 @@ def _run_traced(fn: Callable, args: tuple, kwargs: dict,
     result: object = None
     error: BaseException | None = None
     try:
-        result = fn(*args, **kwargs)
+        if want_trace:
+            parsed = TraceContext.parse(opts.get("traceparent"))
+            ctx = parsed.child() if parsed else None
+            with _TRACE.span("worker.job", ctx=ctx, pid=os.getpid()) \
+                    as root:
+                try:
+                    result = fn(*args, **kwargs)
+                except BaseException as exc:
+                    root.set(error=type(exc).__name__)
+                    raise
+        else:
+            result = fn(*args, **kwargs)
     except BaseException as exc:
         error = exc
     spans = metrics = None

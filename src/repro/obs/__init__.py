@@ -28,21 +28,27 @@ from __future__ import annotations
 
 import pathlib
 
+from .context import TraceContext
 from .export import (spans_to_chrome_trace, spans_to_jsonl,
-                     write_chrome_trace, write_spans_jsonl)
+                     spans_to_trees, write_chrome_trace,
+                     write_spans_jsonl)
+from .flight import FLIGHT, FlightRecorder
+from .http import OpsServer
 from .metrics import (LATENCY_BUCKETS, RATIO_BUCKETS, SIZE_BUCKETS,
                       REGISTRY, Counter, Gauge, Histogram, MetricsRegistry,
-                      record_job, record_service_request)
+                      RollingWindow, record_job, record_service_request)
 from .trace import NULL_SPAN, TRACE, Span, SpanEvent, Tracer
 
 __all__ = [
     "enable", "disable", "reset", "tracing_enabled", "metrics_enabled",
-    "tracer", "registry", "export_chrome_trace", "export_spans_jsonl",
+    "tracer", "registry", "flight", "export_chrome_trace",
+    "export_spans_jsonl",
     "Tracer", "Span", "SpanEvent", "MetricsRegistry",
-    "Counter", "Gauge", "Histogram", "record_job",
+    "Counter", "Gauge", "Histogram", "RollingWindow", "record_job",
     "record_service_request",
+    "TraceContext", "FlightRecorder", "FLIGHT", "OpsServer",
     "TRACE", "REGISTRY", "NULL_SPAN",
-    "spans_to_chrome_trace", "spans_to_jsonl",
+    "spans_to_chrome_trace", "spans_to_jsonl", "spans_to_trees",
     "write_chrome_trace", "write_spans_jsonl",
     "LATENCY_BUCKETS", "SIZE_BUCKETS", "RATIO_BUCKETS",
 ]
@@ -84,6 +90,11 @@ def tracer() -> Tracer:
 def registry() -> MetricsRegistry:
     """The process-global metrics registry."""
     return REGISTRY
+
+
+def flight() -> FlightRecorder:
+    """The process-global flight recorder (on by default)."""
+    return FLIGHT
 
 
 def export_chrome_trace(path: str | pathlib.Path) -> pathlib.Path:

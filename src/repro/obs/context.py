@@ -1,0 +1,101 @@
+"""Wire-level trace context: W3C-traceparent-style ids.
+
+The tracer's local ``trace_id``/``span_id`` integers are process-private
+counters — cheap, but meaningless outside the process that allocated
+them.  A :class:`TraceContext` is the portable identity that survives
+the trip across the service socket and the exec completion channel:
+a 16-byte trace id and an 8-byte span id, rendered exactly like a W3C
+``traceparent`` header (``00-<32 hex>-<16 hex>-01``) so any external
+tool that speaks trace-context can join our traces.
+
+Propagation model (one header field, no clock coordination):
+
+* :class:`~repro.service.client.ServiceClient` calls :meth:`new` per
+  request and sends ``to_traceparent()`` in the protocol header;
+* the server parses it and derives a :meth:`child` context for its
+  detached ``service.request`` span, so the span records both its own
+  wire identity and the client's span as its wire parent;
+* exec job descriptors carry the current traceparent into workers,
+  whose root ``worker.job`` span derives its own child context.
+
+Spans stamped with a context serialize it in :meth:`Span.to_dict`;
+the exporters group spans from any number of processes into one tree
+per *wire* trace id (see :func:`repro.obs.export.spans_to_trees`).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+_TRACEPARENT = re.compile(
+    r"^([0-9a-f]{2})-([0-9a-f]{32})-([0-9a-f]{16})-([0-9a-f]{2})$")
+
+
+class TraceContext:
+    """One wire position: (trace, own span, optional wire parent span)."""
+
+    __slots__ = ("trace_id", "span_id", "parent_id")
+
+    def __init__(self, trace_id: str, span_id: str,
+                 parent_id: str | None = None) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+
+    @classmethod
+    def new(cls) -> "TraceContext":
+        """A fresh root context (request origination, e.g. the client)."""
+        return cls(os.urandom(16).hex(), os.urandom(8).hex())
+
+    def child(self) -> "TraceContext":
+        """A context one hop below this one, in the same trace."""
+        return TraceContext(self.trace_id, os.urandom(8).hex(),
+                            parent_id=self.span_id)
+
+    def to_traceparent(self) -> str:
+        """Render as a W3C ``traceparent`` value (version 00, sampled)."""
+        return f"00-{self.trace_id}-{self.span_id}-01"
+
+    @classmethod
+    def parse(cls, value: object) -> "TraceContext | None":
+        """Parse a ``traceparent`` string; None on anything malformed.
+
+        Tolerant by design: a bad header from an old client must never
+        fail the request, it just breaks the trace join.
+        """
+        if not isinstance(value, str):
+            return None
+        match = _TRACEPARENT.match(value.strip().lower())
+        if match is None:
+            return None
+        _, trace_id, span_id, _ = match.groups()
+        if trace_id == "0" * 32 or span_id == "0" * 16:
+            return None
+        return cls(trace_id, span_id)
+
+    def to_dict(self) -> dict:
+        out = {"trace_id": self.trace_id, "span_id": self.span_id}
+        if self.parent_id is not None:
+            out["parent_id"] = self.parent_id
+        return out
+
+    @classmethod
+    def from_dict(cls, record: object) -> "TraceContext | None":
+        if not isinstance(record, dict):
+            return None
+        trace_id = record.get("trace_id")
+        span_id = record.get("span_id")
+        if not (isinstance(trace_id, str) and isinstance(span_id, str)):
+            return None
+        return cls(trace_id, span_id, record.get("parent_id"))
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, TraceContext)
+                and self.trace_id == other.trace_id
+                and self.span_id == other.span_id
+                and self.parent_id == other.parent_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"TraceContext({self.trace_id[:8]}.., {self.span_id}, "
+                f"parent={self.parent_id})")

@@ -75,6 +75,70 @@ def spans_to_chrome_trace(spans: Iterable[Span],
     return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
 
 
+def spans_to_trees(spans: Iterable[Span]) -> list[dict]:
+    """Group finished spans into one tree per *wire* trace.
+
+    Local trace ids are process-private; the wire identity is the
+    :class:`~repro.obs.context.TraceContext` stamped on trace roots by
+    the propagation layer (client request spans, the service's adopted
+    request spans, worker job roots).  This builder:
+
+    1. groups spans by local trace id and stamps each group with the
+       wire trace id of any context-carrying span in it (groups with no
+       context stay under a synthetic ``local-<id>`` trace);
+    2. merges groups sharing a wire trace id, re-linking each group's
+       roots to the span whose wire ``span_id`` matches their context's
+       ``parent_id`` — so a client span, the server's request span, and
+       folded worker spans come out as *one* nested tree even though
+       each was a separate local trace.
+
+    Returns one ``{"trace_id", "spans", "roots"}`` dict per trace, most
+    recently started first; each node is a span dict plus ``children``.
+    """
+    spans = list(spans)
+    # 1. wire trace id per local group.
+    wire_of_local: dict[int, str] = {}
+    for span in spans:
+        if span.ctx is not None:
+            wire_of_local.setdefault(span.trace_id, span.ctx.trace_id)
+    nodes: dict[int, dict] = {}
+    groups: dict[str, list[Span]] = {}
+    for span in spans:
+        wire = wire_of_local.get(span.trace_id,
+                                 f"local-{span.trace_id}")
+        groups.setdefault(wire, []).append(span)
+        node = span.to_dict()
+        node["children"] = []
+        nodes[span.span_id] = node
+    # 2. link: local edges first, then wire edges for local roots.
+    trees: list[dict] = []
+    for wire, members in groups.items():
+        by_wire_span = {span.ctx.span_id: span for span in members
+                        if span.ctx is not None}
+        local_ids = {span.span_id for span in members}
+        roots: list[dict] = []
+        for span in sorted(members, key=lambda s: s.start_s):
+            parent = None
+            if span.parent_id in local_ids:
+                parent = nodes[span.parent_id]
+            elif span.ctx is not None and span.ctx.parent_id is not None:
+                owner = by_wire_span.get(span.ctx.parent_id)
+                if owner is not None and owner is not span:
+                    parent = nodes[owner.span_id]
+            if parent is not None:
+                parent["children"].append(nodes[span.span_id])
+            else:
+                roots.append(nodes[span.span_id])
+        trees.append({
+            "trace_id": wire,
+            "spans": len(members),
+            "start_s": min(span.start_s for span in members),
+            "roots": roots,
+        })
+    trees.sort(key=lambda tree: tree["start_s"], reverse=True)
+    return trees
+
+
 def write_chrome_trace(tracer_or_spans: Tracer | Iterable[Span],
                        path: str | pathlib.Path) -> pathlib.Path:
     """Write a Perfetto-openable trace; accepts a tracer or raw spans."""

@@ -19,7 +19,9 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from bisect import bisect_left
+from collections import deque
 
 #: Default latency buckets (seconds): 1 us .. 10 s, decade thirds.
 LATENCY_BUCKETS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 10.0)
@@ -59,6 +61,15 @@ class _Metric:
     def label_keys(self) -> list[_LabelKey]:
         with self._lock:
             return sorted(self._values)
+
+    def prometheus_block(self) -> list[str]:
+        """HELP/TYPE header plus this family's sample lines."""
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {self.name} {self.help}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        lines.extend(self.prometheus_lines())
+        return lines
 
 
 class Counter(_Metric):
@@ -171,6 +182,99 @@ class Histogram(_Metric):
         return lines
 
 
+def _percentile(ordered: list[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample list."""
+    if not ordered:
+        return 0.0
+    rank = min(len(ordered) - 1, max(0, int(q * len(ordered))))
+    return ordered[rank]
+
+
+class RollingWindow(_Metric):
+    """Time-windowed sample aggregates: p50/p99, mean, rate.
+
+    The live-ops kind the counters and histograms can't express:
+    "p99 latency *over the last minute*, per QoS class", "bytes/s per
+    chip *right now*".  Each label set keeps a bounded deque of
+    ``(perf_counter, value)`` samples; summaries consider only samples
+    inside ``window_s``.  Process-local by design — worker snapshots
+    don't carry windows (``merge_snapshot`` skips them), because a
+    rolling quantile only means something on the node that serves the
+    scrape.
+    """
+
+    kind = "window"
+
+    def __init__(self, name: str, help: str, lock: threading.Lock,
+                 window_s: float = 60.0, max_samples: int = 2048) -> None:
+        super().__init__(name, help, lock)
+        self.window_s = float(window_s)
+        self.max_samples = max_samples
+
+    def observe(self, value: float, **labels: str) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            samples = self._values.get(key)
+            if samples is None:
+                samples = self._values[key] = deque(
+                    maxlen=self.max_samples)
+            samples.append((time.perf_counter(), float(value)))
+
+    def summary(self, **labels: str) -> dict:
+        """Aggregates over the in-window samples for one label set."""
+        with self._lock:
+            samples = list(self._values.get(_label_key(labels)) or ())
+        return self._summarize(samples)
+
+    def _summarize(self, samples: list[tuple[float, float]]) -> dict:
+        now = time.perf_counter()
+        live = sorted(value for t, value in samples
+                      if now - t <= self.window_s)
+        if not live:
+            return {"count": 0, "rate_per_s": 0.0, "mean": 0.0,
+                    "p50": 0.0, "p99": 0.0, "max": 0.0}
+        return {
+            "count": len(live),
+            "rate_per_s": len(live) / self.window_s,
+            "mean": sum(live) / len(live),
+            "p50": _percentile(live, 0.50),
+            "p99": _percentile(live, 0.99),
+            "max": live[-1],
+        }
+
+    def snapshot_values(self) -> list[dict]:
+        with self._lock:
+            items = [(key, list(samples))
+                     for key, samples in sorted(self._values.items())]
+        return [{"labels": dict(key), **self._summarize(samples)}
+                for key, samples in items]
+
+    def prometheus_lines(self) -> list[str]:
+        lines = []
+        for entry in self.snapshot_values():
+            key = _label_key(entry["labels"])
+            for stat in ("count", "rate_per_s", "mean", "p50", "p99"):
+                lines.append(f"{self.name}_{stat}{_render_labels(key)} "
+                             f"{_num(round(entry[stat], 9))}")
+        return lines
+
+    def prometheus_block(self) -> list[str]:
+        # A "window" is not a Prometheus type; expose each derived stat
+        # as its own gauge family so scrapers parse it cleanly.
+        lines = []
+        for stat in ("count", "rate_per_s", "mean", "p50", "p99"):
+            name = f"{self.name}_{stat}"
+            if self.help:
+                lines.append(f"# HELP {name} {self.help} ({stat}, "
+                             f"{self.window_s:g}s window)")
+            lines.append(f"# TYPE {name} gauge")
+            for entry in self.snapshot_values():
+                key = _label_key(entry["labels"])
+                lines.append(f"{name}{_render_labels(key)} "
+                             f"{_num(round(entry[stat], 9))}")
+        return lines
+
+
 def _num(value: float) -> str:
     """Render without a trailing .0 for integral values."""
     as_int = int(value)
@@ -202,6 +306,19 @@ class MetricsRegistry:
                     name, help, self._lock, buckets=buckets)
         if not isinstance(metric, Histogram):
             raise TypeError(f"{name!r} is a {metric.kind}, not a histogram")
+        return metric
+
+    def window(self, name: str, help: str = "",
+               window_s: float = 60.0,
+               max_samples: int = 2048) -> RollingWindow:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = RollingWindow(
+                    name, help, self._lock, window_s=window_s,
+                    max_samples=max_samples)
+        if not isinstance(metric, RollingWindow):
+            raise TypeError(f"{name!r} is a {metric.kind}, not a window")
         return metric
 
     def _get_or_create(self, name: str, help: str, cls: type) -> _Metric:
@@ -239,6 +356,8 @@ class MetricsRegistry:
                            "values": metric.snapshot_values()}
             if isinstance(metric, Histogram):
                 entry["bucket_edges"] = list(metric.buckets)
+            if isinstance(metric, RollingWindow):
+                entry["window_s"] = metric.window_s
             out[name] = entry
         return out
 
@@ -251,6 +370,9 @@ class MetricsRegistry:
         set), histograms merge bucket-by-bucket — exact when both sides
         registered the same bucket edges (they do; the worker runs the
         same code), and conservatively folded by edge value otherwise.
+        Rolling windows are skipped: their snapshots carry summaries,
+        not samples, and a p99-over-the-last-minute only means
+        something on the process that serves the scrape.
         """
         for name, entry in snap.items():
             kind = entry.get("type")
@@ -290,11 +412,7 @@ class MetricsRegistry:
         """Prometheus text exposition format (0.0.4)."""
         lines: list[str] = []
         for name in self.names():
-            metric = self._metrics[name]
-            if metric.help:
-                lines.append(f"# HELP {name} {metric.help}")
-            lines.append(f"# TYPE {name} {metric.kind}")
-            lines.extend(metric.prometheus_lines())
+            lines.extend(self._metrics[name].prometheus_block())
         return "\n".join(lines) + ("\n" if lines else "")
 
 

@@ -25,6 +25,8 @@ import threading
 import time
 from dataclasses import dataclass
 
+from .context import TraceContext
+
 #: Finished-span ring limit: tracing a long run must not grow without
 #: bound, so beyond this the oldest spans are dropped (and counted).
 DEFAULT_MAX_SPANS = 100_000
@@ -47,11 +49,12 @@ class Span:
     """One timed region of one job; nests under the thread's open span."""
 
     __slots__ = ("name", "trace_id", "span_id", "parent_id", "start_s",
-                 "end_s", "attrs", "events", "_tracer")
+                 "end_s", "attrs", "events", "ctx", "_tracer")
 
     def __init__(self, name: str, trace_id: int, span_id: int,
                  parent_id: int | None, start_s: float,
-                 tracer: "Tracer") -> None:
+                 tracer: "Tracer",
+                 ctx: TraceContext | None = None) -> None:
         self.name = name
         self.trace_id = trace_id
         self.span_id = span_id
@@ -60,6 +63,7 @@ class Span:
         self.end_s = 0.0
         self.attrs: dict = {}
         self.events: list[SpanEvent] = []
+        self.ctx = ctx
         self._tracer = tracer
 
     @property
@@ -79,7 +83,7 @@ class Span:
 
     def to_dict(self) -> dict:
         """JSON-able form (the JSON-lines exporter writes one per line)."""
-        return {
+        out = {
             "name": self.name,
             "trace_id": self.trace_id,
             "span_id": self.span_id,
@@ -89,6 +93,9 @@ class Span:
             "attrs": self.attrs,
             "events": [event.to_dict() for event in self.events],
         }
+        if self.ctx is not None:
+            out["ctx"] = self.ctx.to_dict()
+        return out
 
     # -- context manager ---------------------------------------------------
 
@@ -172,7 +179,8 @@ class Tracer:
 
     # -- span production ---------------------------------------------------
 
-    def span(self, name: str, **attrs: object) -> Span | _NullSpan:
+    def span(self, name: str, ctx: TraceContext | None = None,
+             **attrs: object) -> Span | _NullSpan:
         """Open a span under the thread's current one; use as a context
         manager.  Returns :data:`NULL_SPAN` while disabled."""
         if not self.enabled:
@@ -193,13 +201,14 @@ class Tracer:
                 parent_id = None
         span = Span(name=name, trace_id=trace_id, span_id=span_id,
                     parent_id=parent_id, start_s=time.perf_counter(),
-                    tracer=self)
+                    tracer=self, ctx=ctx)
         if attrs:
             span.attrs.update(attrs)
         stack.append(span)
         return span
 
     def span_detached(self, name: str, parent: "Span | None" = None,
+                      ctx: TraceContext | None = None,
                       **attrs: object) -> Span | _NullSpan:
         """A span that is *not* bound to any thread's stack.
 
@@ -224,7 +233,7 @@ class Tracer:
                 parent_id = None
         span = Span(name=name, trace_id=trace_id, span_id=span_id,
                     parent_id=parent_id, start_s=time.perf_counter(),
-                    tracer=self)
+                    tracer=self, ctx=ctx)
         if attrs:
             span.attrs.update(attrs)
         return span
@@ -251,6 +260,21 @@ class Tracer:
     def current(self) -> Span | None:
         stack = getattr(self._local, "stack", None)
         return stack[-1] if stack else None
+
+    def current_ctx(self) -> TraceContext | None:
+        """The nearest enclosing span's wire context, if any.
+
+        Walks this thread's open-span stack innermost-first; used at
+        process-boundary submission points (exec descriptors) to carry
+        the wire trace id onward.  Only called on traced paths.
+        """
+        stack = getattr(self._local, "stack", None)
+        if not stack:
+            return None
+        for span in reversed(stack):
+            if span.ctx is not None:
+                return span.ctx
+        return None
 
     def _finish(self, span: Span) -> None:
         stack = getattr(self._local, "stack", None)
@@ -305,7 +329,8 @@ class Tracer:
             span = Span(name=record["name"], trace_id=trace_id,
                         span_id=id_map[record["span_id"]],
                         parent_id=parent_id,
-                        start_s=record["start_s"], tracer=self)
+                        start_s=record["start_s"], tracer=self,
+                        ctx=TraceContext.from_dict(record.get("ctx")))
             span.end_s = record["start_s"] + record["duration_s"]
             span.attrs = dict(record.get("attrs") or {})
             span.events = [

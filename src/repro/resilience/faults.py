@@ -31,6 +31,7 @@ import random
 from dataclasses import dataclass
 
 from ..errors import ConfigError
+from ..obs.flight import FLIGHT as _FLIGHT
 from ..obs.metrics import REGISTRY as _REGISTRY
 from ..obs.trace import TRACE as _TRACE
 from ..sysstack.crb import CcCode
@@ -139,6 +140,8 @@ class FaultInjector:
         self.fired[kind] = self.fired.get(kind, 0) + 1
         if _TRACE.enabled:
             _TRACE.event("fault.injected", kind=kind, chip=self.chip)
+        _FLIGHT.auto_dump("fault_" + kind, chip=self.chip,
+                          job=self.job_counter)
         if _REGISTRY.enabled:
             _REGISTRY.counter(
                 "repro_resilience_faults_injected_total",

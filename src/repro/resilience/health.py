@@ -27,6 +27,7 @@ import enum
 import threading
 from dataclasses import dataclass, field
 
+from ..obs.flight import FLIGHT as _FLIGHT
 from ..obs.metrics import REGISTRY as _REGISTRY
 from ..obs.trace import TRACE as _TRACE
 
@@ -106,6 +107,12 @@ class CircuitBreaker:
             if _TRACE.enabled:
                 _TRACE.event("breaker.open", chip=self.chip,
                              failures=self.consecutive_failures)
+            _FLIGHT.auto_dump("breaker_open", chip=self.chip,
+                              failures=self.consecutive_failures,
+                              tick=tick)
+        else:
+            _FLIGHT.record("breaker.transition", chip=self.chip,
+                           to=to.name, tick=tick)
         if to is not BreakerState.HALF_OPEN:
             self.probe_passes = 0
         self.state = to

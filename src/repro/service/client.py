@@ -18,6 +18,8 @@ import socket
 import time
 
 from ..errors import AcceleratorError, ServiceError, ServiceOverloaded
+from ..obs.context import TraceContext
+from ..obs.trace import TRACE as _TRACE
 from .protocol import ProtocolError, recv_message, send_message
 
 
@@ -33,16 +35,19 @@ class ClientResult:
     """One served request: the bytes plus the server's timing view."""
 
     __slots__ = ("output", "qos", "modelled_s", "queue_wait_s",
-                 "batch_size", "attempts")
+                 "batch_size", "attempts", "traceparent")
 
-    def __init__(self, output: bytes, header: dict,
-                 attempts: int = 1) -> None:
+    def __init__(self, output: bytes, header: dict, attempts: int = 1,
+                 traceparent: str = "") -> None:
         self.output = output
         self.qos = header.get("qos", "")
         self.modelled_s = float(header.get("modelled_s", 0.0))
         self.queue_wait_s = float(header.get("queue_wait_s", 0.0))
         self.batch_size = int(header.get("batch_size", 1))
         self.attempts = attempts
+        #: The trace context this request was sent under; join it with
+        #: the server's ``/traces/recent`` trees by its 32-hex trace id.
+        self.traceparent = traceparent
 
 
 class ServiceClient:
@@ -99,8 +104,16 @@ class ServiceClient:
         retried, sleeping the server's ``retry_after_s`` hint between
         attempts.  The final rejection (or any non-retryable error)
         raises.
+
+        Every request originates a wire trace context, sent as a
+        ``traceparent`` header field; retries reuse it (one logical
+        request, one trace).  With client-side tracing enabled the
+        round trip is additionally covered by a local
+        ``client.request`` span stamped with that context.
         """
-        header = {"op": op, "strategy": strategy}
+        ctx = TraceContext.new()
+        header = {"op": op, "strategy": strategy,
+                  "traceparent": ctx.to_traceparent()}
         if qos is not None:
             header["qos"] = qos
         if tenant:
@@ -110,30 +123,38 @@ class ServiceClient:
         if deadline_s is not None:
             header["deadline_s"] = deadline_s
         attempts = 0
-        while True:
-            attempts += 1
-            response, body = self.call(header, payload)
-            status = response.get("status")
-            if status == "ok":
-                return ClientResult(body, response, attempts=attempts)
-            if status == "rejected":
-                if attempts <= retries:
-                    time.sleep(max(0.0, float(
-                        response.get("retry_after_s", 0.0))))
-                    continue
-                raise ServiceOverloaded(
-                    response.get("error", "request shed"),
-                    retry_after_s=float(
-                        response.get("retry_after_s", 0.0)),
-                    qos=response.get("qos"))
-            error_type = response.get("error_type", "")
-            message = response.get("error", "request failed")
-            if response.get("retryable"):
-                raise ServiceOverloaded(message)
-            if error_type in ("DeadlineExceeded", "ChipUnavailable",
-                              "JobError"):
-                raise AcceleratorError(message)
-            raise RemoteServiceError(message, error_type=error_type)
+        with _TRACE.span("client.request", ctx=ctx, op=op,
+                         nbytes=len(payload)) as span:
+            while True:
+                attempts += 1
+                response, body = self.call(header, payload)
+                status = response.get("status")
+                if status == "ok":
+                    span.set(status="ok", attempts=attempts,
+                             out_bytes=len(body))
+                    return ClientResult(body, response, attempts=attempts,
+                                        traceparent=ctx.to_traceparent())
+                if status == "rejected":
+                    if attempts <= retries:
+                        span.event("client.retry", attempt=attempts)
+                        time.sleep(max(0.0, float(
+                            response.get("retry_after_s", 0.0))))
+                        continue
+                    span.set(status="rejected", attempts=attempts)
+                    raise ServiceOverloaded(
+                        response.get("error", "request shed"),
+                        retry_after_s=float(
+                            response.get("retry_after_s", 0.0)),
+                        qos=response.get("qos"))
+                error_type = response.get("error_type", "")
+                message = response.get("error", "request failed")
+                span.set(status="error", error=error_type or "unknown")
+                if response.get("retryable"):
+                    raise ServiceOverloaded(message)
+                if error_type in ("DeadlineExceeded", "ChipUnavailable",
+                                  "JobError"):
+                    raise AcceleratorError(message)
+                raise RemoteServiceError(message, error_type=error_type)
 
     def compress(self, payload: bytes, **kwargs) -> ClientResult:
         return self.request("compress", payload, **kwargs)

@@ -49,9 +49,11 @@ from ..backend.pool import AcceleratorPool, PoolJob
 from ..errors import (AcceleratorError, ChipUnavailable, ConfigError,
                       DeadlineExceeded, ServiceClosed, ServiceOverloaded)
 from ..nx.params import POWER9, MachineParams
+from ..obs.context import TraceContext
+from ..obs.flight import FLIGHT as _FLIGHT
 from ..obs.metrics import REGISTRY as _REGISTRY
 from ..obs.metrics import record_service_request
-from ..obs.trace import NULL_SPAN, TRACE as _TRACE
+from ..obs.trace import NULL_SPAN, Span, TRACE as _TRACE
 from .qos import DEFAULT_CLASSES, DEFAULT_STARVATION_BOUND, QosPolicy
 
 _OPS = ("compress", "decompress")
@@ -227,13 +229,20 @@ class CompressionService:
 
     def submit(self, op: str, payload: bytes, *, fmt: str | None = None,
                strategy: str = "auto", qos: str | None = None,
-               tenant: str = "", deadline_s: float | None = None
-               ) -> ServiceTicket:
+               tenant: str = "", deadline_s: float | None = None,
+               traceparent: str | None = None) -> ServiceTicket:
         """Admit one request; returns a ticket to ``wait`` on.
 
         Raises :class:`ServiceOverloaded` (retryable, with a
         ``retry_after_s`` hint) when the class's queue is full, and
         :class:`ServiceClosed` once draining has begun.
+
+        ``traceparent`` is the caller's wire trace context (the W3C-style
+        header field the socket server forwards verbatim); the request's
+        detached span joins that trace, so the client's span and every
+        span this request produces — dispatcher, pool, exec workers —
+        export as one tree.  Absent or malformed, the request roots a
+        fresh wire trace.
         """
         if op not in _OPS:
             raise ConfigError(f"unknown op {op!r}; have {_OPS}")
@@ -256,6 +265,12 @@ class CompressionService:
                     record_service_request(
                         op=op, qos=qcls.name, outcome="rejected",
                         tenant=tenant, reason="queue_full")
+                    _REGISTRY.window(
+                        "repro_service_shed_window_ratio",
+                        "shed fraction of recent admissions").observe(
+                        1.0, qos=qcls.name)
+                _FLIGHT.record("service.reject", op=op, qos=qcls.name,
+                               nbytes=len(payload), depth=len(queue))
                 raise ServiceOverloaded(
                     f"QoS class {qcls.name!r} queue full "
                     f"({len(queue)} requests); retry in "
@@ -264,8 +279,10 @@ class CompressionService:
             ticket = ServiceTicket(next(self._ids), qcls.name, op, tenant)
             span = NULL_SPAN
             if _TRACE.enabled:
+                parsed = TraceContext.parse(traceparent)
+                ctx = parsed.child() if parsed else TraceContext.new()
                 span = _TRACE.span_detached(
-                    "service.request", op=op, qos=qcls.name,
+                    "service.request", ctx=ctx, op=op, qos=qcls.name,
                     nbytes=len(payload), request_id=ticket.request_id,
                     **({"tenant": tenant} if tenant else {}))
             queue.append(_Queued(ticket=ticket, op=op, payload=payload,
@@ -431,30 +448,48 @@ class CompressionService:
         use_batch = self.batching and (
             len(live) > 1 or getattr(self.pool, "exec_enabled", False))
         if use_batch:
-            with _TRACE.span("service.batch", qos=qcls.name,
-                             size=len(live)):
-                jobs = self._submit_batch(live)
-                self._await_batch(live, jobs)
+            # The batch span hangs off the first live request's span (and
+            # wire trace), so the exported tree nests client ->
+            # service.request -> service.batch -> pool -> worker.  Pool
+            # work is genuinely batch-scoped, so the other coalesced
+            # requests link to it via request_ids rather than owning
+            # duplicate copies of the pool spans.
+            first = next((req.span for req in live
+                          if isinstance(req.span, Span)), None)
+            batch_ctx = None
+            if first is not None and first.ctx is not None:
+                batch_ctx = first.ctx.child()
+            batch_span = _TRACE.span_detached(
+                "service.batch", parent=first, ctx=batch_ctx,
+                qos=qcls.name, size=len(live),
+                request_ids=[req.ticket.request_id for req in live])
+            try:
+                with _TRACE.adopt(batch_span):
+                    jobs = self._submit_batch(live)
+                    self._await_batch(live, jobs)
+            finally:
+                batch_span.end()
         else:
             for req in live:
                 self._run_sync(req)
 
     def _submit_batch(self, live: list[_Queued]) -> list[PoolJob | None]:
+        # Runs under the adopted service.batch span: pool.route /
+        # backend.submit / folded worker spans nest under the batch.
         jobs: list[PoolJob | None] = []
         for req in live:
-            with _TRACE.adopt(req.span):
-                try:
-                    if req.op == "compress":
-                        job = self.pool.submit_compress(
-                            req.payload, strategy=req.strategy,
-                            fmt=req.fmt, deadline_s=req.deadline_s)
-                    else:
-                        job = self.pool.submit_decompress(
-                            req.payload, fmt=req.fmt,
-                            deadline_s=req.deadline_s)
-                except AcceleratorError as exc:
-                    self._resolve_error(req, exc)
-                    job = None
+            try:
+                if req.op == "compress":
+                    job = self.pool.submit_compress(
+                        req.payload, strategy=req.strategy,
+                        fmt=req.fmt, deadline_s=req.deadline_s)
+                else:
+                    job = self.pool.submit_decompress(
+                        req.payload, fmt=req.fmt,
+                        deadline_s=req.deadline_s)
+            except AcceleratorError as exc:
+                self._resolve_error(req, exc)
+                job = None
             jobs.append(job)
         return jobs
 
@@ -517,6 +552,17 @@ class CompressionService:
                 tenant=req.ticket.tenant, nbytes_in=len(req.payload),
                 nbytes_out=len(output), modelled_s=modelled_s,
                 queue_wait_s=queue_wait)
+            _REGISTRY.window(
+                "repro_service_latency_window_seconds",
+                "request wall latency (admission to fulfilment)").observe(
+                wall, qos=req.ticket.qos)
+            _REGISTRY.window(
+                "repro_service_shed_window_ratio",
+                "shed fraction of recent admissions").observe(
+                0.0, qos=req.ticket.qos)
+        _FLIGHT.record("service.ok", id=req.ticket.request_id, op=req.op,
+                       qos=req.ticket.qos, nbytes=len(req.payload),
+                       wall_s=round(wall, 6), batch=batch_size)
         req.span.set(outcome="ok", out_bytes=len(output),
                      modelled_s=modelled_s, batch_size=batch_size)
         req.span.end()
@@ -535,6 +581,9 @@ class CompressionService:
                 op=req.op, qos=req.ticket.qos, outcome="expired",
                 tenant=req.ticket.tenant, queue_wait_s=waited,
                 reason="deadline_in_queue")
+        _FLIGHT.auto_dump("deadline_exceeded", id=req.ticket.request_id,
+                          op=req.op, qos=req.ticket.qos,
+                          waited_s=round(waited, 6))
         req.span.set(outcome="expired", queue_wait_s=waited)
         req.span.end()
         req.ticket._fail(DeadlineExceeded(
@@ -557,6 +606,13 @@ class CompressionService:
             record_service_request(
                 op=req.op, qos=req.ticket.qos, outcome=outcome,
                 tenant=req.ticket.tenant, reason=reason)
+        if outcome == "expired":
+            _FLIGHT.auto_dump("deadline_exceeded",
+                              id=req.ticket.request_id, op=req.op,
+                              qos=req.ticket.qos, error=reason)
+        else:
+            _FLIGHT.record("service.fail", id=req.ticket.request_id,
+                           op=req.op, qos=req.ticket.qos, error=reason)
         req.span.set(outcome=outcome, error=reason)
         req.span.end()
         if isinstance(error, ChipUnavailable):

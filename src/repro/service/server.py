@@ -83,7 +83,8 @@ class _Handler(socketserver.BaseRequestHandler):
                 strategy=header.get("strategy", "auto"),
                 qos=header.get("qos"),
                 tenant=header.get("tenant", ""),
-                deadline_s=header.get("deadline_s"))
+                deadline_s=header.get("deadline_s"),
+                traceparent=header.get("traceparent"))
             result = ticket.wait(self.server.request_timeout_s)
         except ServiceOverloaded as exc:
             return {"status": "rejected", "retryable": True,

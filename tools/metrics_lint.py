@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""Lint metric names against the repo's naming convention.
+
+Every metric registered through the observability registry must be
+named ``repro_<layer>_<name>`` (lowercase, underscore-separated, at
+least three segments), and the suffix rule splits by kind:
+
+* **counters** end in ``_total`` (Prometheus counter convention);
+* gauges / histograms / rolling windows must **not** end in ``_total``
+  — a non-monotonic series masquerading as a counter breaks every
+  ``rate()`` query written against it.
+
+The linter walks the AST of every file under ``src/`` looking for
+``.counter("...")`` / ``.gauge("...")`` / ``.histogram("...")`` /
+``.window("...")`` calls whose first argument is a string literal or
+f-string (f-string placeholders count as one name segment, so
+``f"repro_{layer}_requests_total"`` is valid).  Dynamic names that the
+AST cannot see are out of scope — keep metric names literal.
+
+Exit status: 0 when every name conforms, 1 otherwise (one line per
+violation, ``file:line: message``).  Run from anywhere::
+
+    python tools/metrics_lint.py [src_dir]
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import re
+import sys
+
+#: Registry constructor methods and whether they make a counter.
+_METRIC_METHODS = {
+    "counter": True,
+    "gauge": False,
+    "histogram": False,
+    "window": False,
+}
+
+#: ``repro_<layer>_<name>``: three or more lowercase segments.
+_NAME_RE = re.compile(r"^repro(_[a-z0-9]+){2,}$")
+
+#: Stand-in segment for an f-string placeholder ({layer} etc.).
+_PLACEHOLDER = "x"
+
+
+def _literal_name(node: ast.expr) -> str | None:
+    """The metric name a call's first argument spells, if static enough.
+
+    Plain string constants come back verbatim; f-strings come back with
+    each ``{...}`` placeholder replaced by a single well-formed segment
+    so the surrounding structure is still checked.  Anything else (a
+    variable, a concatenation) returns None and is skipped.
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.JoinedStr):
+        parts: list[str] = []
+        for piece in node.values:
+            if isinstance(piece, ast.Constant) and isinstance(
+                    piece.value, str):
+                parts.append(piece.value)
+            elif isinstance(piece, ast.FormattedValue):
+                parts.append(_PLACEHOLDER)
+            else:
+                return None
+        return "".join(parts)
+    return None
+
+
+def _check_name(name: str, is_counter: bool) -> str | None:
+    """The violation message for ``name``, or None when it conforms."""
+    if not _NAME_RE.match(name):
+        return (f"metric name {name!r} does not match "
+                f"repro_<layer>_<name> (lowercase, >= 3 segments)")
+    if is_counter and not name.endswith("_total"):
+        return f"counter {name!r} must end in '_total'"
+    if not is_counter and name.endswith("_total"):
+        return (f"non-counter {name!r} must not end in '_total' "
+                f"(reserved for counters)")
+    return None
+
+
+def lint_source(source: str, filename: str = "<string>") -> list[str]:
+    """All violations in one module's source, as ``file:line: msg``."""
+    violations: list[str] = []
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        return [f"{filename}:{exc.lineno or 0}: unparsable: {exc.msg}"]
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _METRIC_METHODS
+                and node.args):
+            continue
+        name = _literal_name(node.args[0])
+        if name is None:
+            continue
+        message = _check_name(name,
+                              _METRIC_METHODS[node.func.attr])
+        if message is not None:
+            violations.append(f"{filename}:{node.lineno}: {message}")
+    return violations
+
+
+def lint_tree(root: pathlib.Path) -> list[str]:
+    """Lint every ``*.py`` under ``root``; violations sorted by path."""
+    violations: list[str] = []
+    for path in sorted(root.rglob("*.py")):
+        violations.extend(lint_source(path.read_text(),
+                                      str(path)))
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    root = pathlib.Path(argv[0]) if argv else (
+        pathlib.Path(__file__).resolve().parent.parent / "src")
+    if not root.exists():
+        print(f"error: no such directory {root}", file=sys.stderr)
+        return 2
+    violations = lint_tree(root)
+    for line in violations:
+        print(line)
+    if violations:
+        print(f"metrics lint: {len(violations)} violation(s)",
+              file=sys.stderr)
+        return 1
+    print("metrics lint: all metric names conform")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
