@@ -194,6 +194,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="largest job payload in bytes")
     p_chaos.add_argument("--scenario", default=None,
                          help="run only this named scenario")
+    p_chaos.add_argument("--network", action="store_true",
+                         help="wire-fault campaign: seeded socket chaos "
+                              "(resets, truncation, slow-loris, "
+                              "duplicates) vs reconnecting idempotent "
+                              "clients; asserts exactly-once execution")
     p_chaos.add_argument("--under-load", action="store_true",
                          help="inject faults while a live service "
                               "handles concurrent clients (chaos-under-"
@@ -627,6 +632,8 @@ def render_top(ops: dict, url: str) -> str:
 def cmd_chaos(args: argparse.Namespace) -> int:
     from .resilience.chaos import default_plans, run_campaign
 
+    if args.network:
+        return _cmd_chaos_network(args)
     if args.under_load:
         return _cmd_chaos_under_load(args)
     plans = default_plans(args.jobs)
@@ -639,6 +646,23 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     report = run_campaign(seed=args.seed, jobs=args.jobs,
                           chips=args.chips, machine=args.machine,
                           plans=plans, max_size=args.max_size)
+    print(report.render())
+    return 0 if report.survived else 1
+
+
+def _cmd_chaos_network(args: argparse.Namespace) -> int:
+    from .resilience.chaos import default_network_plans, run_network_campaign
+
+    if args.scenario is not None \
+            and args.scenario not in default_network_plans():
+        print(f"error: unknown network scenario {args.scenario!r}; "
+              f"have {sorted(default_network_plans())}", file=sys.stderr)
+        return 2
+    jobs = args.jobs if args.jobs != 200 else 40
+    report = run_network_campaign(seed=args.seed, jobs=jobs,
+                                  clients=args.clients,
+                                  max_size=args.max_size,
+                                  scenario=args.scenario)
     print(report.render())
     return 0 if report.survived else 1
 
@@ -719,7 +743,9 @@ def cmd_submit(args: argparse.Namespace) -> int:
     data = args.input.read_bytes()
     deadline_s = (args.deadline_ms * 1e-3
                   if args.deadline_ms is not None else None)
-    with ServiceClient(args.host, args.port) as client:
+    # Reconnect is on: a dropped connection retries the same
+    # request_id, so the server dedups rather than re-executes.
+    with ServiceClient(args.host, args.port, reconnect=True) as client:
         result = client.request(args.op, data, qos=args.qos,
                                 tenant=args.tenant, fmt=args.fmt,
                                 deadline_s=deadline_s,

@@ -45,6 +45,7 @@ from __future__ import annotations
 
 import os
 import struct
+import tempfile
 from bisect import bisect_right
 from dataclasses import dataclass, field
 
@@ -161,8 +162,32 @@ class SeekIndex:
                    version=version)
 
     def save(self, path: os.PathLike | str) -> None:
-        with open(path, "wb") as fh:
-            fh.write(self.to_bytes())
+        """Write the sidecar atomically: full index or no index.
+
+        The blob lands in a temp file in the *same directory* (same
+        filesystem, so the final ``os.replace`` is an atomic rename) and
+        only replaces ``path`` once fully flushed.  A reader — or a
+        crash — can therefore never observe a half-written ``.rsix``;
+        they see the old index or the new one, and the loader's CRC
+        check stays a guard against corruption, not against us.
+        """
+        path = os.fspath(path)
+        directory = os.path.dirname(path) or "."
+        fd, tmp_path = tempfile.mkstemp(
+            dir=directory, prefix=os.path.basename(path) + ".",
+            suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(self.to_bytes())
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
 
     @classmethod
     def load(cls, path: os.PathLike | str) -> "SeekIndex":

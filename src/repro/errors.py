@@ -127,6 +127,31 @@ class ServiceClosed(ServiceError):
     """The service is draining or stopped and accepts no new work."""
 
 
+class ServiceUnreachable(ServiceError):
+    """No server is listening (connection refused / reset / timed out).
+
+    Retryable by definition — the server may simply not be up *yet* —
+    and carried as a one-line, traceback-free message by the CLI.
+    """
+
+    retryable = True
+
+    def __init__(self, message: str, host: str = "",
+                 port: int | None = None) -> None:
+        super().__init__(message)
+        self.host = host
+        self.port = port
+
+
+class RetryBudgetExhausted(ServiceError):
+    """The client's shared retry budget refused another retry.
+
+    Raised instead of hammering a struggling server: when retries are
+    being spent faster than successful requests earn them back, the
+    *original* failure is attached as ``__cause__`` and surfaced.
+    """
+
+
 class VasError(ReproError):
     """Virtual Accelerator Switchboard misuse (no credits, bad window...)."""
 

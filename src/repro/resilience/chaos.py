@@ -22,6 +22,7 @@ from ..errors import ChipUnavailable, DeadlineExceeded, ReproError
 from ..nx.params import POWER9, MachineParams, get_machine
 from .faults import FaultInjector, FaultPlan
 from .health import HealthConfig
+from .netfaults import NetFaultPlan, fault_factory
 from .verify import decode_payload
 
 #: Jobs per scenario unless the caller widens the campaign.
@@ -406,3 +407,277 @@ def run_service_scenario(*, seed: int = 7, jobs: int = DEFAULT_JOBS,
                 result.faults_injected[kind] = (
                     result.faults_injected.get(kind, 0) + count)
     return result
+
+
+# -- network chaos: wire faults vs reconnecting idempotent clients -----------
+
+
+def default_network_plans() -> dict[str, dict[str, list[NetFaultPlan]]]:
+    """One scenario per wire fault kind, plus a combined storm.
+
+    Each scenario names ``client`` plans (installed on every socket the
+    clients dial) and ``server`` plans (installed on every accepted
+    connection).  Probabilities are per socket *operation* and tuned so
+    each connection sees a handful of faults without degenerating into
+    pure reconnect churn — the campaign measures recovery arithmetic,
+    not survival of a dead wire.
+    """
+    return {
+        "net_baseline": {"client": [], "server": []},
+        "net_reset": {
+            "client": [NetFaultPlan("reset", probability=0.06)],
+            "server": [NetFaultPlan("reset", probability=0.06)],
+        },
+        "net_truncate": {
+            "client": [],
+            "server": [NetFaultPlan("truncate", probability=0.20)],
+        },
+        "net_slow": {
+            "client": [NetFaultPlan("slow_send", probability=0.25,
+                                    magnitude=4.0)],
+            "server": [NetFaultPlan("latency", probability=0.25,
+                                    magnitude=5.0)],
+        },
+        "net_duplicate": {
+            "client": [],
+            "server": [NetFaultPlan("duplicate", probability=0.25),
+                       NetFaultPlan("stale", probability=0.25)],
+        },
+        "net_combined": {
+            "client": [NetFaultPlan("reset", probability=0.03),
+                       NetFaultPlan("latency", probability=0.10,
+                                    magnitude=3.0)],
+            "server": [NetFaultPlan("truncate", probability=0.08),
+                       NetFaultPlan("duplicate", probability=0.10),
+                       NetFaultPlan("stale", probability=0.10),
+                       NetFaultPlan("reset", probability=0.03)],
+        },
+    }
+
+
+@dataclass
+class NetworkScenarioResult:
+    """One wire-chaos run and its exactly-once reconciliation.
+
+    The proof obligations, all exact arithmetic (no tolerances):
+
+    * ``wrong_bytes == 0`` — every fulfilled request round-trips;
+    * ``duplicate_stores == 0`` — no request id was ever executed and
+      stored twice (the double-execution detector);
+    * ``executions == stores == successes`` — every logical client
+      request executed exactly once, no matter how many resends the
+      wire forced (``dedup_hits`` counts the replays that made that
+      possible);
+    * ``gave_up == 0`` — all clients converged: reconnect + retry
+      budget sufficed to land every request.
+    """
+
+    name: str
+    jobs: int
+    clients: int
+    served: int = 0
+    wrong_bytes: int = 0
+    gave_up: int = 0
+    reconnects: int = 0
+    dedup_hits: int = 0
+    dedup_waits: int = 0
+    executions: int = 0
+    stores: int = 0
+    duplicate_stores: int = 0
+    bad_frames: int = 0
+    client_faults: dict[str, int] = field(default_factory=dict)
+    server_faults: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def survived(self) -> bool:
+        return (self.wrong_bytes == 0 and self.duplicate_stores == 0
+                and self.gave_up == 0
+                and self.executions == self.stores == self.served)
+
+    def render(self) -> str:
+        lines = [
+            f"network chaos  scenario={self.name}  "
+            f"clients={self.clients}  jobs={self.jobs}",
+            f"  served={self.served}  wrong={self.wrong_bytes}  "
+            f"gave up={self.gave_up}",
+            f"  reconnects={self.reconnects}  "
+            f"dedup hits={self.dedup_hits}  waits={self.dedup_waits}",
+            f"  executions={self.executions}  stores={self.stores}  "
+            f"duplicate stores={self.duplicate_stores}",
+            f"  faults: client={dict(sorted(self.client_faults.items()))} "
+            f"server={dict(sorted(self.server_faults.items()))}",
+        ]
+        verdict = ("SURVIVED" if self.survived
+                   else "FAILED (wrong bytes / double execution / "
+                        "non-convergence)")
+        lines.append(f"result: {verdict}")
+        return "\n".join(lines)
+
+
+@dataclass
+class NetworkCampaignReport:
+    """All wire scenarios of one seeded network campaign."""
+
+    seed: int
+    clients: int
+    scenarios: list[NetworkScenarioResult] = field(default_factory=list)
+
+    @property
+    def survived(self) -> bool:
+        return all(s.survived for s in self.scenarios)
+
+    def render(self) -> str:
+        lines = [
+            f"network chaos campaign  seed={self.seed}  "
+            f"clients={self.clients}",
+            f"{'scenario':<16} {'jobs':>5} {'faults':>6} {'reconn':>6} "
+            f"{'dedup':>5} {'exec':>5} {'dup':>4} {'wrong':>5} {'lost':>4}",
+        ]
+        for s in self.scenarios:
+            faults = (sum(s.client_faults.values())
+                      + sum(s.server_faults.values()))
+            lines.append(
+                f"{s.name:<16} {s.jobs:>5} {faults:>6} "
+                f"{s.reconnects:>6} {s.dedup_hits:>5} {s.executions:>5} "
+                f"{s.duplicate_stores:>4} {s.wrong_bytes:>5} "
+                f"{s.gave_up:>4}")
+        verdict = ("SURVIVED" if self.survived
+                   else "FAILED (wrong bytes / double execution / "
+                        "non-convergence)")
+        wrong = sum(s.wrong_bytes for s in self.scenarios)
+        dups = sum(s.duplicate_stores for s in self.scenarios)
+        lines.append(f"result: {verdict}  ({wrong} wrong payloads, "
+                     f"{dups} double executions)")
+        return "\n".join(lines)
+
+
+def run_network_scenario(name: str, *, seed: int = 7, jobs: int = 40,
+                         clients: int = 4, max_size: int = 4096,
+                         plans: dict[str, list[NetFaultPlan]] | None = None,
+                         backend: str = "software"
+                         ) -> NetworkScenarioResult:
+    """Wire faults vs concurrent reconnecting clients, reconciled exactly.
+
+    One real TCP server fronts one :class:`CompressionService`;
+    ``clients`` threads drive QoS-tagged compress requests through
+    :class:`~repro.service.client.ServiceClient` instances with
+    reconnect enabled, while seeded injectors mangle both ends of every
+    connection.  See :class:`NetworkScenarioResult` for the invariants.
+    """
+    import threading
+
+    from ..service.client import RetryBudget, ServiceClient
+    from ..service.core import CompressionService
+    from ..service.idempotency import IdempotencyCache
+    from ..service.server import serve
+
+    all_plans = default_network_plans()
+    if plans is None:
+        if name not in all_plans:
+            raise ReproError(f"unknown network scenario {name!r}; "
+                             f"have {sorted(all_plans)}")
+        plans = all_plans[name]
+    result = NetworkScenarioResult(name=name, jobs=jobs, clients=clients)
+    dedup = IdempotencyCache()
+    server_wrapper = fault_factory(plans.get("server", ()), seed=seed)
+    service = CompressionService(chips=1, backend=backend)
+    server = serve(service, port=0, dedup=dedup,
+                   socket_wrapper=server_wrapper, idle_timeout_s=30.0)
+    # One shared budget across all clients: generous enough for the
+    # planned fault rates to converge, bounded enough that retries stay
+    # etiquette rather than amplification.
+    budget = RetryBudget(capacity=8.0 * jobs, deposit=1.0)
+    lock = threading.Lock()
+    try:
+        def run_client(worker: int) -> None:
+            rng = random.Random(seed * 104729 + worker)
+            qos_name = "interactive" if worker % 2 == 0 else "bulk"
+            client_wrapper = fault_factory(plans.get("client", ()),
+                                           seed=seed * 613 + worker)
+            try:
+                client = ServiceClient(
+                    port=server.port, reconnect=True, max_reconnects=12,
+                    retry_budget=budget, socket_wrapper=client_wrapper,
+                    timeout_s=30.0)
+            except ReproError:
+                with lock:
+                    result.gave_up += jobs // clients
+                return
+            try:
+                for i in range(jobs // clients):
+                    data = _payload(rng, worker * 1000 + i, max_size)
+                    try:
+                        out = client.request(
+                            "compress", data, fmt="gzip", qos=qos_name,
+                            tenant=f"tenant{worker % 2}", retries=4)
+                    except ReproError:
+                        with lock:
+                            result.gave_up += 1
+                        continue
+                    try:
+                        restored = decode_payload(out.output, "gzip")
+                    except ReproError:
+                        restored = None
+                    with lock:
+                        result.served += 1
+                        if restored != data:
+                            result.wrong_bytes += 1
+                        result.reconnects += out.reconnects
+                        result.dedup_hits += int(out.deduped)
+            finally:
+                with lock:
+                    for kind, count in _factory_fired(client_wrapper):
+                        result.client_faults[kind] = (
+                            result.client_faults.get(kind, 0) + count)
+                client.close()
+
+        threads = [threading.Thread(target=run_client, args=(w,),
+                                    name=f"repro-netchaos-client-{w}")
+                   for w in range(clients)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    finally:
+        server.shutdown()
+        service.close()
+    stats = service.stats()
+    cache = dedup.stats()
+    result.executions = stats.completed
+    result.stores = cache["stores"]
+    result.duplicate_stores = cache["duplicate_stores"]
+    result.dedup_waits = cache["waits"]
+    # Server-side dedup hits are authoritative (a replayed response can
+    # be lost on the wire too — the client only sees the last one).
+    result.dedup_hits = cache["hits"]
+    for kind, count in _factory_fired(server_wrapper):
+        result.server_faults[kind] = (
+            result.server_faults.get(kind, 0) + count)
+    return result
+
+
+def _factory_fired(factory) -> list[tuple[str, int]]:
+    fired: dict[str, int] = {}
+    for injector in getattr(factory, "injectors", ()):
+        for kind, count in injector.fired.items():
+            fired[kind] = fired.get(kind, 0) + count
+    return sorted(fired.items())
+
+
+def run_network_campaign(seed: int = 7, jobs: int = 40, clients: int = 4,
+                         max_size: int = 4096,
+                         scenario: str | None = None
+                         ) -> NetworkCampaignReport:
+    """Every wire fault scenario, one seeded deterministic campaign."""
+    names = sorted(default_network_plans())
+    if scenario is not None:
+        if scenario not in names:
+            raise ReproError(f"unknown network scenario {scenario!r}; "
+                             f"have {names}")
+        names = [scenario]
+    report = NetworkCampaignReport(seed=seed, clients=clients)
+    for name in names:
+        report.scenarios.append(
+            run_network_scenario(name, seed=seed, jobs=jobs,
+                                 clients=clients, max_size=max_size))
+    return report

@@ -1,0 +1,300 @@
+"""Seeded, deterministic network fault injection for the service wire.
+
+PR 4's :class:`~repro.resilience.faults.FaultInjector` made chip-level
+failure a first-class, replayable event; this module does the same for
+the *network* between a :class:`~repro.service.client.ServiceClient`
+and the TCP server — the failure domain a multi-node sharded fleet
+(ROADMAP item 4) lives in.  A shared accelerator reached over a socket
+must survive connection resets, mid-frame truncation, slow-loris
+dribble, latency spikes, and duplicated or stale responses without ever
+double-executing a job or returning wrong bytes.
+
+The API deliberately mirrors the chip injector:
+
+* :class:`NetFaultPlan` — one declarative fault: what, when (``at_op``
+  is the wrapper's send/recv operation counter), how often, how hard.
+* :class:`NetFaultInjector` — evaluates plans deterministically from
+  one ``random.Random`` seeded from ``(seed, peer)``; records firings
+  in ``fired`` for exact campaign accounting.
+* :class:`FaultySocket` — the installable wrapper: on the client it
+  wraps the connected socket (``ServiceClient(socket_wrapper=...)``),
+  on the server it shims every accepted connection
+  (``CompressionServer(socket_wrapper=...)``).
+
+Faults act at message granularity — :func:`~repro.service.protocol.
+send_message` emits one ``sendall`` per message precisely so duplicate
+and stale injections replay *whole frames*, the case the request-id
+dedup machinery has to defeat, not torn byte salads.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import time
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..obs.flight import FLIGHT as _FLIGHT
+from ..obs.metrics import REGISTRY as _REGISTRY
+from ..obs.trace import TRACE as _TRACE
+
+#: Every network fault kind a plan may declare.
+NET_FAULT_KINDS = (
+    "reset",       # the connection dies with a reset on this operation
+    "truncate",    # a send delivers only a prefix, then the socket dies
+    "slow_send",   # slow-loris: the message dribbles out in tiny chunks
+    "latency",     # the operation stalls ``magnitude`` milliseconds
+    "duplicate",   # the frame just sent is sent again, back to back
+    "stale",       # a previously sent frame is replayed before this one
+)
+
+#: Kinds that fire on the send path (the rest also fire on recv).
+_SEND_ONLY = ("truncate", "slow_send", "duplicate", "stale")
+
+#: Seconds between slow-loris chunks: long enough to exercise partial
+#: reads on the peer, short enough for seeded CI campaigns.
+_SLOW_CHUNK_DELAY_S = 0.002
+
+
+@dataclass(frozen=True)
+class NetFaultPlan:
+    """One declarative wire fault: what, when, how often, how hard.
+
+    ``at_op`` fires deterministically when the wrapper's
+    *direction-specific* operation counter hits that value — for a
+    send-capable kind that is the Nth ``sendall`` on the connection, so
+    ``NetFaultPlan("truncate", at_op=1)`` on the server shim kills
+    exactly the first response of each connection mid-frame;
+    ``probability`` fires per opportunity from the seeded stream.
+    ``max_fires`` caps total firings (``at_op`` plans default to one).
+    ``magnitude`` is kind-specific: milliseconds of stall for
+    ``latency``, dribble chunk count for ``slow_send``, and the
+    fraction of the frame delivered before a ``truncate`` kill.
+    """
+
+    kind: str
+    probability: float = 0.0
+    at_op: int | None = None
+    max_fires: int | None = None
+    magnitude: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in NET_FAULT_KINDS:
+            raise ConfigError(f"unknown net fault kind {self.kind!r}; "
+                              f"have {NET_FAULT_KINDS}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigError(
+                f"net fault probability must be in [0, 1], "
+                f"got {self.probability}")
+        if self.at_op is None and self.probability == 0.0:
+            raise ConfigError(
+                f"plan {self.kind!r} can never fire: give it at_op "
+                "or a probability")
+
+    @property
+    def fire_cap(self) -> float:
+        if self.max_fires is not None:
+            return self.max_fires
+        return 1 if self.at_op is not None else float("inf")
+
+
+@dataclass
+class _PlanState:
+    plan: NetFaultPlan
+    fires: int = 0
+
+
+class NetFaultInjector:
+    """Evaluates wire fault plans per socket operation, deterministically.
+
+    One injector covers one connection (one ``peer``); a campaign
+    builds one per accepted / dialled socket via :func:`fault_factory`
+    so every connection replays its own seeded timeline.
+    """
+
+    def __init__(self, plans: list[NetFaultPlan] | tuple[NetFaultPlan, ...]
+                 = (), seed: int = 0, peer: int = 0) -> None:
+        self.seed = seed
+        self.peer = peer
+        self._rng = random.Random(seed * 9_999_991 + peer)
+        self._states = [_PlanState(plan) for plan in plans]
+        self.op_counter = 0
+        self.send_counter = 0
+        self.recv_counter = 0
+        self.fired: dict[str, int] = {}
+
+    # -- plan evaluation -----------------------------------------------------
+
+    def on_op(self, direction: str) -> NetFaultPlan | None:
+        """One send/recv opportunity; returns the plan that fires, if any.
+
+        Exactly one fault fires per operation (the first matching plan)
+        so a combined scenario stays a sequence of recognisable events
+        rather than a pile-up on one syscall.  ``at_op`` plans match
+        the per-direction counter, so "the Nth send" stays aimable no
+        matter how many reads interleave.
+        """
+        self.op_counter += 1
+        if direction == "send":
+            self.send_counter += 1
+            counter = self.send_counter
+        else:
+            self.recv_counter += 1
+            counter = self.recv_counter
+        for state in self._states:
+            plan = state.plan
+            if state.fires >= plan.fire_cap:
+                continue
+            if direction == "recv" and plan.kind in _SEND_ONLY:
+                continue
+            hit = False
+            if plan.at_op is not None:
+                hit = counter == plan.at_op
+            if not hit and plan.probability > 0.0:
+                hit = self._rng.random() < plan.probability
+            if hit:
+                state.fires += 1
+                self._record(plan.kind, direction)
+                return plan
+        return None
+
+    def _record(self, kind: str, direction: str) -> None:
+        self.fired[kind] = self.fired.get(kind, 0) + 1
+        if _TRACE.enabled:
+            _TRACE.event("net.fault", kind=kind, peer=self.peer,
+                         direction=direction)
+        _FLIGHT.record("net.fault", kind=kind, peer=self.peer,
+                       direction=direction, op=self.op_counter)
+        if _REGISTRY.enabled:
+            _REGISTRY.counter(
+                "repro_resilience_net_faults_injected_total",
+                "wire chaos faults fired by the injector").inc(
+                1, kind=kind)
+
+    def total_fired(self) -> int:
+        return sum(self.fired.values())
+
+    # -- installation --------------------------------------------------------
+
+    def wrap(self, sock: socket.socket) -> "FaultySocket":
+        """Install this injector on one connected socket."""
+        return FaultySocket(sock, self)
+
+
+class FaultySocket:
+    """A socket proxy that injects the planned wire faults.
+
+    Wraps send/recv; everything else (``settimeout``, ``close``,
+    ``shutdown``, ``fileno``…) delegates to the real socket, so the
+    wrapper drops into both :class:`~repro.service.client.ServiceClient`
+    and the server's per-connection handler unchanged.
+    """
+
+    def __init__(self, sock: socket.socket,
+                 injector: NetFaultInjector) -> None:
+        self._sock = sock
+        self._chaos = injector
+        self._last_frame: bytes | None = None
+        self._older_frame: bytes | None = None
+
+    # -- fault actions -------------------------------------------------------
+
+    def _kill(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def sendall(self, data: bytes) -> None:
+        plan = self._chaos.on_op("send")
+        if plan is None:
+            self._sock.sendall(data)
+        elif plan.kind == "reset":
+            self._kill()
+            raise ConnectionResetError("injected connection reset on send")
+        elif plan.kind == "truncate":
+            cut = max(1, int(len(data) * min(0.9, plan.magnitude / 10.0))) \
+                if len(data) > 1 else 0
+            if cut:
+                try:
+                    self._sock.sendall(bytes(data[:cut]))
+                except OSError:
+                    pass
+            self._kill()
+            raise ConnectionResetError(
+                f"injected truncation after {cut} of {len(data)} bytes")
+        elif plan.kind == "slow_send":
+            chunks = max(2, int(plan.magnitude))
+            step = max(1, len(data) // chunks)
+            view = memoryview(bytes(data))
+            for start in range(0, len(view), step):
+                self._sock.sendall(view[start:start + step])
+                time.sleep(_SLOW_CHUNK_DELAY_S)
+        elif plan.kind == "latency":
+            time.sleep(plan.magnitude * 1e-3)
+            self._sock.sendall(data)
+        elif plan.kind == "duplicate":
+            self._sock.sendall(data)
+            self._sock.sendall(data)
+        elif plan.kind == "stale":
+            if self._older_frame is not None:
+                self._sock.sendall(self._older_frame)
+            self._sock.sendall(data)
+        else:  # pragma: no cover - kinds list is closed
+            self._sock.sendall(data)
+        self._older_frame = self._last_frame
+        self._last_frame = bytes(data)
+
+    def send(self, data: bytes) -> int:
+        self.sendall(data)
+        return len(data)
+
+    def recv(self, nbytes: int) -> bytes:
+        plan = self._chaos.on_op("recv")
+        if plan is not None:
+            if plan.kind == "reset":
+                self._kill()
+                raise ConnectionResetError(
+                    "injected connection reset on recv")
+            if plan.kind == "latency":
+                time.sleep(plan.magnitude * 1e-3)
+        return self._sock.recv(nbytes)
+
+    # -- passthrough ---------------------------------------------------------
+
+    def __getattr__(self, name: str):
+        return getattr(self._sock, name)
+
+    def __enter__(self) -> "FaultySocket":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._sock.close()
+
+
+def fault_factory(plans: list[NetFaultPlan] | tuple[NetFaultPlan, ...],
+                  seed: int = 0, max_connections: int | None = None):
+    """A ``socket_wrapper`` that seeds a fresh injector per connection.
+
+    Each call wraps one socket with its own :class:`NetFaultInjector`
+    (``peer`` increments per connection, so reconnects replay new but
+    deterministic timelines).  ``max_connections`` bounds how many
+    connections get faults at all — ``max_connections=1`` with an
+    ``at_op`` plan stages exactly one aimed failure (e.g. "kill the
+    first response mid-frame") and lets every retry through clean.
+    The factory's ``injectors`` list keeps every injector it created
+    for end-of-campaign fault accounting.
+    """
+    injectors: list[NetFaultInjector] = []
+
+    def wrapper(sock: socket.socket):
+        if max_connections is not None \
+                and len(injectors) >= max_connections:
+            return sock
+        injector = NetFaultInjector(plans, seed=seed, peer=len(injectors))
+        injectors.append(injector)
+        return injector.wrap(sock)
+
+    wrapper.injectors = injectors
+    return wrapper

@@ -32,9 +32,11 @@ Over a socket::
         out = client.compress(b"payload" * 1000, qos="bulk").output
 """
 
-from .client import ClientResult, RemoteServiceError, ServiceClient
+from .client import (ClientResult, RemoteServiceError, RetryBudget,
+                     ServiceClient)
 from .core import (CompressionService, ServiceResult, ServiceStats,
                    ServiceTicket)
+from .idempotency import IdempotencyCache
 from .protocol import ProtocolError, recv_message, send_message
 from .qos import (DEFAULT_CLASSES, DEFAULT_STARVATION_BOUND, FIFOS,
                   QosClass, QosPolicy)
@@ -44,7 +46,7 @@ __all__ = [
     "CompressionService", "ServiceResult", "ServiceStats", "ServiceTicket",
     "QosClass", "QosPolicy", "DEFAULT_CLASSES", "DEFAULT_STARVATION_BOUND",
     "FIFOS",
-    "CompressionServer", "serve",
-    "ServiceClient", "ClientResult", "RemoteServiceError",
+    "CompressionServer", "serve", "IdempotencyCache",
+    "ServiceClient", "ClientResult", "RemoteServiceError", "RetryBudget",
     "ProtocolError", "send_message", "recv_message",
 ]

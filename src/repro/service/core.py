@@ -47,7 +47,8 @@ from dataclasses import dataclass, field
 
 from ..backend.pool import AcceleratorPool, PoolJob
 from ..errors import (AcceleratorError, ChipUnavailable, ConfigError,
-                      DeadlineExceeded, ServiceClosed, ServiceOverloaded)
+                      DeadlineExceeded, ReproError, ServiceClosed,
+                      ServiceOverloaded)
 from ..nx.params import POWER9, MachineParams
 from ..obs.context import TraceContext
 from ..obs.flight import FLIGHT as _FLIGHT
@@ -230,7 +231,8 @@ class CompressionService:
     def submit(self, op: str, payload: bytes, *, fmt: str | None = None,
                strategy: str = "auto", qos: str | None = None,
                tenant: str = "", deadline_s: float | None = None,
-               traceparent: str | None = None) -> ServiceTicket:
+               traceparent: str | None = None,
+               client_request_id: str | None = None) -> ServiceTicket:
         """Admit one request; returns a ticket to ``wait`` on.
 
         Raises :class:`ServiceOverloaded` (retryable, with a
@@ -243,6 +245,13 @@ class CompressionService:
         span this request produces — dispatcher, pool, exec workers —
         export as one tree.  Absent or malformed, the request roots a
         fresh wire trace.
+
+        ``client_request_id`` is the wire idempotency key (when the
+        request arrived over the socket with one): it is stamped on the
+        request's span and flight records so a retried logical request
+        can be tied back across reconnects, but the service itself
+        executes whatever it admits — deduplication of resends happens
+        at the socket layer, before admission.
         """
         if op not in _OPS:
             raise ConfigError(f"unknown op {op!r}; have {_OPS}")
@@ -281,10 +290,17 @@ class CompressionService:
             if _TRACE.enabled:
                 parsed = TraceContext.parse(traceparent)
                 ctx = parsed.child() if parsed else TraceContext.new()
+                extra: dict[str, object] = {}
+                if tenant:
+                    extra["tenant"] = tenant
+                if client_request_id:
+                    # The wire idempotency key: one logical client
+                    # request keeps one id across reconnect resends.
+                    extra["wire_request_id"] = client_request_id
                 span = _TRACE.span_detached(
                     "service.request", ctx=ctx, op=op, qos=qcls.name,
                     nbytes=len(payload), request_id=ticket.request_id,
-                    **({"tenant": tenant} if tenant else {}))
+                    **extra)
             queue.append(_Queued(ticket=ticket, op=op, payload=payload,
                                  fmt=fmt, strategy=strategy,
                                  deadline_s=deadline,
@@ -487,7 +503,10 @@ class CompressionService:
                     job = self.pool.submit_decompress(
                         req.payload, fmt=req.fmt,
                         deadline_s=req.deadline_s)
-            except AcceleratorError as exc:
+            except ReproError as exc:
+                # Any library failure — accelerator trouble, but also a
+                # malformed payload (DeflateError on garbage input) —
+                # fails this job; it must never fail the dispatcher.
                 self._resolve_error(req, exc)
                 job = None
             jobs.append(job)
@@ -525,7 +544,9 @@ class CompressionService:
                     result = self.pool.decompress(
                         req.payload, fmt=req.fmt,
                         deadline_s=req.deadline_s)
-            except AcceleratorError as exc:
+            except ReproError as exc:
+                # Same contract as _submit_batch: a bad payload fails
+                # the one request, never the dispatcher thread.
                 self._resolve_error(req, exc)
                 return
         self._resolve_ok(req, result.output,

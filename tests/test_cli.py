@@ -157,3 +157,50 @@ class TestCat:
         assert main(["cat", str(gz), "--no-index", "--workers", "1"]) \
             == 0
         assert capsysbinary.readouterr().out == plain
+
+
+class TestUnreachableServer:
+    """Connection refused is one line on stderr and exit 1 — no traceback."""
+
+    @pytest.fixture()
+    def free_port(self):
+        import socket
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            yield probe.getsockname()[1]
+
+    def test_submit_refused(self, sample_file, free_port, capsys):
+        assert main(["submit", str(sample_file), "--port",
+                     str(free_port)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: server unreachable")
+        assert err.count("\n") == 1
+        assert "Traceback" not in err
+
+    def test_top_refused(self, free_port, capsys):
+        assert main(["top", "--url",
+                     f"http://127.0.0.1:{free_port}", "--once"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: cannot reach ops endpoint")
+        assert "Traceback" not in err
+
+    def test_stats_url_refused(self, free_port, capsys):
+        assert main(["stats", "--url",
+                     f"http://127.0.0.1:{free_port}"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: cannot reach ops endpoint")
+        assert "Traceback" not in err
+
+
+class TestChaosNetwork:
+    def test_single_scenario_survives(self, capsys):
+        assert main(["chaos", "--network", "--scenario", "net_truncate",
+                     "--jobs", "8", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "network chaos campaign" in out
+        assert "SURVIVED" in out
+
+    def test_unknown_scenario_exits_2(self, capsys):
+        assert main(["chaos", "--network", "--scenario", "bogus"]) == 2
+        assert "unknown network scenario" in capsys.readouterr().err

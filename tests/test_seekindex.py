@@ -48,6 +48,35 @@ class TestRoundTrip:
         index.save(path)
         assert SeekIndex.load(path).points == index.points
 
+    def test_save_is_atomic_replace(self, archive, tmp_path,
+                                    monkeypatch):
+        """A crashed save never leaves a torn sidecar behind.
+
+        The write goes to a same-directory temp file first; if the
+        write dies, the old index must survive untouched and the temp
+        file must be cleaned up.
+        """
+        import os
+
+        _, _, index = archive
+        path = tmp_path / "a.rsix"
+        index.save(path)
+        before = path.read_bytes()
+
+        real_replace = os.replace
+
+        def exploding_replace(src, dst):
+            raise OSError("disk went away")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            index.save(path)
+        monkeypatch.setattr(os, "replace", real_replace)
+        # Old sidecar intact, no temp litter, still loads.
+        assert path.read_bytes() == before
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["a.rsix"]
+        assert SeekIndex.load(path).points == index.points
+
     def test_build_index_function(self, archive):
         blob, plain, _ = archive
         index = build_index(blob, "gzip", spacing=32768)

@@ -1,0 +1,318 @@
+"""Network robustness end to end: frame abuse, resends, reconnects.
+
+The server side of the wire hardening — typed ``bad_frame`` answers
+for garbage instead of silent hangups, idle deadlines, request-id
+dedup over real sockets — and the headline acceptance scenario: a
+reconnecting client whose first attempt's connection is killed
+mid-response still completes the request, exactly once, via the
+server's idempotency cache.  Ends with a seeded slice of the
+``repro chaos --network`` campaign.
+"""
+
+from __future__ import annotations
+
+import gzip
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.errors import RetryBudgetExhausted, ServiceUnreachable
+from repro.resilience import NetFaultPlan, fault_factory
+from repro.service import (CompressionService, IdempotencyCache,
+                           RetryBudget, ServiceClient, serve)
+from repro.service.protocol import (ProtocolError, recv_message,
+                                    send_message)
+
+_LEN = struct.Struct(">I")
+
+
+@pytest.fixture()
+def stack():
+    """A served software-backend service; yields (service, server)."""
+    service = CompressionService(chips=1, backend="software")
+    server = serve(service, port=0)
+    yield service, server
+    server.shutdown()
+    service.close()
+
+
+def _dial(port: int) -> socket.socket:
+    sock = socket.create_connection(("127.0.0.1", port), timeout=5.0)
+    sock.settimeout(5.0)
+    return sock
+
+
+def _assert_healthy(server) -> None:
+    """The dispatcher still serves fresh connections."""
+    with ServiceClient(port=server.port) as client:
+        assert client.ping()
+
+
+class TestFrameAbuse:
+    def test_garbage_header_answered_with_bad_frame(self, stack):
+        _, server = stack
+        sock = _dial(server.port)
+        garbage = b"\x00\xffnot json at all"
+        sock.sendall(_LEN.pack(len(garbage)) + garbage)
+        header, _ = recv_message(sock)
+        assert header["status"] == "error"
+        assert header["error_type"] == "bad_frame"
+        assert header["kind"] == "bad_header"
+        assert header["retryable"] is False
+        # The connection closes after the typed answer.
+        assert sock.recv(1) == b""
+        sock.close()
+        _assert_healthy(server)
+
+    def test_oversized_header_answered_with_bad_frame(self, stack):
+        _, server = stack
+        sock = _dial(server.port)
+        sock.sendall(_LEN.pack(1 << 30))
+        header, _ = recv_message(sock)
+        assert header["error_type"] == "bad_frame"
+        assert header["kind"] == "oversized_header"
+        sock.close()
+        _assert_healthy(server)
+
+    def test_oversized_payload_answered_with_bad_frame(self, stack):
+        _, server = stack
+        sock = _dial(server.port)
+        head = b'{"op":"compress"}'
+        sock.sendall(_LEN.pack(len(head)) + head + _LEN.pack(1 << 31))
+        header, _ = recv_message(sock)
+        assert header["error_type"] == "bad_frame"
+        assert header["kind"] == "oversized_payload"
+        sock.close()
+        _assert_healthy(server)
+
+    def test_disconnect_mid_frame_leaves_server_healthy(self, stack):
+        _, server = stack
+        sock = _dial(server.port)
+        # Declare a 64-byte header, deliver 3 bytes, vanish.
+        sock.sendall(_LEN.pack(64) + b"abc")
+        sock.close()
+        _assert_healthy(server)
+
+    def test_non_object_header_rejected(self, stack):
+        _, server = stack
+        sock = _dial(server.port)
+        head = b'[1,2,3]'
+        sock.sendall(_LEN.pack(len(head)) + head)
+        header, _ = recv_message(sock)
+        assert header["error_type"] == "bad_frame"
+        assert header["kind"] == "bad_header"
+        sock.close()
+        _assert_healthy(server)
+
+
+class TestIdleTimeout:
+    def test_silent_connection_is_closed(self):
+        service = CompressionService(chips=1, backend="software")
+        server = serve(service, port=0, idle_timeout_s=0.2)
+        try:
+            sock = _dial(server.port)
+            # Say nothing; the server hangs up at the idle deadline.
+            deadline = time.monotonic() + 5.0
+            closed = False
+            while time.monotonic() < deadline:
+                try:
+                    if sock.recv(1) == b"":
+                        closed = True
+                        break
+                except TimeoutError:
+                    break
+            assert closed
+            sock.close()
+            _assert_healthy(server)
+        finally:
+            server.shutdown()
+            service.close()
+
+
+class TestDedupOnTheWire:
+    def test_resend_replays_cached_result(self, stack, text_20k):
+        _, server = stack
+        sock = _dial(server.port)
+        header = {"op": "compress", "fmt": "gzip", "tenant": "acme",
+                  "request_id": "req-42"}
+        send_message(sock, header, text_20k)
+        first, body_first = recv_message(sock)
+        assert first["status"] == "ok"
+        assert first["request_id"] == "req-42"
+        assert "deduped" not in first
+        # Same idempotency key again: replay, not re-execution.
+        send_message(sock, header, text_20k)
+        second, body_second = recv_message(sock)
+        assert second["deduped"] is True
+        assert body_second == body_first
+        assert gzip.decompress(body_second) == text_20k
+        sock.close()
+        stats = server.dedup.stats()
+        assert stats == {**stats, "hits": 1, "stores": 1,
+                         "duplicate_stores": 0}
+
+    def test_requests_without_id_never_dedup(self, stack, text_20k):
+        service, server = stack
+        sock = _dial(server.port)
+        for _ in range(2):
+            send_message(sock, {"op": "compress", "fmt": "gzip"},
+                         text_20k)
+            header, _ = recv_message(sock)
+            assert header["status"] == "ok"
+        sock.close()
+        assert server.dedup.stats()["stores"] == 0
+        assert service.stats().completed == 2
+
+    def test_failed_execution_does_not_poison_the_key(self, stack):
+        _, server = stack
+        sock = _dial(server.port)
+        header = {"op": "decompress", "fmt": "gzip",
+                  "request_id": "req-bad"}
+        send_message(sock, header, b"this is not gzip")
+        first, _ = recv_message(sock)
+        assert first["status"] == "error"
+        # The key was aborted, not cached: a retry executes again
+        # (and fails again) rather than replaying the error.
+        send_message(sock, header, b"this is not gzip")
+        second, _ = recv_message(sock)
+        assert second["status"] == "error"
+        assert "deduped" not in second
+        sock.close()
+        assert server.dedup.stats()["stores"] == 0
+
+
+class TestReconnectingClient:
+    def test_first_response_killed_midframe_still_completes(self,
+                                                            text_20k):
+        """The acceptance scenario: kill attempt one's response."""
+        service = CompressionService(chips=1, backend="software")
+        # Exactly the first connection truncates its first response
+        # mid-frame; every reconnect gets a clean socket.
+        wrapper = fault_factory(
+            [NetFaultPlan("truncate", at_op=1, magnitude=5.0)],
+            seed=11, max_connections=1)
+        server = serve(service, port=0, socket_wrapper=wrapper)
+        try:
+            with ServiceClient(port=server.port, reconnect=True) as client:
+                out = client.request("compress", text_20k, fmt="gzip")
+            assert gzip.decompress(out.output) == text_20k
+            assert out.reconnects >= 1
+            assert out.deduped is True  # replay, not re-execution
+            assert service.stats().completed == 1
+            stats = server.dedup.stats()
+            assert stats["stores"] == 1
+            assert stats["duplicate_stores"] == 0
+        finally:
+            server.shutdown()
+            service.close()
+
+    def test_duplicated_responses_are_filtered(self, stack, text_20k):
+        service, server = stack
+        # The client's view: every server response frame is doubled;
+        # the request_id echo lets it drop the strays.
+        wrapper = fault_factory(
+            [NetFaultPlan("duplicate", probability=1.0)], seed=5)
+        server.socket_wrapper = wrapper
+        try:
+            with ServiceClient(port=server.port) as client:
+                for _ in range(3):
+                    out = client.request("compress", text_20k, fmt="gzip")
+                    assert gzip.decompress(out.output) == text_20k
+            assert service.stats().completed == 3
+        finally:
+            server.socket_wrapper = None
+
+    def test_reconnect_off_surfaces_the_failure(self, text_20k):
+        service = CompressionService(chips=1, backend="software")
+        wrapper = fault_factory(
+            [NetFaultPlan("truncate", at_op=1)], seed=11,
+            max_connections=1)
+        server = serve(service, port=0, socket_wrapper=wrapper)
+        try:
+            with ServiceClient(port=server.port) as client, \
+                    pytest.raises((ProtocolError, OSError)):
+                client.request("compress", text_20k, fmt="gzip")
+        finally:
+            server.shutdown()
+            service.close()
+
+    def test_retry_budget_exhaustion_stops_the_hammering(self, text_20k):
+        service = CompressionService(chips=1, backend="software")
+        # Every connection resets on its first operation — the wire is
+        # simply dead, and the budget decides when to stop dialling.
+        wrapper = fault_factory([NetFaultPlan("reset", at_op=1)], seed=2)
+        server = serve(service, port=0, socket_wrapper=wrapper)
+        budget = RetryBudget(capacity=4.0, deposit=0.0, initial=2.0)
+        try:
+            with ServiceClient(port=server.port, reconnect=True,
+                               max_reconnects=50,
+                               retry_budget=budget) as client, \
+                    pytest.raises(RetryBudgetExhausted):
+                client.request("compress", text_20k, fmt="gzip")
+            assert budget.denied >= 1
+        finally:
+            server.shutdown()
+            service.close()
+
+    def test_unreachable_is_a_one_line_typed_error(self):
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            free_port = probe.getsockname()[1]
+        with pytest.raises(ServiceUnreachable) as excinfo:
+            ServiceClient(port=free_port)
+        assert "unreachable" in str(excinfo.value)
+        assert "\n" not in str(excinfo.value)
+        assert excinfo.value.retryable
+
+
+class TestDedupRace:
+    def test_resend_while_executing_waits_not_reexecutes(self, stack,
+                                                         text_20k):
+        """Two connections, same request_id, racing: one execution."""
+        service, server = stack
+        results = []
+
+        def call(delay_s: float) -> None:
+            time.sleep(delay_s)
+            sock = _dial(server.port)
+            send_message(sock, {"op": "compress", "fmt": "gzip",
+                                "request_id": "race-1"}, text_20k)
+            header, body = recv_message(sock)
+            results.append((header, body))
+            sock.close()
+
+        threads = [threading.Thread(target=call, args=(d,))
+                   for d in (0.0, 0.01)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(10.0)
+        assert len(results) == 2
+        bodies = {body for _, body in results}
+        assert len(bodies) == 1
+        assert gzip.decompress(bodies.pop()) == text_20k
+        assert service.stats().completed == 1
+        assert server.dedup.stats()["duplicate_stores"] == 0
+
+
+class TestNetworkCampaign:
+    def test_seeded_scenario_survives(self):
+        from repro.resilience.chaos import run_network_scenario
+
+        result = run_network_scenario("net_combined", seed=7, jobs=16,
+                                      clients=4)
+        assert result.survived
+        assert result.wrong_bytes == 0
+        assert result.duplicate_stores == 0
+        assert result.gave_up == 0
+        assert result.executions == result.stores == result.served == 16
+
+    def test_unknown_scenario_rejected(self):
+        from repro.errors import ReproError
+        from repro.resilience.chaos import run_network_campaign
+
+        with pytest.raises(ReproError):
+            run_network_campaign(scenario="net_bogus")
