@@ -59,6 +59,10 @@ class BackendCapabilities:
     #: decode à la rapidgzip); schedulers may treat ``decompress_gbps``
     #: as an aggregate rather than a single-stream rate.
     parallel_inflate: bool = False
+    #: Canned DHT names the engine can fetch for this backend — the
+    #: built-in template library plus any tenant-trained tables the
+    #: dictionary service has pushed (see :mod:`repro.dictsvc`).
+    canned_dicts: tuple[str, ...] = ()
 
     @property
     def default_format(self) -> str:

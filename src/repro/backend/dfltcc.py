@@ -12,12 +12,13 @@ block's running check value.
 from __future__ import annotations
 
 import struct
+from dataclasses import replace
 
 from ..deflate.checksums import adler32, crc32
 from ..deflate.containers import wrap_gzip, wrap_zlib
 from ..errors import AcceleratorError, ChecksumError, ConfigError, \
     DeflateError
-from ..nx.dht import DhtStrategy
+from ..nx.dht import DhtStrategy, canned_names
 from ..nx.params import Z15, MachineParams, get_machine
 from ..nx.z15 import ConditionCode, Dfltcc, ParameterBlock
 from ..obs.metrics import REGISTRY as _REGISTRY
@@ -57,7 +58,11 @@ class DfltccBackend(CompressionBackend):
         )
 
     def capabilities(self) -> BackendCapabilities:
-        return self._caps
+        # Recomputed per call: the dictionary service may push trained
+        # canned tables after this backend was constructed.
+        return replace(self._caps,
+                       canned_dicts=tuple(
+                           canned_names(include_trained=True)))
 
     # -- implementation ------------------------------------------------------
 

@@ -18,7 +18,7 @@ from dataclasses import replace
 
 from ..errors import ConfigError
 from ..nx.accelerator import NxAccelerator
-from ..nx.dht import DhtStrategy
+from ..nx.dht import DhtStrategy, canned_names
 from ..nx.params import POWER9, MachineParams, get_machine
 from ..perf.cost import accelerator_effective_gbps
 from ..sysstack.crb import Op
@@ -81,7 +81,11 @@ class NxAsyncBackend(CompressionBackend):
         )
 
     def capabilities(self) -> BackendCapabilities:
-        return self._caps
+        # Recomputed per call: the dictionary service may push trained
+        # canned tables after this backend was constructed.
+        return replace(self._caps,
+                       canned_dicts=tuple(
+                           canned_names(include_trained=True)))
 
     def close(self) -> None:
         self.driver.close()

@@ -213,6 +213,40 @@ def build_parser() -> argparse.ArgumentParser:
                               "faults (crash-recovery integrity check)")
     _add_machine_arg(p_chaos)
 
+    p_dict = sub.add_parser(
+        "dict", help="dictionary service: train, list, and push "
+                     "tenant canned DHTs + priming dictionaries")
+    dict_sub = p_dict.add_subparsers(dest="dict_command", required=True)
+    p_dtrain = dict_sub.add_parser(
+        "train", help="train per-family dictionaries on a seeded corpus")
+    p_dtrain.add_argument("--corpus", default="cloud-like",
+                          help="workload corpus to sample "
+                               "(default: cloud-like)")
+    p_dtrain.add_argument("--scale", type=float, default=0.25,
+                          help="corpus scale factor (default: 0.25)")
+    p_dtrain.add_argument("--seed", type=int, default=7,
+                          help="training seed; the same seed always "
+                               "produces byte-identical dictionaries")
+    p_dtrain.add_argument("--sample-bytes", type=int, default=4096,
+                          help="bytes sampled per observed payload")
+    p_dtrain.add_argument("--max-clusters", type=int, default=4,
+                          help="cluster cap per tenant (default: 4)")
+    p_dtrain.add_argument("-o", "--out", type=pathlib.Path,
+                          default=pathlib.Path("dicts.json"),
+                          help="bundle output path (default: dicts.json)")
+    p_dlist = dict_sub.add_parser(
+        "list", help="list a bundle's dictionaries, or the engine's "
+                     "canned library")
+    p_dlist.add_argument("--bundle", type=pathlib.Path, default=None,
+                         help="bundle to inspect (default: the "
+                              "in-process canned library)")
+    p_dpush = dict_sub.add_parser(
+        "push", help="load a bundle and publish its tables to the "
+                     "engine's canned library")
+    p_dpush.add_argument("bundle", type=pathlib.Path)
+    _add_machine_arg(p_dpush)
+    _add_backend_args(p_dpush)
+
     p_serve = sub.add_parser(
         "serve", help="compression job server (QoS queues, batching)")
     p_serve.add_argument("--host", default="127.0.0.1")
@@ -239,6 +273,15 @@ def build_parser() -> argparse.ArgumentParser:
                               "port (0 = ephemeral; adds /metrics, "
                               "/healthz, /traces/recent, /flight, /ops "
                               "and enables tracing+metrics)")
+    p_serve.add_argument("--cache-mb", type=float, default=None,
+                         help="mount a content-addressed result cache "
+                              "of this many MB in front of dispatch "
+                              "(identical compress requests dedupe to "
+                              "one execution)")
+    p_serve.add_argument("--dicts", type=pathlib.Path, default=None,
+                         help="dictionary bundle (from 'repro dict "
+                              "train') to push into the engine's "
+                              "canned library before serving")
     _add_machine_arg(p_serve)
     _add_backend_args(p_serve)
 
@@ -680,6 +723,84 @@ def _cmd_chaos_under_load(args: argparse.Namespace) -> int:
     return 0 if result.survived else 1
 
 
+def cmd_dict(args: argparse.Namespace) -> int:
+    if args.dict_command == "train":
+        return _cmd_dict_train(args)
+    if args.dict_command == "list":
+        return _cmd_dict_list(args)
+    return _cmd_dict_push(args)
+
+
+def _train_registry(corpus: str, scale: float, seed: int,
+                    sample_bytes: int, max_clusters: int):
+    """Observe every corpus family as a tenant and train each one."""
+    from .dictsvc import DictionaryRegistry
+    from .workloads.corpus import build_corpus
+
+    registry = DictionaryRegistry(seed=seed, sample_bytes=sample_bytes,
+                                  max_clusters=max_clusters)
+    families = build_corpus(corpus, scale=scale, seed=1234)
+    for family, data in families.items():
+        for offset in range(0, len(data), sample_bytes):
+            registry.observe(family, data[offset:offset + sample_bytes])
+    for family in families:
+        registry.train(family)
+    return registry
+
+
+def _dict_table(dicts) -> Table:
+    table = Table(headers=["name", "epoch", "samples", "priming",
+                           "centroid[0:4]"])
+    for d in dicts:
+        table.add(d.name, d.epoch, d.samples, human_bytes(len(d.priming)),
+                  "/".join(f"{x:.2f}" for x in d.centroid[:4]))
+    return table
+
+
+def _cmd_dict_train(args: argparse.Namespace) -> int:
+    registry = _train_registry(args.corpus, args.scale, args.seed,
+                               args.sample_bytes, args.max_clusters)
+    registry.save_bundle(str(args.out))
+    dicts = registry.trained()
+    print(_dict_table(dicts).render(
+        f"trained dictionaries ({args.corpus}, seed {args.seed})"))
+    print(f"bundle: {args.out} ({len(dicts)} dictionaries)")
+    return 0
+
+
+def _cmd_dict_list(args: argparse.Namespace) -> int:
+    if args.bundle is not None:
+        from .dictsvc import DictionaryRegistry
+
+        registry = DictionaryRegistry()
+        dicts = registry.load_bundle(str(args.bundle))
+        print(_dict_table(dicts).render(f"bundle {args.bundle}"))
+        return 0
+    from .nx.dht import canned_names, trained_names
+
+    trained = set(trained_names())
+    table = Table(headers=["name", "kind"])
+    for name in canned_names(include_trained=True):
+        table.add(name, "trained" if name in trained else "built-in")
+    print(table.render("canned DHT library (this process)"))
+    return 0
+
+
+def _cmd_dict_push(args: argparse.Namespace) -> int:
+    from .dictsvc import DictionaryRegistry
+
+    registry = DictionaryRegistry()
+    registry.load_bundle(str(args.bundle))
+    pushed = registry.push()
+    print(f"pushed {len(pushed)} trained tables: {', '.join(pushed)}")
+    caps = backend_capabilities(args.backend or "nx",
+                                machine=get_machine(args.machine))
+    print(f"backend {caps.name!r} now advertises "
+          f"{len(caps.canned_dicts)} canned dicts via "
+          "capabilities().canned_dicts")
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     import signal as _signal
     import time as _time
@@ -702,11 +823,20 @@ def cmd_serve(args: argparse.Namespace) -> int:
         from .obs.http import OpsServer
 
         obs.enable(trace=True, metrics=True)
+    if args.dicts is not None:
+        from .dictsvc import DictionaryRegistry
+
+        registry = DictionaryRegistry()
+        registry.load_bundle(str(args.dicts))
+        pushed = registry.push()
+        print(f"dictionaries: pushed {len(pushed)} trained canned "
+              f"tables from {args.dicts}", flush=True)
     service = CompressionService(machine=args.machine, chips=args.chips,
                                  policy=args.policy,
                                  backend=args.backend,
                                  verify=args.verify,
-                                 exec_workers=args.exec_workers)
+                                 exec_workers=args.exec_workers,
+                                 cache_mb=args.cache_mb)
     server = serve(service, host=args.host, port=args.port)
     print(f"serving on {args.host}:{server.port} "
           f"(machine {args.machine}, {args.chips} chip(s), "
@@ -734,6 +864,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
         stats = service.stats()
         print(f"drained: {stats.completed} served, "
               f"{stats.rejected} shed, {stats.failed} failed")
+        if stats.cache is not None:
+            print(f"cache: {stats.cache['hits']} hits / "
+                  f"{stats.cache['requests']} requests "
+                  f"({stats.cache['executions']} executions, "
+                  f"{stats.cache['evictions']} evictions)")
     return 0
 
 
@@ -776,6 +911,7 @@ _COMMANDS = {
     "selftest": cmd_selftest,
     "stats": cmd_stats,
     "chaos": cmd_chaos,
+    "dict": cmd_dict,
     "serve": cmd_serve,
     "submit": cmd_submit,
     "top": cmd_top,

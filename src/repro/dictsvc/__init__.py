@@ -1,0 +1,26 @@
+"""The dictionary service: tenant-trained canned DHTs + result cache.
+
+The paper's accelerator ships canned (precomputed) Huffman tables
+because two-pass DHT generation dominates the latency of small-buffer
+requests — exactly the regime where a cloud service lives.  This
+package productizes that engine feature across tenants:
+
+* :class:`DictionaryRegistry` samples per-tenant traffic, clusters it
+  by byte-histogram/match-density signature, and trains one canned DHT
+  plus one 32 KB LZ77 priming dictionary per cluster, versioned and
+  pushed to backends through ``BackendCapabilities.canned_dicts``.
+* :class:`ResultCache` is a content-addressed compressed-result cache
+  (sha256 of payload + codec parameters), bounded by entries and bytes
+  with per-tenant quotas, with singleflight so N concurrent misses on
+  one key run exactly one compression.
+"""
+
+from .cache import ResultCache, result_key
+from .registry import DictionaryRegistry, TrainedDictionary
+
+__all__ = [
+    "DictionaryRegistry",
+    "TrainedDictionary",
+    "ResultCache",
+    "result_key",
+]

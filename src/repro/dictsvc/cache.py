@@ -1,0 +1,295 @@
+"""Content-addressed compressed-result cache with singleflight.
+
+A million-user service sees heavy key skew: the same hot objects are
+compressed over and over.  This cache addresses results by content —
+``sha256(op | fmt | strategy | dict-epoch | payload)`` — so identical
+requests are served from memory at hash cost instead of accelerator
+cost, regardless of which client sent them.
+
+Three guarantees, each carried by an exact counter:
+
+* **singleflight** — N concurrent misses on one key run exactly one
+  compression (``executions == unique keys``); followers park on the
+  leader's event (the :mod:`repro.service.idempotency` claim pattern);
+* **partition** — every request is exactly a hit or a miss
+  (``hits + misses == requests``); waits are counted separately and
+  resolve into one of the two;
+* **bounds** — a global LRU capped by entries *and* bytes, plus
+  per-tenant quotas so one chatty tenant cannot wash out the others.
+  A blob larger than any applicable byte bound is simply not cached
+  (``uncacheable``) rather than evicting the world.
+
+Failure policy: a leader that fails aborts its claim; parked followers
+wake, observe no cached value, and re-claim — so a failed execution
+never poisons a key (at-most-one *successful* execution per key).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+
+from ..obs.flight import FLIGHT as _FLIGHT
+from ..obs.metrics import REGISTRY as _REGISTRY
+
+#: Default bounds: a useful working set, bounded for a fleet.
+DEFAULT_MAX_ENTRIES = 4096
+DEFAULT_MAX_BYTES = 64 << 20
+DEFAULT_MAX_TENANTS = 64
+
+
+def result_key(payload: bytes, *, op: str = "compress", fmt: str = "raw",
+               strategy: str = "auto", epoch: int = 0) -> str:
+    """Content address of one codec result.
+
+    Every parameter that changes the output bytes must be part of the
+    key; ``epoch`` is the dictionary-service epoch, so pushing newly
+    trained tables invalidates cached results without any flush.
+    """
+    h = hashlib.sha256()
+    h.update(f"{op}|{fmt}|{strategy}|{epoch}|".encode("ascii"))
+    h.update(payload)
+    return h.hexdigest()
+
+
+class _Claim:
+    """One in-flight execution of a keyed compression."""
+
+    __slots__ = ("event",)
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+
+
+class ResultCache:
+    """Bounded content-addressed LRU + singleflight claim table."""
+
+    def __init__(self, *, max_entries: int = DEFAULT_MAX_ENTRIES,
+                 max_bytes: int = DEFAULT_MAX_BYTES,
+                 tenant_max_entries: int | None = None,
+                 tenant_max_bytes: int | None = None,
+                 max_tenants: int = DEFAULT_MAX_TENANTS) -> None:
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.tenant_max_entries = tenant_max_entries or max_entries
+        self.tenant_max_bytes = tenant_max_bytes or max_bytes
+        self.max_tenants = max_tenants
+        self._lock = threading.Lock()
+        # tenant -> OrderedDict[key -> blob]; tenant order is LRU too.
+        self._tenants: OrderedDict[str, OrderedDict[str, bytes]] = \
+            OrderedDict()
+        self._tenant_bytes: dict[str, int] = {}
+        # global LRU order across tenants: (tenant, key) -> len(blob)
+        self._order: OrderedDict[tuple[str, str], int] = OrderedDict()
+        self._bytes = 0
+        self._inflight: dict[tuple[str, str], _Claim] = {}
+        self.requests = 0
+        self.hits = 0
+        self.misses = 0
+        self.executions = 0
+        self.waits = 0
+        self.evictions = 0
+        self.uncacheable = 0
+        self.aborts = 0
+
+    # -- the dispatch-facing protocol -----------------------------------------
+
+    def begin(self, tenant: str, key: str):
+        """Start (or join) one keyed compression.
+
+        Returns one of::
+
+            ("hit", blob)       # cached result; do not execute
+            ("leader", claim)   # execute, then commit() or abort()
+            ("wait", claim)     # a leader is executing; wait on
+                                # claim.event, then call begin() again
+
+        Exactly one of ``hits``/``misses`` is counted per request at
+        its *resolution* (a wait resolves on the retry), keeping
+        ``hits + misses == requests`` exact.
+        """
+        ckey = (tenant, key)
+        with self._lock:
+            entries = self._tenants.get(tenant)
+            if entries is not None and key in entries:
+                entries.move_to_end(key)
+                self._tenants.move_to_end(tenant)
+                self._order.move_to_end(ckey)
+                self.requests += 1
+                self.hits += 1
+                self._count("hit")
+                return "hit", entries[key]
+            claim = self._inflight.get(ckey)
+            if claim is not None:
+                self.waits += 1
+                self._count("wait")
+                return "wait", claim
+            claim = self._inflight[ckey] = _Claim()
+            self.requests += 1
+            self.misses += 1
+            self.executions += 1
+            self._count("miss")
+            return "leader", claim
+
+    def commit(self, tenant: str, key: str, blob: bytes) -> bool:
+        """Store the leader's result and wake parked followers.
+
+        Returns False when the blob exceeded a byte bound and was not
+        cached (followers still wake and will re-execute on retry — the
+        cache never blocks progress, it only dedupes it).
+        """
+        ckey = (tenant, key)
+        with self._lock:
+            cacheable = (len(blob) <= self.max_bytes
+                         and len(blob) <= self.tenant_max_bytes)
+            if cacheable:
+                entries = self._tenants.get(tenant)
+                if entries is None:
+                    if len(self._tenants) >= self.max_tenants:
+                        self._evict_tenant_locked()
+                    entries = self._tenants[tenant] = OrderedDict()
+                    self._tenant_bytes[tenant] = 0
+                if key not in entries:
+                    entries[key] = blob
+                    self._tenant_bytes[tenant] += len(blob)
+                    self._order[ckey] = len(blob)
+                    self._bytes += len(blob)
+                    self._tenants.move_to_end(tenant)
+                    self._evict_locked(tenant)
+            else:
+                self.uncacheable += 1
+                _FLIGHT.record("cache.uncacheable", tenant=tenant,
+                               nbytes=len(blob))
+            self._release_locked(ckey)
+            return cacheable
+
+    def abort(self, tenant: str, key: str) -> None:
+        """The leader failed: free the key so a follower can re-claim."""
+        with self._lock:
+            self.aborts += 1
+            self._release_locked((tenant, key))
+
+    def resolve_follower(self) -> None:
+        """Count one parked follower served with the leader's result.
+
+        The service's non-blocking integration fulfils followers
+        directly from the leader's fulfilment instead of retrying
+        ``begin`` — for accounting that *is* a hit, keeping
+        ``hits + misses == requests`` exact in that topology too.
+        """
+        with self._lock:
+            self.requests += 1
+            self.hits += 1
+            self._count("hit")
+
+    def get_or_compute(self, tenant: str, key: str, compute):
+        """Blocking convenience: resolve one request to result bytes.
+
+        ``compute()`` runs at most once across all concurrent callers
+        of the same key while it succeeds; if it raises, the exception
+        propagates to the leader and followers re-claim.
+        """
+        while True:
+            state, value = self.begin(tenant, key)
+            if state == "hit":
+                return value
+            if state == "wait":
+                value.event.wait()
+                continue
+            try:
+                blob = compute()
+            except BaseException:
+                self.abort(tenant, key)
+                raise
+            self.commit(tenant, key, blob)
+            return blob
+
+    # -- internals ------------------------------------------------------------
+
+    def _release_locked(self, ckey: tuple[str, str]) -> None:
+        claim = self._inflight.pop(ckey, None)
+        if claim is not None:
+            claim.event.set()
+
+    def _drop_locked(self, tenant: str, key: str) -> None:
+        entries = self._tenants[tenant]
+        blob = entries.pop(key)
+        self._tenant_bytes[tenant] -= len(blob)
+        self._order.pop((tenant, key))
+        self._bytes -= len(blob)
+        self.evictions += 1
+        self._count_evict()
+        if not entries:
+            del self._tenants[tenant]
+            del self._tenant_bytes[tenant]
+
+    def _evict_tenant_locked(self) -> None:
+        """Make room for a new tenant: drop the LRU tenant entirely."""
+        tenant = next(iter(self._tenants))
+        for key in list(self._tenants[tenant]):
+            self._drop_locked(tenant, key)
+
+    def _evict_locked(self, tenant: str) -> None:
+        # Per-tenant quota first (oldest of that tenant)...
+        entries = self._tenants.get(tenant)
+        while entries and (len(entries) > self.tenant_max_entries
+                           or self._tenant_bytes[tenant]
+                           > self.tenant_max_bytes):
+            self._drop_locked(tenant, next(iter(entries)))
+            entries = self._tenants.get(tenant)
+        # ...then the global bound (oldest across all tenants).
+        while self._order and (len(self._order) > self.max_entries
+                               or self._bytes > self.max_bytes):
+            t, k = next(iter(self._order))
+            self._drop_locked(t, k)
+
+    def _count(self, outcome: str) -> None:
+        if _REGISTRY.enabled:
+            _REGISTRY.counter(
+                "repro_cache_requests_total",
+                "result-cache lookups by outcome").inc(outcome=outcome)
+
+    def _count_evict(self) -> None:
+        if _REGISTRY.enabled:
+            _REGISTRY.counter(
+                "repro_cache_evictions_total",
+                "result-cache entries evicted by LRU bounds").inc()
+
+    # -- introspection --------------------------------------------------------
+
+    def entries(self) -> int:
+        with self._lock:
+            return len(self._order)
+
+    def cached_bytes(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    def stats(self) -> dict:
+        with self._lock:
+            if _REGISTRY.enabled:
+                _REGISTRY.gauge(
+                    "repro_cache_entries",
+                    "live result-cache entries").set(len(self._order))
+                _REGISTRY.gauge(
+                    "repro_cache_bytes",
+                    "live result-cache payload bytes").set(self._bytes)
+            return {
+                "requests": self.requests,
+                "hits": self.hits,
+                "misses": self.misses,
+                "executions": self.executions,
+                "waits": self.waits,
+                "evictions": self.evictions,
+                "uncacheable": self.uncacheable,
+                "aborts": self.aborts,
+                "entries": len(self._order),
+                "bytes": self._bytes,
+                "tenants": len(self._tenants),
+            }
+
+    def snapshot_keys(self) -> list[tuple[str, str]]:
+        """Global LRU order, oldest first (for the property suite)."""
+        with self._lock:
+            return list(self._order)

@@ -1,0 +1,387 @@
+"""Per-tenant dictionary training: sample → cluster → canned DHT + zdict.
+
+The registry ingests traffic samples per tenant (or workload family),
+clusters them on the 20-dimension :func:`repro.nx.dht.sample_signature`
+(byte histogram + match-density probe), and trains two artifacts per
+cluster:
+
+* a **canned DHT** — length-limited canonical code lengths built from
+  the cluster's pooled LZ token statistics, covering every symbol so
+  any input stays encodable;
+* a **32 KB LZ77 priming dictionary** — representative sample content,
+  most valuable bytes last (zlib ``zdict`` semantics: the tail of the
+  dictionary is the closest history).
+
+Training is fully deterministic under a fixed seed: reservoir sampling,
+cluster assignment, and priming-content scoring all derive from the
+registry seed, so two runs over the same traffic produce byte-identical
+dictionaries — the property the golden-parity suite pins.
+
+Versioning: every :meth:`DictionaryRegistry.train` call for a tenant
+bumps that tenant's epoch, and dictionary names embed it
+(``tenant.c0.v2``).  Pushing a new epoch replaces the engine tables
+under fresh names and retires the previous epoch's, so a stale name can
+never silently serve a new table — and cache keys that include the
+dictionary epoch invalidate naturally.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import random
+from dataclasses import dataclass, field
+
+from ..deflate.compress import token_frequencies
+from ..deflate.constants import (
+    MAX_CODE_LENGTH,
+    NUM_DIST_SYMBOLS,
+    NUM_LITLEN_SYMBOLS,
+    WINDOW_SIZE,
+)
+from ..deflate.huffman import limited_code_lengths
+from ..errors import ConfigError
+from ..nx.dht import (
+    register_trained_dht,
+    sample_signature,
+    signature_distance,
+    unregister_trained_dht,
+)
+from ..obs.flight import FLIGHT as _FLIGHT
+from ..obs.metrics import REGISTRY as _REGISTRY
+
+#: Default per-tenant reservoir size; large enough for stable cluster
+#: statistics, small enough that train() stays sub-second.
+DEFAULT_MAX_SAMPLES = 128
+
+#: Bytes of each sample the signature/training pipeline looks at.
+DEFAULT_SAMPLE_BYTES = 4096
+
+#: Greedy leader clustering: a sample starts a new cluster when its
+#: signature is farther than this (squared distance) from every leader.
+CLUSTER_RADIUS = 0.02
+
+
+@dataclass(frozen=True)
+class TrainedDictionary:
+    """One versioned, shippable dictionary for one traffic cluster."""
+
+    name: str                         # "<tenant>.c<idx>.v<epoch>"
+    tenant: str
+    cluster: int
+    epoch: int
+    centroid: tuple[float, ...]
+    litlen_lengths: tuple[int, ...]
+    dist_lengths: tuple[int, ...]
+    priming: bytes                    # ≤ 32 KB zdict
+    samples: int                      # reservoir samples in the cluster
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "tenant": self.tenant,
+            "cluster": self.cluster,
+            "epoch": self.epoch,
+            "centroid": list(self.centroid),
+            "litlen_lengths": list(self.litlen_lengths),
+            "dist_lengths": list(self.dist_lengths),
+            "priming_b64": base64.b64encode(self.priming).decode("ascii"),
+            "samples": self.samples,
+        }
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "TrainedDictionary":
+        return cls(
+            name=obj["name"],
+            tenant=obj["tenant"],
+            cluster=int(obj["cluster"]),
+            epoch=int(obj["epoch"]),
+            centroid=tuple(float(x) for x in obj["centroid"]),
+            litlen_lengths=tuple(int(x) for x in obj["litlen_lengths"]),
+            dist_lengths=tuple(int(x) for x in obj["dist_lengths"]),
+            priming=base64.b64decode(obj["priming_b64"]),
+            samples=int(obj["samples"]),
+        )
+
+
+@dataclass
+class _Reservoir:
+    """Seeded reservoir of one tenant's observed samples."""
+
+    rng: random.Random
+    capacity: int
+    seen: int = 0
+    samples: list[bytes] = field(default_factory=list)
+
+    def offer(self, sample: bytes) -> None:
+        self.seen += 1
+        if len(self.samples) < self.capacity:
+            self.samples.append(sample)
+            return
+        slot = self.rng.randrange(self.seen)
+        if slot < self.capacity:
+            self.samples[slot] = sample
+
+
+class DictionaryRegistry:
+    """Samples traffic, trains clustered dictionaries, ships them."""
+
+    def __init__(self, *, max_samples: int = DEFAULT_MAX_SAMPLES,
+                 sample_bytes: int = DEFAULT_SAMPLE_BYTES,
+                 max_clusters: int = 4,
+                 cluster_radius: float = CLUSTER_RADIUS,
+                 priming_bytes: int = WINDOW_SIZE,
+                 seed: int = 0,
+                 engine: "EngineParams | None" = None) -> None:
+        if priming_bytes > WINDOW_SIZE:
+            raise ConfigError(
+                f"priming dictionary cannot exceed the {WINDOW_SIZE}-byte "
+                "DEFLATE window")
+        self.max_samples = max_samples
+        self.sample_bytes = sample_bytes
+        self.max_clusters = max_clusters
+        self.cluster_radius = cluster_radius
+        self.priming_bytes = priming_bytes
+        self.seed = seed
+        # Tokenize training samples with the engine's own match
+        # pipeline (GDHT-on-sample runs on the accelerator), so the
+        # trained tables see the same length/distance code mix the
+        # engine will emit at compress time.
+        if engine is None:
+            from ..nx.params import POWER9
+            engine = POWER9.engine
+        from ..nx.pipeline import NxMatchPipeline
+        self._pipeline = NxMatchPipeline(engine)
+        self._reservoirs: dict[str, _Reservoir] = {}
+        self._epochs: dict[str, int] = {}
+        self._trained: dict[str, list[TrainedDictionary]] = {}
+        self._pushed: set[str] = set()
+
+    # -- ingest ---------------------------------------------------------------
+
+    def observe(self, tenant: str, payload: bytes) -> None:
+        """Feed one request payload into the tenant's sample reservoir."""
+        if not payload:
+            return
+        res = self._reservoirs.get(tenant)
+        if res is None:
+            # Tenant-keyed seed: observation order across tenants does
+            # not perturb any one tenant's reservoir.
+            rng = random.Random(f"{self.seed}:{tenant}")
+            res = self._reservoirs[tenant] = _Reservoir(
+                rng=rng, capacity=self.max_samples)
+        res.offer(bytes(payload[:self.sample_bytes]))
+        if _REGISTRY.enabled:
+            _REGISTRY.counter(
+                "repro_dictsvc_samples_total",
+                "payload samples offered to dictionary reservoirs").inc(
+                    tenant=tenant)
+
+    # -- train ----------------------------------------------------------------
+
+    def train(self, tenant: str) -> list[TrainedDictionary]:
+        """Cluster the tenant's reservoir and train one dict per cluster."""
+        res = self._reservoirs.get(tenant)
+        if res is None or not res.samples:
+            raise ConfigError(f"no samples observed for tenant {tenant!r}")
+        epoch = self._epochs.get(tenant, 0) + 1
+        self._epochs[tenant] = epoch
+
+        clusters = self._cluster(res.samples)
+        trained: list[TrainedDictionary] = []
+        for idx, members in enumerate(clusters):
+            centroid = _mean_signature([sample_signature(m) for m in members])
+            lit, dist = self._train_dht(members)
+            priming = self._build_priming(members)
+            trained.append(TrainedDictionary(
+                name=f"{tenant}.c{idx}.v{epoch}",
+                tenant=tenant, cluster=idx, epoch=epoch,
+                centroid=centroid,
+                litlen_lengths=lit, dist_lengths=dist,
+                priming=priming, samples=len(members)))
+        self._trained[tenant] = trained
+        if _REGISTRY.enabled:
+            _REGISTRY.counter(
+                "repro_dictsvc_train_runs_total",
+                "dictionary training runs").inc(tenant=tenant)
+            _REGISTRY.gauge(
+                "repro_dictsvc_clusters",
+                "clusters trained in the latest epoch").set(
+                    len(trained), tenant=tenant)
+        _FLIGHT.record("dictsvc.train", tenant=tenant, epoch=epoch,
+                       clusters=len(trained), samples=len(res.samples))
+        return trained
+
+    def _cluster(self, samples: list[bytes]) -> list[list[bytes]]:
+        """Greedy leader clustering on signatures (deterministic order)."""
+        leaders: list[tuple[float, ...]] = []
+        clusters: list[list[bytes]] = []
+        for sample in samples:
+            sig = sample_signature(sample)
+            best, best_dist = -1, float("inf")
+            for i, leader in enumerate(leaders):
+                d = signature_distance(sig, leader)
+                if d < best_dist:
+                    best, best_dist = i, d
+            if best >= 0 and (best_dist <= self.cluster_radius
+                              or len(leaders) >= self.max_clusters):
+                clusters[best].append(sample)
+            else:
+                leaders.append(sig)
+                clusters.append([sample])
+        return clusters
+
+    def _train_dht(self, members: list[bytes]) -> tuple[tuple[int, ...],
+                                                        tuple[int, ...]]:
+        """Pooled LZ statistics → length-limited canonical code lengths."""
+        lit_freq = [0] * NUM_LITLEN_SYMBOLS
+        dist_freq = [0] * NUM_DIST_SYMBOLS
+        for member in members:
+            tokens = self._pipeline.scan(member).tokens
+            lit, dist = token_frequencies(tokens)
+            for i, f in enumerate(lit):
+                lit_freq[i] += f
+            for i, f in enumerate(dist):
+                dist_freq[i] += f
+        # Floor the literals + EOB: those must stay encodable for the
+        # engine's literal fallback.  Length/distance codes get a
+        # contiguous floor up to the highest code the cluster used —
+        # codes inside that span sit inside the HLIT/HDIST range
+        # anyway, and flooring them keeps near-miss matches encodable
+        # instead of demoted.  Codes beyond the span stay at zero so
+        # the per-block table header trims them.
+        for i in range(257):
+            lit_freq[i] = max(1, lit_freq[i])
+        max_len = max((i for i in range(257, 286) if lit_freq[i]),
+                      default=256)
+        for i in range(257, max_len + 1):
+            lit_freq[i] = max(1, lit_freq[i])
+        max_dist = max((i for i in range(NUM_DIST_SYMBOLS) if dist_freq[i]),
+                       default=-1)
+        for i in range(max_dist + 1):
+            dist_freq[i] = max(1, dist_freq[i])
+        lit_freq[286] = 0   # reserved symbols stay uncoded
+        lit_freq[287] = 0
+        lit = tuple(limited_code_lengths(lit_freq, MAX_CODE_LENGTH))
+        dist = tuple(limited_code_lengths(dist_freq, MAX_CODE_LENGTH))
+        return lit, dist
+
+    def _build_priming(self, members: list[bytes]) -> bytes:
+        """Concatenate the most representative samples, best last.
+
+        zlib zdict semantics put the *end* of the dictionary nearest the
+        data, so the highest-scoring sample goes last.  Scoring is
+        cross-sample 8-byte shingle overlap — content many cluster
+        members share primes the most matches.
+        """
+        shingle_counts: dict[bytes, int] = {}
+        for member in members:
+            for sh in _shingles(member):
+                shingle_counts[sh] = shingle_counts.get(sh, 0) + 1
+        scored = []
+        for pos, member in enumerate(members):
+            shs = _shingles(member)
+            score = sum(shingle_counts[sh] for sh in shs) / max(1, len(shs))
+            scored.append((score, pos, member))
+        scored.sort()  # ascending: best content ends up last
+        out = bytearray()
+        for _score, _pos, member in scored:
+            out += member
+        return bytes(out[-self.priming_bytes:])
+
+    # -- ship -----------------------------------------------------------------
+
+    def push(self) -> list[str]:
+        """Register every trained table with the engine's canned library.
+
+        Retires any previously pushed names first, so exactly the
+        current epoch's tables are live; backends expose the result via
+        ``BackendCapabilities.canned_dicts``.
+        """
+        for name in self._pushed:
+            unregister_trained_dht(name)
+        self._pushed.clear()
+        pushed: list[str] = []
+        for dicts in self._trained.values():
+            for d in dicts:
+                register_trained_dht(d.name, d.litlen_lengths,
+                                     d.dist_lengths, d.centroid,
+                                     replace=True)
+                self._pushed.add(d.name)
+                pushed.append(d.name)
+        if _REGISTRY.enabled:
+            _REGISTRY.gauge(
+                "repro_dictsvc_pushed_tables",
+                "trained canned tables live in the engine").set(len(pushed))
+        _FLIGHT.record("dictsvc.push", tables=len(pushed))
+        return sorted(pushed)
+
+    def retire(self) -> None:
+        """Remove every table this registry pushed from the engine."""
+        for name in self._pushed:
+            unregister_trained_dht(name)
+        self._pushed.clear()
+
+    # -- introspection / persistence ------------------------------------------
+
+    def trained(self, tenant: str | None = None) -> list[TrainedDictionary]:
+        if tenant is not None:
+            return list(self._trained.get(tenant, []))
+        out: list[TrainedDictionary] = []
+        for t in sorted(self._trained):
+            out.extend(self._trained[t])
+        return out
+
+    def epoch(self, tenant: str) -> int:
+        return self._epochs.get(tenant, 0)
+
+    def save_bundle(self, path: str) -> None:
+        """Serialize every trained dictionary to a JSON bundle."""
+        bundle = {
+            "version": 1,
+            "seed": self.seed,
+            "dictionaries": [d.to_json() for d in self.trained()],
+        }
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(bundle, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+
+    def load_bundle(self, path: str) -> list[TrainedDictionary]:
+        """Load a bundle, replacing this registry's trained state."""
+        try:
+            with open(path, encoding="utf-8") as fh:
+                bundle = json.load(fh)
+        except OSError as exc:
+            raise ConfigError(f"cannot read bundle {path!r}: "
+                              f"{exc.strerror or exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"bundle {path!r} is not valid JSON: "
+                              f"{exc}") from exc
+        if not isinstance(bundle, dict) or bundle.get("version") != 1:
+            raise ConfigError(f"unsupported bundle version in {path!r}")
+        self._trained.clear()
+        for obj in bundle["dictionaries"]:
+            d = TrainedDictionary.from_json(obj)
+            self._trained.setdefault(d.tenant, []).append(d)
+            self._epochs[d.tenant] = max(self._epochs.get(d.tenant, 0),
+                                         d.epoch)
+        return self.trained()
+
+
+def _shingles(member: bytes, width: int = 8, limit: int = 512) -> list[bytes]:
+    """Up to ``limit`` evenly spaced ``width``-byte shingles of a sample."""
+    n = len(member) - width + 1
+    if n <= 0:
+        return [member] if member else []
+    step = max(1, n // limit)
+    return [bytes(member[i:i + width]) for i in range(0, n, step)]
+
+
+def _mean_signature(signatures: list[tuple[float, ...]]
+                    ) -> tuple[float, ...]:
+    dims = len(signatures[0])
+    total = [0.0] * dims
+    for sig in signatures:
+        for i, x in enumerate(sig):
+            total[i] += x
+    return tuple(x / len(signatures) for x in total)

@@ -105,14 +105,17 @@ class NxCompressor:
     def compress(self, data: bytes,
                  strategy: DhtStrategy = DhtStrategy.AUTO,
                  fmt: str = "raw", history: bytes = b"",
-                 final: bool = True) -> NxCompressResult:
+                 final: bool = True,
+                 canned_name: str | None = None) -> NxCompressResult:
         """Run one compression request through the engine model.
 
         ``history`` primes the match window with prior plaintext (the NX
         history DDE).  ``final=False`` produces a *continuable* stream:
         no final block bit, terminated by an empty stored block that
         byte-aligns the output (zlib's Z_FULL_FLUSH), so per-request
-        outputs concatenate into one valid DEFLATE stream.
+        outputs concatenate into one valid DEFLATE stream.  An explicit
+        ``canned_name`` (e.g. the GDHT facility's scan-window pick)
+        overrides the per-request :func:`select_canned` classification.
         """
         if fmt not in ("raw", "gzip", "zlib"):
             raise AcceleratorError(f"unsupported wire format {fmt!r}")
@@ -131,8 +134,8 @@ class NxCompressor:
             scan = self._pipeline.scan(data, history=history)
         blocks = _split_by_input_bytes(scan.tokens, data, self.block_bytes)
 
-        canned_name = None
-        if strategy in (DhtStrategy.CANNED, DhtStrategy.AUTO):
+        if canned_name is None and strategy in (DhtStrategy.CANNED,
+                                                DhtStrategy.AUTO):
             canned_name = select_canned(data)
 
         # Plan every block first, then emit the planned stream — the two
@@ -205,18 +208,23 @@ class NxCompressor:
 
         if strategy is DhtStrategy.CANNED:
             dht = canned_dht(canned_name or select_canned(raw))
+            tokens = _demote_uncovered(tokens, raw, dht)
             return self._dynamic_plan(tokens, raw, dht), dht
 
         # AUTO: evaluate all options by real bit cost, preferring cheaper
         # generation on near-ties (within 1 %).
         fixed = fixed_dht()
         canned = canned_dht(canned_name or select_canned(raw))
+        canned_tokens = _demote_uncovered(tokens, raw, canned)
+        canned_lit_freq, canned_dist_freq = (
+            (lit_freq, dist_freq) if canned_tokens is tokens
+            else token_frequencies(canned_tokens))
         dynamic = generate_dynamic(lit_freq, dist_freq, self.params)
 
         fixed_bits = payload_cost_bits(lit_freq, dist_freq,
                                        list(fixed.litlen_lengths),
                                        list(fixed.dist_lengths))
-        canned_bits = (payload_cost_bits(lit_freq, dist_freq,
+        canned_bits = (payload_cost_bits(canned_lit_freq, canned_dist_freq,
                                          list(canned.litlen_lengths),
                                          list(canned.dist_lengths))
                        + _header_bits(canned))
@@ -234,7 +242,7 @@ class NxCompressor:
             return BlockPlan(tokens=tokens, raw=raw,
                              btype=BTYPE_FIXED), fixed
         if canned_bits <= best * 1.01:
-            return self._dynamic_plan(tokens, raw, canned), canned
+            return self._dynamic_plan(canned_tokens, raw, canned), canned
         return self._dynamic_plan(tokens, raw, dynamic), dynamic
 
     @staticmethod
@@ -248,6 +256,42 @@ class NxCompressor:
         """Expose the DHT cost model for ablation benches."""
         lit_freq, dist_freq = token_frequencies(tokens)
         return dynamic_generation_cycles(lit_freq, dist_freq, self.params)
+
+
+def _demote_uncovered(tokens: list[Token], raw: bytes,
+                      dht: DhtResult) -> list[Token]:
+    """Demote matches a canned table cannot encode back to literals.
+
+    A trained canned DHT only carries the length/distance codes its
+    cluster's traffic used (zeros elsewhere keep the table header
+    small).  Any match whose code is missing is re-emitted as the
+    literal bytes it would have reproduced — literals 0..255 are always
+    covered, so a canned table can encode *any* input at worst as a
+    literal stream.  Returns ``tokens`` unchanged (same object) when
+    the table covers everything.
+    """
+    from ..deflate.constants import DIST_TO_CODE, LENGTH_TO_CODE
+
+    lit_lengths = dht.litlen_lengths
+    dist_lengths = dht.dist_lengths
+    out: list[Token] | None = None
+    pos = 0
+    for i, tok in enumerate(tokens):
+        if type(tok) is int:
+            if out is not None:
+                out.append(tok)
+            pos += 1
+            continue
+        length, dist = tok
+        if (lit_lengths[LENGTH_TO_CODE[length]] == 0
+                or dist_lengths[DIST_TO_CODE[dist]] == 0):
+            if out is None:
+                out = list(tokens[:i])
+            out.extend(raw[pos:pos + length])
+        elif out is not None:
+            out.append(tok)
+        pos += length
+    return tokens if out is None else out
 
 
 def _header_bits(dht: DhtResult) -> int:

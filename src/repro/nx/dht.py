@@ -32,6 +32,7 @@ from ..deflate.constants import (
     fixed_litlen_lengths,
 )
 from ..deflate.huffman import limited_code_lengths
+from ..errors import ConfigError
 from .params import EngineParams
 
 
@@ -164,8 +165,8 @@ CANNED_LOOKUP_CYCLES = 24  # cache index + table load
 
 
 @lru_cache(maxsize=None)
-def canned_dht(name: str) -> DhtResult:
-    """Fetch (and lazily build) one canned DHT by template name."""
+def _builtin_canned(name: str) -> DhtResult:
+    """Build (once) one built-in canned DHT by template name."""
     lit_freq, dist_freq = _legalize(_CANNED_PROFILES[name]())
     lit_lengths = limited_code_lengths(lit_freq, MAX_CODE_LENGTH)
     dist_lengths = limited_code_lengths(dist_freq, MAX_CODE_LENGTH)
@@ -173,8 +174,23 @@ def canned_dht(name: str) -> DhtResult:
                      CANNED_LOOKUP_CYCLES, source=name)
 
 
-def canned_names() -> list[str]:
-    return sorted(_CANNED_PROFILES)
+def canned_dht(name: str) -> DhtResult:
+    """Fetch one canned DHT: tenant-trained tables first, then built-ins."""
+    trained = _TRAINED.get(name)
+    if trained is not None:
+        return trained.dht
+    if name not in _CANNED_PROFILES:
+        raise ConfigError(
+            f"unknown canned DHT {name!r}; have "
+            f"{canned_names(include_trained=True)}")
+    return _builtin_canned(name)
+
+
+def canned_names(include_trained: bool = False) -> list[str]:
+    names = sorted(_CANNED_PROFILES)
+    if include_trained:
+        names += trained_names()
+    return names
 
 
 def _byte_class_vector(sample: bytes) -> list[float]:
@@ -201,8 +217,144 @@ _CLASS_CENTROIDS = {
 }
 
 
+# -- traffic signatures + tenant-trained canned tables -----------------
+#
+# The built-in library classifies on a coarse 4-bin vector; trained
+# tables (one per traffic cluster, shipped by the dictionary service)
+# need finer discrimination, so they match on a 20-dimension signature:
+# a 16-bin byte histogram plus zero fraction, printable fraction,
+# distinct-byte fraction, and an LZ match-density probe.
+
+#: Squared-distance bound for a trained centroid to claim a sample;
+#: beyond it classification falls back to the built-in templates, so
+#: unseen traffic never gets clamped onto another tenant's profile.
+TRAINED_MATCH_THRESHOLD = 0.02
+
+#: Bytes the GDHT facility scans per voting window (see
+#: :func:`select_canned_windowed`).
+GDHT_SCAN_WINDOW = 512
+
+
+def sample_signature(sample: bytes, probe: int = 4096) -> tuple[float, ...]:
+    """A 20-dim traffic signature for clustering and trained-table pick.
+
+    All components are fractions in [0, 1], so Euclidean distance in
+    this space is scale-free.  The match-density probe samples at most
+    ~1024 positions, keeping the signature O(1) on large payloads.
+    """
+    s = sample[:probe]
+    total = max(1, len(s))
+    hist16 = [0] * 16
+    for byte in s:
+        hist16[byte >> 4] += 1
+    vec = [h / total for h in hist16]
+    zero = s.count(0) / total
+    printable = sum(1 for b in s if 0x20 <= b < 0x7F) / total
+    distinct = len(set(s)) / 256.0
+    n = max(0, len(s) - 3)
+    repeats = 0
+    probes = 0
+    if n:
+        step = max(1, n // 1024)
+        seen: set[bytes] = set()
+        for i in range(0, n, step):
+            sh = bytes(s[i:i + 4])
+            probes += 1
+            if sh in seen:
+                repeats += 1
+            else:
+                seen.add(sh)
+    density = repeats / probes if probes else 0.0
+    return tuple(vec + [zero, printable, distinct, density])
+
+
+def signature_distance(a: tuple[float, ...], b: tuple[float, ...]) -> float:
+    """Squared Euclidean distance between two signatures."""
+    return sum((x - y) ** 2 for x, y in zip(a, b))
+
+
+@dataclass(frozen=True)
+class TrainedCanned:
+    """One tenant-trained canned table registered with the engine."""
+
+    dht: DhtResult
+    centroid: tuple[float, ...]
+
+
+_TRAINED: dict[str, TrainedCanned] = {}
+
+
+def register_trained_dht(name: str, litlen_lengths, dist_lengths,
+                         centroid, replace: bool = False) -> None:
+    """Publish a trained canned DHT under ``name``.
+
+    The table must cover every *literal* (0..255) plus end-of-block —
+    that guarantees any input can be encoded, because the engine demotes
+    a match whose length/distance code is missing back to literals (see
+    :meth:`repro.nx.compressor.NxCompressor`).  Length codes 257..285
+    and distance codes may therefore be zero: a trained table only
+    carries the codes its cluster's traffic actually used, which keeps
+    the per-block table header small.  Reserved litlen symbols 286/287
+    must stay at length zero.
+    """
+    lit = tuple(int(x) for x in litlen_lengths)
+    dist = tuple(int(x) for x in dist_lengths)
+    if len(lit) != NUM_LITLEN_SYMBOLS or len(dist) != NUM_DIST_SYMBOLS:
+        raise ConfigError(
+            f"trained DHT {name!r}: length vectors must cover "
+            f"{NUM_LITLEN_SYMBOLS}/{NUM_DIST_SYMBOLS} symbols")
+    if lit[286] or lit[287]:
+        raise ConfigError(
+            f"trained DHT {name!r}: reserved symbols 286/287 must be 0")
+    if any(length == 0 for length in lit[:257]):
+        raise ConfigError(
+            f"trained DHT {name!r}: every literal and end-of-block needs "
+            "a code (the literal fallback must encode any input)")
+    if any(not 0 <= x <= MAX_CODE_LENGTH for x in lit + dist):
+        raise ConfigError(
+            f"trained DHT {name!r}: code lengths must be in "
+            f"[0, {MAX_CODE_LENGTH}]")
+    if name in _CANNED_PROFILES:
+        raise ConfigError(
+            f"trained DHT {name!r} shadows a built-in template")
+    if not replace and name in _TRAINED:
+        raise ConfigError(f"trained DHT {name!r} already registered")
+    _TRAINED[name] = TrainedCanned(
+        dht=DhtResult(lit, dist, CANNED_LOOKUP_CYCLES, source=name),
+        centroid=tuple(float(x) for x in centroid))
+
+
+def unregister_trained_dht(name: str) -> None:
+    _TRAINED.pop(name, None)
+
+
+def clear_trained_dhts() -> None:
+    _TRAINED.clear()
+
+
+def trained_names() -> list[str]:
+    return sorted(_TRAINED)
+
+
 def select_canned(sample: bytes) -> str:
-    """Classify a source sample onto the nearest canned template."""
+    """Classify a source sample onto the nearest canned template.
+
+    Tenant-trained tables win when one's centroid is within
+    :data:`TRAINED_MATCH_THRESHOLD` of the sample's signature;
+    otherwise the built-in 4-class library decides, so pushing trained
+    dictionaries can only specialize classification, never break it.
+    """
+    if _TRAINED:
+        sig = sample_signature(sample)
+        best_name = None
+        best_dist = math.inf
+        for name in sorted(_TRAINED):
+            dist = signature_distance(sig, _TRAINED[name].centroid)
+            if dist < best_dist:
+                best_dist = dist
+                best_name = name
+        if best_name is not None and best_dist <= TRAINED_MATCH_THRESHOLD:
+            return best_name
     vec = _byte_class_vector(sample[:4096])
     best_name = "text"
     best_dist = math.inf
@@ -212,3 +364,27 @@ def select_canned(sample: bytes) -> str:
             best_dist = dist
             best_name = name
     return best_name
+
+
+def select_canned_windowed(sample: bytes,
+                           window: int = GDHT_SCAN_WINDOW) -> str:
+    """The GDHT facility's canned pick: vote across full scan windows.
+
+    Only *complete* windows are scanned — the caller guards against a
+    sample shorter than one window (that case must degrade to a dynamic
+    DHT rather than index past the sample).  Ties break toward the
+    window seen first, keeping the pick deterministic.
+    """
+    if len(sample) < window:
+        raise ConfigError(
+            f"GDHT sample of {len(sample)} bytes is shorter than the "
+            f"{window}-byte scan window; degrade to a dynamic DHT")
+    votes: dict[str, int] = {}
+    order: list[str] = []
+    for off in range(0, len(sample) - window + 1, window):
+        pick = select_canned(sample[off:off + window])
+        if pick not in votes:
+            votes[pick] = 0
+            order.append(pick)
+        votes[pick] += 1
+    return max(order, key=lambda name: votes[name])

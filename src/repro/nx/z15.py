@@ -29,7 +29,7 @@ from ..deflate.constants import WINDOW_SIZE
 from ..errors import AcceleratorError
 from .compressor import NxCompressor
 from .decompressor import NxDecompressor
-from .dht import DhtStrategy
+from .dht import GDHT_SCAN_WINDOW, DhtStrategy, select_canned_windowed
 from .params import Z15, MachineParams
 
 PARAMETER_BLOCK_BYTES = 1536  # architected size
@@ -134,9 +134,23 @@ class Dfltcc:
         remaining_after = len(data) - len(chunk)
         chunk_last = last and remaining_after == 0
 
+        # The GDHT sample drives the canned-table pick, but only when it
+        # covers at least one full scan window: a shorter sample would
+        # make the facility index past its end, so the architecture
+        # degrades the request to a freshly generated dynamic DHT.
+        strategy = block.dht_strategy
+        canned_name = None
+        if strategy in (DhtStrategy.CANNED, DhtStrategy.AUTO) \
+                and block.dht_sample:
+            if len(block.dht_sample) < GDHT_SCAN_WINDOW:
+                strategy = DhtStrategy.DYNAMIC
+            else:
+                canned_name = select_canned_windowed(block.dht_sample)
+
         result = self._compressor.compress(
-            chunk, strategy=block.dht_strategy, fmt="raw",
-            history=block.history, final=chunk_last)
+            chunk, strategy=strategy, fmt="raw",
+            history=block.history, final=chunk_last,
+            canned_name=canned_name)
         produced = result.data
         if len(produced) > out_capacity:
             return DfltccResult(cc=ConditionCode.OP1_FULL, consumed=0,

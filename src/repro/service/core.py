@@ -46,6 +46,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from ..backend.pool import AcceleratorPool, PoolJob
+from ..dictsvc.cache import ResultCache, result_key
 from ..errors import (AcceleratorError, ChipUnavailable, ConfigError,
                       DeadlineExceeded, ReproError, ServiceClosed,
                       ServiceOverloaded)
@@ -136,6 +137,9 @@ class _Queued:
     deadline_s: float | None
     enqueued_at: float
     span: object = NULL_SPAN
+    #: Set when this request leads a result-cache singleflight: its
+    #: fulfilment commits the blob and serves any parked followers.
+    cache_key: tuple[str, str] | None = None
 
 
 @dataclass(frozen=True)
@@ -156,6 +160,8 @@ class ServiceStats:
     state: str = "running"
     per_class: dict = field(default_factory=dict)
     per_tenant: dict = field(default_factory=dict)
+    #: Result-cache counters when a cache is mounted, else None.
+    cache: dict | None = None
 
     @property
     def in_service(self) -> int:
@@ -180,6 +186,8 @@ class CompressionService:
                  batching: bool = True,
                  verify: bool = False,
                  exec_workers: int | None = None,
+                 result_cache: ResultCache | None = None,
+                 cache_mb: float | None = None,
                  **pool_kwargs) -> None:
         if pool is not None:
             self.pool = pool
@@ -198,6 +206,19 @@ class CompressionService:
         self.qos = qos or QosPolicy(DEFAULT_CLASSES,
                                     starvation_bound=starvation_bound)
         self.batching = batching
+        # The content-addressed result cache (dictionary service).
+        # ``cache_mb`` is the serve-time knob; an explicit cache wins.
+        if result_cache is None and cache_mb is not None:
+            result_cache = ResultCache(
+                max_bytes=max(1, int(cache_mb * (1 << 20))))
+        self.cache = result_cache
+        #: Dictionary-service epoch folded into every cache key, so a
+        #: trained-table push invalidates cached results without flush.
+        self.cache_epoch = 0
+        self._cache_lock = threading.Lock()
+        # (tenant, key) -> tickets parked on that key's leader.
+        self._cache_followers: dict[tuple[str, str],
+                                    list[ServiceTicket]] = {}
         self._cond = threading.Condition()
         self._queues: dict[str, deque[_Queued]] = {
             c.name: deque() for c in self.qos.classes}
@@ -259,6 +280,34 @@ class CompressionService:
         fmt = fmt or "gzip"
         deadline = (deadline_s if deadline_s is not None
                     else qcls.default_deadline_s)
+        if strategy == "auto" and qcls.dht_strategy is not None:
+            # The class pins a Huffman strategy for auto traffic (e.g.
+            # interactive pinning "canned" to skip the DHT bubble).
+            strategy = qcls.dht_strategy
+        cache_key = None
+        if (self.cache is not None and op == "compress"
+                and qcls.cache_results):
+            outcome = self._cache_begin(op, qcls, tenant, payload, fmt,
+                                        strategy)
+            if isinstance(outcome, ServiceTicket):
+                return outcome  # served from cache or parked on a leader
+            cache_key = outcome
+        try:
+            return self._admit(op, payload, fmt, strategy, qcls, tenant,
+                               deadline, traceparent, client_request_id,
+                               cache_key)
+        except ReproError as exc:
+            if cache_key is not None:
+                # The leader was shed before dispatch: release the
+                # singleflight claim so a retry (or a parked follower's
+                # resend) can re-claim, and fail anyone already parked.
+                self._cache_settle_fail_key(cache_key, exc)
+            raise
+
+    def _admit(self, op: str, payload: bytes, fmt: str, strategy: str,
+               qcls, tenant: str, deadline: float | None,
+               traceparent: str | None, client_request_id: str | None,
+               cache_key: tuple[str, str] | None) -> ServiceTicket:
         with self._cond:
             if self._state != "running":
                 raise ServiceClosed(
@@ -305,7 +354,7 @@ class CompressionService:
                                  fmt=fmt, strategy=strategy,
                                  deadline_s=deadline,
                                  enqueued_at=time.perf_counter(),
-                                 span=span))
+                                 span=span, cache_key=cache_key))
             self._queued_bytes[qcls.name] += len(payload)
             self._accepted += 1
             self._per_class[qcls.name]["accepted"] += 1
@@ -317,6 +366,109 @@ class CompressionService:
             self._publish_depth_locked(qcls.name)
             self._cond.notify_all()
         return ticket
+
+    # -- result-cache integration --------------------------------------------
+
+    def _cache_begin(self, op: str, qcls, tenant: str, payload: bytes,
+                     fmt: str, strategy: str):
+        """Consult the content-addressed cache before admission.
+
+        Returns a :class:`ServiceTicket` when the request is already
+        resolved (hit) or parked on an executing leader (wait), or the
+        ``(tenant, key)`` pair this request must lead.
+        """
+        key = result_key(payload, op=op, fmt=fmt, strategy=strategy,
+                         epoch=self.cache_epoch)
+        ticket = None
+        with self._cache_lock:
+            state, value = self.cache.begin(tenant, key)
+            if state == "wait":
+                # Park inside the same critical section that observed
+                # the in-flight claim, so the leader cannot commit and
+                # collect followers between our begin and our park.
+                ticket = ServiceTicket(next(self._ids), qcls.name, op,
+                                       tenant)
+                self._cache_followers.setdefault(
+                    (tenant, key), []).append(ticket)
+        if state == "leader":
+            return (tenant, key)
+        if state == "hit":
+            ticket = ServiceTicket(next(self._ids), qcls.name, op, tenant)
+        self._count_cache_admission(op, qcls.name, tenant, len(payload))
+        if state == "hit":
+            _FLIGHT.record("service.cache_hit", id=ticket.request_id,
+                           qos=qcls.name, nbytes=len(payload))
+            self._fulfil_from_cache(ticket, op, qcls.name, tenant,
+                                    len(payload), value)
+        else:
+            _FLIGHT.record("service.cache_wait", id=ticket.request_id,
+                           qos=qcls.name, nbytes=len(payload))
+        return ticket
+
+    def _count_cache_admission(self, op: str, qos: str, tenant: str,
+                               nbytes: int) -> None:
+        with self._cond:
+            self._accepted += 1
+            self._per_class[qos]["accepted"] += 1
+            if tenant:
+                entry = self._per_tenant.setdefault(
+                    tenant, {"accepted": 0, "bytes_in": 0})
+                entry["accepted"] += 1
+                entry["bytes_in"] += nbytes
+
+    def _fulfil_from_cache(self, ticket: ServiceTicket, op: str, qos: str,
+                           tenant: str, nbytes_in: int,
+                           output: bytes) -> None:
+        """Resolve one request with cached bytes (no dispatch at all)."""
+        with self._cond:
+            self._completed += 1
+            self._bytes_in += nbytes_in
+            self._bytes_out += len(output)
+            self._per_class[qos]["completed"] += 1
+        if _REGISTRY.enabled:
+            record_service_request(
+                op=op, qos=qos, outcome="ok", tenant=tenant,
+                nbytes_in=nbytes_in, nbytes_out=len(output),
+                modelled_s=0.0, queue_wait_s=0.0)
+        ticket._fulfil(ServiceResult(
+            output=output, op=op, qos=qos, modelled_seconds=0.0,
+            queue_wait_s=0.0, wall_seconds=0.0))
+
+    def _cache_settle_ok(self, req: _Queued, output: bytes) -> None:
+        """Leader succeeded: publish the blob and serve parked followers."""
+        tenant, key = req.cache_key
+        with self._cache_lock:
+            self.cache.commit(tenant, key, output)
+            followers = self._cache_followers.pop((tenant, key), [])
+        for ticket in followers:
+            self.cache.resolve_follower()
+            self._fulfil_from_cache(ticket, req.op, ticket.qos,
+                                    ticket.tenant, len(req.payload),
+                                    output)
+
+    def _cache_settle_fail(self, req: _Queued, error: Exception) -> None:
+        self._cache_settle_fail_key(req.cache_key, error)
+
+    def _cache_settle_fail_key(self, cache_key: tuple[str, str],
+                               error: Exception) -> None:
+        """Leader failed: free the key; parked followers share the error.
+
+        The abort means the next request on this key re-claims and
+        re-executes — a failed leader never poisons the key.
+        """
+        tenant, key = cache_key
+        with self._cache_lock:
+            self.cache.abort(tenant, key)
+            followers = self._cache_followers.pop((tenant, key), [])
+        for ticket in followers:
+            with self._cond:
+                self._failed += 1
+                self._per_class[ticket.qos]["failed"] += 1
+            if _REGISTRY.enabled:
+                record_service_request(
+                    op=ticket.op, qos=ticket.qos, outcome="failed",
+                    tenant=ticket.tenant, reason=type(error).__name__)
+            ticket._fail(error)
 
     def request(self, op: str, payload: bytes, *,
                 timeout_s: float | None = 60.0,
@@ -366,6 +518,8 @@ class CompressionService:
             req.span.set(outcome="failed", error="ServiceClosed")
             req.span.end()
             req.ticket._fail(error)
+            if req.cache_key is not None:
+                self._cache_settle_fail(req, error)
         self._dispatcher.join(timeout_s)
         if self._own_pool:
             self.pool.close()
@@ -394,7 +548,9 @@ class CompressionService:
                 per_class={name: dict(c)
                            for name, c in self._per_class.items()},
                 per_tenant={name: dict(t)
-                            for name, t in self._per_tenant.items()})
+                            for name, t in self._per_tenant.items()},
+                cache=(self.cache.stats() if self.cache is not None
+                       else None))
 
     # -- admission internals -------------------------------------------------
 
@@ -591,6 +747,8 @@ class CompressionService:
             output=output, op=req.op, qos=req.ticket.qos,
             modelled_seconds=modelled_s, queue_wait_s=queue_wait,
             wall_seconds=wall, batch_size=batch_size))
+        if req.cache_key is not None:
+            self._cache_settle_ok(req, output)
 
     def _resolve_expired(self, req: _Queued, now: float) -> None:
         waited = now - req.enqueued_at
@@ -607,11 +765,14 @@ class CompressionService:
                           waited_s=round(waited, 6))
         req.span.set(outcome="expired", queue_wait_s=waited)
         req.span.end()
-        req.ticket._fail(DeadlineExceeded(
+        error = DeadlineExceeded(
             f"request {req.ticket.request_id} waited "
             f"{waited * 1e3:.1f} ms in the {req.ticket.qos} queue, "
             f"past its {req.deadline_s * 1e3:.1f} ms deadline",
-            elapsed_s=waited, deadline_s=req.deadline_s))
+            elapsed_s=waited, deadline_s=req.deadline_s)
+        req.ticket._fail(error)
+        if req.cache_key is not None:
+            self._cache_settle_fail(req, error)
 
     def _resolve_error(self, req: _Queued, error: Exception) -> None:
         outcome = ("expired" if isinstance(error, DeadlineExceeded)
@@ -644,3 +805,5 @@ class CompressionService:
                 "retry after cooldown",
                 retry_after_s=_RETRY_AFTER_MAX_S, qos=req.ticket.qos)
         req.ticket._fail(error)
+        if req.cache_key is not None:
+            self._cache_settle_fail(req, error)

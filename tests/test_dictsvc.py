@@ -1,0 +1,463 @@
+"""Property and concurrency suite for the dictionary service.
+
+The result cache makes three exact promises — singleflight
+(``executions == unique keys``), partition (``hits + misses ==
+requests``), and bounded LRU residency — and the registry promises
+deterministic training plus versioned push/retire.  This suite proves
+them the hard way: seeded thread storms racing one key, a randomized
+op sequence checked against a reference LRU model, leader-failure
+injection, and a storm through the full ``CompressionService`` with
+the cache mounted.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import zlib
+from collections import OrderedDict
+
+import pytest
+
+from repro.dictsvc import DictionaryRegistry, ResultCache, result_key
+from repro.dictsvc.cache import _Claim
+from repro.errors import ConfigError
+from repro.nx.dht import (
+    canned_dht,
+    canned_names,
+    clear_trained_dhts,
+    trained_names,
+)
+from repro.service import CompressionService, QosClass, QosPolicy
+from repro.workloads.generators import generate
+
+
+@pytest.fixture(autouse=True)
+def _clean_tables():
+    clear_trained_dhts()
+    yield
+    clear_trained_dhts()
+
+
+# -- result_key ---------------------------------------------------------------
+
+
+class TestResultKey:
+    def test_distinct_per_parameter(self) -> None:
+        base = result_key(b"payload")
+        assert result_key(b"payload2") != base
+        assert result_key(b"payload", op="decompress") != base
+        assert result_key(b"payload", fmt="gzip") != base
+        assert result_key(b"payload", strategy="canned") != base
+        assert result_key(b"payload", epoch=1) != base
+
+    def test_deterministic(self) -> None:
+        assert result_key(b"x", epoch=3) == result_key(b"x", epoch=3)
+
+    def test_no_field_payload_confusion(self) -> None:
+        # The separator keeps (params, payload) framing unambiguous.
+        assert result_key(b"|x", fmt="raw") != result_key(b"x", fmt="raw|")
+
+
+# -- singleflight storms ------------------------------------------------------
+
+
+class TestSingleflight:
+    @pytest.mark.parametrize("seed", [1, 7, 42])
+    def test_storm_one_execution_per_key(self, seed: int) -> None:
+        """N threads x M requests over K keys: executions == K exactly."""
+        payloads = {f"key-{i}": generate("json_records", 2048, seed=i)
+                    for i in range(6)}
+        keys = sorted(payloads)
+        cache = ResultCache()
+        executions: list[str] = []
+        exec_lock = threading.Lock()
+        wrong: list[str] = []
+        barrier = threading.Barrier(12)
+
+        def compute(name: str) -> bytes:
+            with exec_lock:
+                executions.append(name)
+            return zlib.compress(payloads[name])
+
+        def worker(widx: int) -> None:
+            wrng = random.Random(f"{seed}:{widx}")
+            barrier.wait()
+            for _ in range(25):
+                name = keys[wrng.randrange(len(keys))]
+                blob = cache.get_or_compute(
+                    "tenant", name, lambda n=name: compute(n))
+                if zlib.decompress(blob) != payloads[name]:
+                    wrong.append(name)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(12)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert not wrong, "a request observed another key's bytes"
+        stats = cache.stats()
+        # Exactly one execution per unique key, ever.
+        assert sorted(executions) == keys
+        assert stats["executions"] == len(keys)
+        assert stats["misses"] == len(keys)
+        assert stats["hits"] + stats["misses"] == stats["requests"]
+        assert stats["requests"] == 12 * 25
+
+    def test_failed_leader_releases_key(self) -> None:
+        """A raising compute frees the claim; the key stays usable."""
+        cache = ResultCache()
+
+        with pytest.raises(RuntimeError):
+            cache.get_or_compute(
+                "t", "k", lambda: (_ for _ in ()).throw(RuntimeError()))
+        assert cache.stats()["aborts"] == 1
+        assert cache.get_or_compute("t", "k", lambda: b"ok") == b"ok"
+        stats = cache.stats()
+        # Both attempts were misses; at most one *successful* execution.
+        assert stats["executions"] == 2
+        assert stats["hits"] + stats["misses"] == stats["requests"]
+
+    def test_follower_reclaims_after_leader_failure(self) -> None:
+        """Parked followers wake on failure and one re-executes."""
+        cache = ResultCache()
+        leader_in = threading.Event()
+        release_leader = threading.Event()
+        results: list[bytes] = []
+
+        def leader() -> None:
+            def compute() -> bytes:
+                leader_in.set()
+                release_leader.wait(5)
+                raise RuntimeError("leader dies")
+            try:
+                cache.get_or_compute("t", "k", compute)
+            except RuntimeError:
+                pass
+
+        def follower() -> None:
+            leader_in.wait(5)
+            results.append(cache.get_or_compute("t", "k", lambda: b"F"))
+
+        lt = threading.Thread(target=leader)
+        ft = threading.Thread(target=follower)
+        lt.start()
+        ft.start()
+        leader_in.wait(5)
+        release_leader.set()
+        lt.join(5)
+        ft.join(5)
+        assert results == [b"F"]
+
+    def test_wait_state_exposes_claim(self) -> None:
+        cache = ResultCache()
+        state, claim = cache.begin("t", "k")
+        assert state == "leader" and isinstance(claim, _Claim)
+        state, follower_claim = cache.begin("t", "k")
+        assert state == "wait" and follower_claim is claim
+        cache.commit("t", "k", b"blob")
+        assert claim.event.is_set()
+        state, blob = cache.begin("t", "k")
+        assert state == "hit" and blob == b"blob"
+
+
+# -- LRU bounds vs a reference model ------------------------------------------
+
+
+class _ModelLru:
+    """Reference single-tenant LRU with entry and byte bounds."""
+
+    def __init__(self, max_entries: int, max_bytes: int) -> None:
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.entries: OrderedDict[str, int] = OrderedDict()
+        self.evictions = 0
+
+    def get(self, key: str) -> bool:
+        if key in self.entries:
+            self.entries.move_to_end(key)
+            return True
+        return False
+
+    def put(self, key: str, size: int) -> None:
+        if size > self.max_bytes:
+            return  # uncacheable
+        if key in self.entries:
+            return
+        self.entries[key] = size
+        while (len(self.entries) > self.max_entries
+               or sum(self.entries.values()) > self.max_bytes):
+            self.entries.popitem(last=False)
+            self.evictions += 1
+
+
+class TestLruBounds:
+    @pytest.mark.parametrize("seed", [3, 17, 99])
+    def test_random_ops_match_reference(self, seed: int) -> None:
+        """Seeded op sequence: cache == model in order, count, bytes."""
+        rng = random.Random(seed)
+        cache = ResultCache(max_entries=8, max_bytes=4096)
+        model = _ModelLru(max_entries=8, max_bytes=4096)
+        blobs = {f"k{i}": bytes(rng.randrange(1, 1200))
+                 for i in range(24)}
+
+        for _ in range(500):
+            key = f"k{rng.randrange(24)}"
+            state, value = cache.begin("t", key)
+            if state == "hit":
+                assert model.get(key), f"{key}: cache hit, model miss"
+                assert value == blobs[key]
+            else:
+                assert state == "leader"
+                assert not model.get(key), f"{key}: cache miss, model hit"
+                cache.commit("t", key, blobs[key])
+                model.put(key, len(blobs[key]))
+
+            # Residency invariants hold after every single operation.
+            assert cache.entries() == len(model.entries)
+            assert cache.cached_bytes() == sum(model.entries.values())
+            assert cache.cached_bytes() <= 4096
+            assert cache.entries() <= 8
+            assert [k for _t, k in cache.snapshot_keys()] \
+                == list(model.entries)
+
+        assert cache.stats()["evictions"] == model.evictions
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] == stats["requests"]
+
+    def test_byte_bound_evicts_oldest(self) -> None:
+        cache = ResultCache(max_entries=100, max_bytes=1000)
+        for i in range(4):
+            _state, _ = cache.begin("t", f"k{i}")
+            cache.commit("t", f"k{i}", bytes(400))
+        # 4 x 400 > 1000: the two oldest must be gone.
+        assert cache.entries() == 2
+        assert [k for _t, k in cache.snapshot_keys()] == ["k2", "k3"]
+
+    def test_oversized_blob_is_uncacheable(self) -> None:
+        cache = ResultCache(max_bytes=100)
+        state, _ = cache.begin("t", "big")
+        assert state == "leader"
+        assert cache.commit("t", "big", bytes(101)) is False
+        assert cache.entries() == 0
+        assert cache.stats()["uncacheable"] == 1
+        # The claim was still released: next begin leads again.
+        state, _ = cache.begin("t", "big")
+        assert state == "leader"
+        cache.abort("t", "big")
+
+    def test_tenant_quota_shields_other_tenants(self) -> None:
+        cache = ResultCache(max_entries=100, max_bytes=1 << 20,
+                            tenant_max_entries=2)
+        for tenant in ("a", "b"):
+            for i in range(5):
+                cache.begin(tenant, f"k{i}")
+                cache.commit(tenant, f"k{i}", b"x" * 10)
+        # Each tenant holds exactly its quota; neither washed out.
+        keys = cache.snapshot_keys()
+        assert sorted(k for t, k in keys if t == "a") == ["k3", "k4"]
+        assert sorted(k for t, k in keys if t == "b") == ["k3", "k4"]
+
+    def test_tenant_cap_drops_lru_tenant(self) -> None:
+        cache = ResultCache(max_tenants=2)
+        for tenant in ("a", "b", "c"):
+            cache.begin(tenant, "k")
+            cache.commit(tenant, "k", b"x")
+        tenants = {t for t, _k in cache.snapshot_keys()}
+        assert tenants == {"b", "c"}
+
+
+# -- registry: determinism, versioning, bundles -------------------------------
+
+
+def _feed(registry: DictionaryRegistry, tenant: str, seed: int) -> None:
+    data = generate("json_records", 65536, seed=seed)
+    for offset in range(0, len(data), 4096):
+        registry.observe(tenant, data[offset:offset + 4096])
+
+
+class TestRegistry:
+    def test_training_deterministic(self) -> None:
+        dicts = []
+        for _run in range(2):
+            registry = DictionaryRegistry(seed=11)
+            _feed(registry, "tenant-a", seed=5)
+            dicts.append(registry.train("tenant-a"))
+        first, second = dicts
+        assert [d.name for d in first] == [d.name for d in second]
+        for a, b in zip(first, second):
+            assert a.litlen_lengths == b.litlen_lengths
+            assert a.dist_lengths == b.dist_lengths
+            assert a.priming == b.priming
+
+    def test_observe_order_between_tenants_irrelevant(self) -> None:
+        r1 = DictionaryRegistry(seed=11)
+        _feed(r1, "a", seed=5)
+        _feed(r1, "b", seed=6)
+        r2 = DictionaryRegistry(seed=11)
+        _feed(r2, "b", seed=6)
+        _feed(r2, "a", seed=5)
+        assert [d.priming for d in r1.train("a")] \
+            == [d.priming for d in r2.train("a")]
+
+    def test_epoch_bump_and_push_retire(self) -> None:
+        registry = DictionaryRegistry(seed=1)
+        _feed(registry, "t", seed=9)
+        first = registry.train("t")
+        assert registry.epoch("t") == 1
+        registry.push()
+        v1_names = set(trained_names())
+        assert {d.name for d in first} == v1_names
+        assert all(name.endswith(".v1") for name in v1_names)
+
+        second = registry.train("t")
+        assert registry.epoch("t") == 2
+        registry.push()
+        v2_names = set(trained_names())
+        assert {d.name for d in second} == v2_names
+        assert not (v1_names & v2_names), "old epoch names must retire"
+
+    def test_pushed_tables_visible_to_engine(self) -> None:
+        registry = DictionaryRegistry(seed=1)
+        _feed(registry, "t", seed=9)
+        trained = registry.train("t")
+        registry.push()
+        for dictionary in trained:
+            dht = canned_dht(dictionary.name)
+            assert tuple(dht.litlen_lengths) == dictionary.litlen_lengths
+        # Built-in library unchanged and still first-class.
+        assert len(canned_names()) == 4
+        assert set(canned_names(include_trained=True)) \
+            >= {d.name for d in trained}
+
+    def test_bundle_roundtrip(self, tmp_path) -> None:
+        registry = DictionaryRegistry(seed=2)
+        _feed(registry, "t", seed=9)
+        registry.train("t")
+        bundle = tmp_path / "dicts.json"
+        registry.save_bundle(bundle)
+        loaded = DictionaryRegistry(seed=2)
+        loaded.load_bundle(bundle)
+        assert [(d.name, d.litlen_lengths, d.priming)
+                for d in loaded.trained()] \
+            == [(d.name, d.litlen_lengths, d.priming)
+                for d in registry.trained()]
+
+    def test_bad_bundle_is_a_typed_error(self, tmp_path) -> None:
+        # A missing or garbage bundle file must surface as ConfigError
+        # (one-line `error: ...` at the CLI), never a raw traceback.
+        registry = DictionaryRegistry()
+        with pytest.raises(ConfigError):
+            registry.load_bundle(str(tmp_path / "missing.json"))
+        garbage = tmp_path / "garbage.json"
+        garbage.write_text("not json {")
+        with pytest.raises(ConfigError):
+            registry.load_bundle(str(garbage))
+        wrong = tmp_path / "wrong.json"
+        wrong.write_text("[1, 2, 3]")
+        with pytest.raises(ConfigError):
+            registry.load_bundle(str(wrong))
+
+    def test_priming_bounded_by_window(self) -> None:
+        registry = DictionaryRegistry(seed=3, priming_bytes=1024)
+        _feed(registry, "t", seed=9)
+        for dictionary in registry.train("t"):
+            assert len(dictionary.priming) <= 1024
+        with pytest.raises(ConfigError):
+            DictionaryRegistry(priming_bytes=40000)
+
+
+# -- the cache mounted in the service -----------------------------------------
+
+
+class TestServiceIntegration:
+    def test_storm_exact_reconciliation(self) -> None:
+        """32 racing submits over 4 payloads: 4 executions, 28 hits."""
+        payloads = [generate("json_records", 4096, seed=s)
+                    for s in range(4)]
+        with CompressionService(machine="POWER9", chips=1,
+                                cache_mb=8) as svc:
+            barrier = threading.Barrier(8)
+            outputs: dict[int, list[bytes]] = {i: [] for i in range(4)}
+            out_lock = threading.Lock()
+
+            def client(widx: int) -> None:
+                barrier.wait()
+                for i in range(4):
+                    ticket = svc.submit("compress", payloads[i],
+                                        fmt="gzip", tenant="acme")
+                    result = ticket.wait(timeout_s=30)
+                    with out_lock:
+                        outputs[i].append(result.output)
+
+            threads = [threading.Thread(target=client, args=(w,))
+                       for w in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+            stats = svc.stats()
+            cache = stats.cache
+            assert cache is not None
+            assert cache["executions"] == 4
+            assert cache["hits"] + cache["misses"] == cache["requests"]
+            assert cache["requests"] == 32
+            assert stats.completed == 32
+
+        for i, blobs in outputs.items():
+            assert len(blobs) == 8
+            assert len(set(blobs)) == 1, "cache served divergent bytes"
+            import gzip
+            assert gzip.decompress(blobs[0]) == payloads[i]
+
+    def test_qos_class_can_opt_out_of_cache(self) -> None:
+        policy = QosPolicy((
+            QosClass("cached", fifo="high", rank=0),
+            QosClass("raw", fifo="normal", rank=1, cache_results=False),
+        ))
+        payload = generate("markov_text", 2048, seed=4)
+        with CompressionService(machine="POWER9", chips=1, qos=policy,
+                                cache_mb=4) as svc:
+            for _ in range(3):
+                svc.submit("compress", payload, qos="raw").wait(10)
+            assert svc.stats().cache["requests"] == 0
+            for _ in range(3):
+                svc.submit("compress", payload, qos="cached").wait(10)
+            cache = svc.stats().cache
+            assert cache["requests"] == 3
+            assert cache["hits"] == 2
+
+    def test_qos_dht_strategy_pin(self) -> None:
+        policy = QosPolicy((
+            QosClass("pinned", fifo="high", rank=0,
+                     dht_strategy="fixed"),
+        ))
+        payload = generate("markov_text", 2048, seed=4)
+        with CompressionService(machine="POWER9", chips=1,
+                                qos=policy) as svc:
+            out = svc.submit("compress", payload, fmt="zlib",
+                             qos="pinned").wait(10).output
+            assert zlib.decompress(out) == payload
+
+    def test_unknown_dht_strategy_rejected(self) -> None:
+        with pytest.raises(ConfigError):
+            QosClass("bad", dht_strategy="zstd")
+
+    def test_decompress_bypasses_cache(self) -> None:
+        payload = generate("markov_text", 2048, seed=4)
+        blob = zlib.compress(payload)
+        with CompressionService(machine="POWER9", chips=1,
+                                cache_mb=4) as svc:
+            for _ in range(2):
+                out = svc.submit("decompress", blob,
+                                 fmt="zlib").wait(10).output
+                assert out == payload
+            assert svc.stats().cache["requests"] == 0
+
+    def test_cache_disabled_without_cache_mb(self) -> None:
+        with CompressionService(machine="POWER9", chips=1) as svc:
+            svc.submit("compress", b"hello world").wait(10)
+            assert svc.stats().cache is None

@@ -82,3 +82,58 @@ def test_golden_case(entry: dict) -> None:
     assert istats.match_bytes == golden["match_bytes"]
     assert istats.blocks == golden["blocks"]
     assert bits == golden["bits_consumed"]
+
+
+# -- dictionary-service goldens: trained tables + canned bitstreams ----------
+
+GOLDEN_DICTSVC = pathlib.Path(__file__).parent / "data" \
+    / "golden_dictsvc.json"
+_DICTSVC = json.loads(GOLDEN_DICTSVC.read_text())
+
+
+@pytest.fixture(scope="module")
+def dictsvc_setup():
+    """Retrain the golden registry and push its tables to the engine."""
+    import tools.record_goldens as record_goldens
+    from repro.nx.dht import clear_trained_dhts
+
+    assert _DICTSVC["train"] == record_goldens.DICTSVC_TRAIN, \
+        "golden file was recorded with a different training grid"
+    registry, corpus = record_goldens.train_dictsvc_registry()
+    clear_trained_dhts()
+    registry.push()
+    yield registry, corpus
+    clear_trained_dhts()
+
+
+def test_dictsvc_training_deterministic(dictsvc_setup) -> None:
+    """Same seed + traffic → byte-identical tables and priming dicts."""
+    import tools.record_goldens as record_goldens
+
+    registry, _corpus = dictsvc_setup
+    fresh = record_goldens.dictionary_fingerprints(registry)
+    assert fresh == _DICTSVC["dictionaries"]
+
+
+@pytest.mark.parametrize(
+    "stream", _DICTSVC["streams"],
+    ids=lambda s: f"{s['tenant']}@{s['offset']}")
+def test_dictsvc_canned_bitstream(dictsvc_setup, stream: dict) -> None:
+    """Canned-DHT bitstreams replay byte-identically and interop."""
+    import zlib
+
+    from repro.nx.compressor import NxCompressor
+    from repro.nx.dht import DhtStrategy, select_canned
+    from repro.nx.params import POWER9
+
+    _registry, corpus = dictsvc_setup
+    data = corpus[stream["tenant"]]
+    buf = data[stream["offset"]:stream["offset"] + stream["length"]]
+    assert select_canned(buf) == stream["pick"]
+
+    result = NxCompressor(POWER9.engine).compress(
+        buf, strategy=DhtStrategy.CANNED)
+    assert len(result.data) == stream["compressed_len"]
+    assert hashlib.sha256(result.data).hexdigest() == stream["sha256"]
+    # The stream is ordinary DEFLATE: stock zlib must inflate it.
+    assert zlib.decompress(result.data, wbits=-15) == buf

@@ -172,3 +172,111 @@ def test_fuzz_multimember_speculative_resolve(seed):
     archive = b"".join(m for _, m in pairs)
     out, _, _ = _speculative(archive, chunk_size=4096)
     assert out == plain == stdgzip.decompress(archive), seed
+
+
+# -- priming-dictionary (zdict) differential ---------------------------------
+#
+# The dictionary service ships 32 KB LZ77 priming dictionaries; the
+# engine applies them as preset history.  That path must be bit-exact
+# with zlib's zdict semantics in both directions, including the window
+# boundaries: an empty dict, a single byte, one byte short of the
+# window, exactly the window, one past it (zlib keeps only the last
+# 32768 bytes), and double the window.
+
+_DICT_SIZES = [0, 1, 32767, 32768, 32769, 65536]
+_WINDOW = 32768
+
+
+def _dict_of(rng: random.Random, size: int) -> bytes:
+    chunks = []
+    total = 0
+    while total < size:
+        chunk = _fuzz_payload(rng)
+        chunks.append(chunk)
+        total += len(chunk)
+    return b"".join(chunks)[:size]
+
+
+def _data_referencing(rng: random.Random, zdict: bytes) -> bytes:
+    """Payload stitched largely from dict content, so the dict matters."""
+    tail = zdict[-_WINDOW:]
+    parts = []
+    for _ in range(6):
+        if tail and rng.random() < 0.6:
+            start = rng.randrange(len(tail))
+            end = min(len(tail), start + rng.randrange(1, 500))
+            parts.append(tail[start:end])
+        else:
+            parts.append(_fuzz_payload(rng)[:500])
+    return b"".join(parts)
+
+
+@pytest.mark.parametrize("level", [1, 6, 9])
+@pytest.mark.parametrize("size", _DICT_SIZES)
+def test_priming_dict_ours_to_stdlib(level, size):
+    """Our history-primed streams decode under zlib's zdict."""
+    rng = random.Random(0xD1C7 * (size + 1) + level)
+    zdict = _dict_of(rng, size)
+    data = _data_referencing(rng, zdict)
+
+    ours = deflate(data, level=level, history=zdict).data
+    if zdict:
+        decoder = zlib.decompressobj(wbits=-15, zdict=zdict[-_WINDOW:])
+    else:
+        decoder = zlib.decompressobj(wbits=-15)
+    assert decoder.decompress(ours) + decoder.flush() == data, \
+        (size, level)
+
+
+@pytest.mark.parametrize("level", [1, 6, 9])
+@pytest.mark.parametrize("size", _DICT_SIZES)
+def test_priming_dict_stdlib_to_ours(level, size):
+    """zlib's zdict streams decode under our preset history."""
+    from repro.deflate.inflate import inflate_with_stats
+
+    rng = random.Random(0x2D1C7 * (size + 1) + level)
+    zdict = _dict_of(rng, size)
+    data = _data_referencing(rng, zdict)
+
+    if zdict:
+        comp = zlib.compressobj(level, zlib.DEFLATED, -15,
+                                zdict=zdict[-_WINDOW:])
+    else:
+        comp = zlib.compressobj(level, zlib.DEFLATED, -15)
+    theirs = comp.compress(data) + comp.flush()
+    out, _stats, _bits = inflate_with_stats(theirs, history=zdict)
+    assert out == data, (size, level)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_trained_priming_dict_interop(seed):
+    """Registry-trained priming dictionaries work as zlib zdicts."""
+    from repro.dictsvc import DictionaryRegistry
+    from repro.workloads.generators import generate
+
+    traffic = generate("json_records", 65536, seed=seed)
+    registry = DictionaryRegistry(seed=seed)
+    for offset in range(0, len(traffic), 4096):
+        registry.observe("tenant", traffic[offset:offset + 4096])
+    trained = registry.train("tenant")
+    assert trained
+
+    data = generate("json_records", 8192, seed=seed + 100)
+    for dictionary in trained:
+        zdict = dictionary.priming
+        assert 0 < len(zdict) <= _WINDOW
+        ours = deflate(data, level=6, history=zdict).data
+        decoder = zlib.decompressobj(wbits=-15, zdict=zdict)
+        assert decoder.decompress(ours) + decoder.flush() == data
+
+        comp = zlib.compressobj(6, zlib.DEFLATED, -15, zdict=zdict)
+        theirs = comp.compress(data) + comp.flush()
+        from repro.deflate.inflate import inflate_with_stats
+        out, _stats, _bits = inflate_with_stats(theirs, history=zdict)
+        assert out == data
+
+        # A primed stream is smaller than an unprimed one for traffic
+        # resembling the training distribution.
+        unprimed = deflate(traffic[:4096], level=6).data
+        primed = deflate(traffic[:4096], level=6, history=zdict).data
+        assert len(primed) <= len(unprimed)

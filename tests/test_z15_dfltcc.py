@@ -114,6 +114,50 @@ class TestGdht:
         result = facility.compress(block, payload_200k)
         assert len(result.produced) < len(fixed_stream)
 
+    def test_short_dht_sample_degrades_to_dynamic(self, payload_200k):
+        """Regression: a sub-window sample must not drive the canned
+        scan off the end of the sample — the facility degrades the
+        request to a dynamic DHT instead."""
+        from repro.nx.dht import GDHT_SCAN_WINDOW
+
+        data = payload_200k[:8192]
+        short = payload_200k[:GDHT_SCAN_WINDOW - 1]
+
+        block = ParameterBlock()
+        block.dht_strategy = DhtStrategy.CANNED
+        block.dht_sample = short
+        result = Dfltcc().compress(block, data)
+        assert result.cc is ConditionCode.DONE
+        assert stdzlib.decompress(result.produced, wbits=-15) == data
+
+        # Byte-identical to an explicit dynamic request: proof the
+        # degraded path used a freshly generated table, not a canned
+        # pick computed from a truncated window.
+        dyn_block = ParameterBlock()
+        dyn_block.dht_strategy = DhtStrategy.DYNAMIC
+        dyn = Dfltcc().compress(dyn_block, data)
+        assert result.produced == dyn.produced
+
+    def test_full_window_sample_uses_canned_pick(self, payload_200k):
+        """A sample covering >= one scan window picks a canned table."""
+        from repro.nx.compressor import NxCompressor
+        from repro.nx.dht import GDHT_SCAN_WINDOW, select_canned_windowed
+        from repro.nx.params import Z15
+
+        data = payload_200k[:8192]
+        sample = payload_200k[:GDHT_SCAN_WINDOW]
+
+        block = ParameterBlock()
+        block.dht_strategy = DhtStrategy.CANNED
+        block.dht_sample = sample
+        result = Dfltcc().compress(block, data)
+        assert stdzlib.decompress(result.produced, wbits=-15) == data
+
+        expected = NxCompressor(Z15.engine).compress(
+            data, strategy=DhtStrategy.CANNED, fmt="raw",
+            canned_name=select_canned_windowed(sample))
+        assert result.produced == expected.data
+
 
 class TestXpnd:
     def test_expand_roundtrip(self, payload_200k):

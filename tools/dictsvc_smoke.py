@@ -1,0 +1,151 @@
+"""CI smoke test for the dictionary service.
+
+Runs the whole dictionary lifecycle the way an operator would: train a
+registry on the seeded cloud-like corpus, save and reload the bundle,
+push the tables into the engine's canned library, then serve traffic
+through a cache-mounted :class:`CompressionService` and check the
+things the layer promises — trained tables advertised via backend
+capabilities, hit-path bytes identical to miss-path bytes, exact cache
+counter reconciliation, and epoch invalidation after a re-push.
+Functional coverage lives in ``tests/test_dictsvc.py``; this script is
+the end-to-end "does the trained-dictionary path actually serve" bit
+for CI.
+
+Usage::
+
+    PYTHONPATH=src python tools/dictsvc_smoke.py
+"""
+
+from __future__ import annotations
+
+import gzip
+import tempfile
+import threading
+import zlib
+from pathlib import Path
+
+from repro.backend import backend_capabilities
+from repro.dictsvc import DictionaryRegistry
+from repro.nx.compressor import NxCompressor
+from repro.nx.dht import DhtStrategy, clear_trained_dhts, select_canned
+from repro.nx.params import POWER9
+from repro.service import CompressionService
+from repro.workloads.corpus import build_corpus
+
+TRAIN_SEED = 7
+SAMPLE_BYTES = 4096
+
+
+def main() -> int:
+    failures: list[str] = []
+    clear_trained_dhts()
+    corpus = build_corpus("cloud-like", scale=0.25)
+
+    # Part 1: train, bundle round-trip, push.
+    registry = DictionaryRegistry(seed=TRAIN_SEED)
+    for family, data in corpus.items():
+        for offset in range(0, len(data), SAMPLE_BYTES):
+            registry.observe(family, data[offset:offset + SAMPLE_BYTES])
+    for family in corpus:
+        registry.train(family)
+    with tempfile.TemporaryDirectory() as tmp:
+        bundle = Path(tmp) / "dicts.json"
+        registry.save_bundle(bundle)
+        loaded = DictionaryRegistry(seed=TRAIN_SEED)
+        loaded.load_bundle(bundle)
+    if [d.name for d in loaded.trained()] \
+            != [d.name for d in registry.trained()]:
+        failures.append("bundle round-trip changed the dictionary set")
+    loaded.push()
+    trained = {d.name for d in loaded.trained()}
+    print(f"trained and pushed {len(trained)} dictionaries")
+
+    # Part 2: the backend advertises the pushed tables.
+    caps = backend_capabilities("nx", machine="POWER9")
+    missing = trained - set(caps.canned_dicts)
+    if missing:
+        failures.append(f"capabilities missing pushed tables: {missing}")
+
+    # Part 3: trained tables actually classify and interop.
+    engine = NxCompressor(POWER9.engine)
+    picked_trained = 0
+    for family, data in corpus.items():
+        buf = data[:SAMPLE_BYTES]
+        pick = select_canned(buf)
+        if pick in trained:
+            picked_trained += 1
+        result = engine.compress(buf, strategy=DhtStrategy.CANNED)
+        if zlib.decompress(result.data, wbits=-15) != buf:
+            failures.append(f"canned stream for {family} not zlib-valid")
+    if not picked_trained:
+        failures.append("no corpus family classified onto a trained table")
+    print(f"{picked_trained}/{len(corpus)} families pick trained tables")
+
+    # Part 4: cache-mounted service storm — exact reconciliation and
+    # byte parity between the miss path and the hit path.
+    payloads = [corpus[family][:SAMPLE_BYTES] for family in corpus]
+    outputs: dict[int, set[bytes]] = {i: set() for i in range(len(payloads))}
+    lock = threading.Lock()
+    with CompressionService(machine="POWER9", chips=1,
+                            cache_mb=16) as service:
+        def client() -> None:
+            for i, payload in enumerate(payloads):
+                blob = service.submit(
+                    "compress", payload, fmt="gzip",
+                    tenant="smoke").wait(timeout_s=30).output
+                with lock:
+                    outputs[i].add(blob)
+
+        threads = [threading.Thread(target=client) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stats = service.stats()
+        cache = stats.cache or {}
+
+    for i, blobs in outputs.items():
+        if len(blobs) != 1:
+            failures.append(f"payload {i}: divergent cached bytes")
+        elif gzip.decompress(next(iter(blobs))) != payloads[i]:
+            failures.append(f"payload {i}: wrong bytes")
+    expected = 6 * len(payloads)
+    if cache.get("requests") != expected:
+        failures.append(f"cache requests {cache.get('requests')} "
+                        f"!= {expected}")
+    if cache.get("executions") != len(payloads):
+        failures.append(f"executions {cache.get('executions')} "
+                        f"!= unique payloads {len(payloads)}")
+    if cache.get("hits", 0) + cache.get("misses", 0) \
+            != cache.get("requests", -1):
+        failures.append(f"hits+misses != requests: {cache}")
+    print(f"storm reconciled: {cache.get('requests')} requests, "
+          f"{cache.get('executions')} executions, "
+          f"{cache.get('hits')} hits")
+
+    # Part 5: re-training bumps the epoch and retires old names.  The
+    # bundle carries trained artifacts, not raw samples, so feed the
+    # reloaded registry fresh traffic first.
+    before = {d.name for d in loaded.trained()}
+    for family, data in corpus.items():
+        for offset in range(0, len(data), SAMPLE_BYTES):
+            loaded.observe(family, data[offset:offset + SAMPLE_BYTES])
+    for family in corpus:
+        loaded.train(family)
+    loaded.push()
+    after = {d.name for d in loaded.trained()}
+    if before & after:
+        failures.append("re-push kept stale epoch names live")
+    clear_trained_dhts()
+
+    if failures:
+        print("dictsvc smoke FAILED:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print("dictsvc smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,6 +17,12 @@ f-string (f-string placeholders count as one name segment, so
 ``f"repro_{layer}_requests_total"`` is valid).  Dynamic names that the
 AST cannot see are out of scope — keep metric names literal.
 
+Beyond the naming convention, the linter also enforces *presence*: the
+dictionary-service and result-cache metric families in
+:data:`REQUIRED_NAMES` must be registered somewhere under ``src/`` —
+a refactor that silently drops that instrumentation fails the lint,
+because dashboards and the property suite key off those exact names.
+
 Exit status: 0 when every name conforms, 1 otherwise (one line per
 violation, ``file:line: message``).  Run from anywhere::
 
@@ -43,6 +49,21 @@ _NAME_RE = re.compile(r"^repro(_[a-z0-9]+){2,}$")
 
 #: Stand-in segment for an f-string placeholder ({layer} etc.).
 _PLACEHOLDER = "x"
+
+#: Metric names the source tree must keep registering.  These carry
+#: the dictionary-service observability contract: the cache counters
+#: back the hits+misses==requests invariant the property suite checks,
+#: and the dictsvc series expose training/push activity.
+REQUIRED_NAMES = frozenset({
+    "repro_cache_requests_total",
+    "repro_cache_evictions_total",
+    "repro_cache_entries",
+    "repro_cache_bytes",
+    "repro_dictsvc_samples_total",
+    "repro_dictsvc_train_runs_total",
+    "repro_dictsvc_clusters",
+    "repro_dictsvc_pushed_tables",
+})
 
 
 def _literal_name(node: ast.expr) -> str | None:
@@ -82,8 +103,13 @@ def _check_name(name: str, is_counter: bool) -> str | None:
     return None
 
 
-def lint_source(source: str, filename: str = "<string>") -> list[str]:
-    """All violations in one module's source, as ``file:line: msg``."""
+def lint_source(source: str, filename: str = "<string>",
+                seen: set[str] | None = None) -> list[str]:
+    """All violations in one module's source, as ``file:line: msg``.
+
+    When ``seen`` is given, every statically-visible metric name is
+    added to it (for the :data:`REQUIRED_NAMES` presence check).
+    """
     violations: list[str] = []
     try:
         tree = ast.parse(source, filename=filename)
@@ -98,6 +124,8 @@ def lint_source(source: str, filename: str = "<string>") -> list[str]:
         name = _literal_name(node.args[0])
         if name is None:
             continue
+        if seen is not None:
+            seen.add(name)
         message = _check_name(name,
                               _METRIC_METHODS[node.func.attr])
         if message is not None:
@@ -108,9 +136,14 @@ def lint_source(source: str, filename: str = "<string>") -> list[str]:
 def lint_tree(root: pathlib.Path) -> list[str]:
     """Lint every ``*.py`` under ``root``; violations sorted by path."""
     violations: list[str] = []
+    seen: set[str] = set()
     for path in sorted(root.rglob("*.py")):
         violations.extend(lint_source(path.read_text(),
-                                      str(path)))
+                                      str(path), seen))
+    for name in sorted(REQUIRED_NAMES - seen):
+        violations.append(
+            f"{root}: required metric {name!r} is not registered "
+            "anywhere (dictionary-service observability contract)")
     return violations
 
 

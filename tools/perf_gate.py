@@ -42,6 +42,16 @@ beat its warm 1-worker rate (on a 1-CPU host the speedup check is
 skipped — ``meta.cpus`` decides, so a small CI box cannot fake or mask
 scaling).  ``--skip-parallel`` / ``--parallel-only`` mirror the other
 section flags.
+
+A fifth section gates the dictionary service with absolute checks (the
+claims are part of the design, like the obs ceiling): a fresh
+``benchmarks/bench_dictsvc.py`` run must show a result-cache hit at
+least ``--min-cache-speedup`` (default 10) times cheaper than a miss,
+trained canned tables faster than dynamic DHT generation on <=4 KB
+buffers, and an aggregate compression-ratio loss no worse than
+``--max-ratio-loss`` percent (default 3.0).  ``--skip-dictsvc`` /
+``--dictsvc-only`` / ``--fresh-dictsvc FILE`` mirror the other
+section flags.
 """
 
 from __future__ import annotations
@@ -184,6 +194,48 @@ def gate_parallel(fresh: dict, baseline: dict,
     return failures
 
 
+def gate_dictsvc(fresh: dict, min_cache_speedup: float,
+                 max_ratio_loss_pct: float) -> list[str]:
+    """Absolute checks on the dictionary-service claims.
+
+    Like the obs ceiling, these are design promises rather than
+    drift floors: a cache hit must be at least ``min_cache_speedup``
+    times cheaper than a miss, canned tables must beat dynamic DHT
+    generation on the small-buffer regime they target, and the
+    aggregate ratio give-up must stay within ``max_ratio_loss_pct``.
+    """
+    failures: list[str] = []
+    results = fresh.get("results", {})
+
+    speedup = results.get("cache_hit_speedup")
+    if not isinstance(speedup, (int, float)):
+        failures.append("cache_hit_speedup: missing from dictsvc report")
+    elif speedup < min_cache_speedup:
+        failures.append(
+            f"cache_hit_speedup: {speedup:.1f}x < floor "
+            f"{min_cache_speedup:.1f}x (hit {results.get('cache_hit_us')} "
+            f"us vs miss {results.get('cache_miss_us')} us)")
+
+    canned = results.get("canned_latency_speedup")
+    if not isinstance(canned, (int, float)):
+        failures.append(
+            "canned_latency_speedup: missing from dictsvc report")
+    elif canned <= 1.0:
+        failures.append(
+            f"canned_latency_speedup: {canned:.3f}x <= 1 — canned DHTs "
+            "no longer beat dynamic generation on small buffers")
+
+    loss = results.get("canned_ratio_loss_pct")
+    if not isinstance(loss, (int, float)):
+        failures.append(
+            "canned_ratio_loss_pct: missing from dictsvc report")
+    elif loss > max_ratio_loss_pct:
+        failures.append(
+            f"canned_ratio_loss_pct: {loss:.3f}% > ceiling "
+            f"{max_ratio_loss_pct:.1f}%")
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--tolerance", type=float, default=0.5,
@@ -222,6 +274,20 @@ def main(argv: list[str] | None = None) -> int:
                         help="skip the execution-layer section")
     parser.add_argument("--parallel-only", action="store_true",
                         help="only gate the execution layer")
+    parser.add_argument("--min-cache-speedup", type=float, default=10.0,
+                        help="floor on result-cache hit-vs-miss speedup "
+                             "(default 10)")
+    parser.add_argument("--max-ratio-loss", type=float, default=3.0,
+                        help="ceiling (percent) on the canned-DHT "
+                             "aggregate ratio loss (default 3.0)")
+    parser.add_argument("--fresh-dictsvc", type=pathlib.Path,
+                        default=None,
+                        help="gate this dictsvc report instead of "
+                             "running the dictionary bench")
+    parser.add_argument("--skip-dictsvc", action="store_true",
+                        help="skip the dictionary-service section")
+    parser.add_argument("--dictsvc-only", action="store_true",
+                        help="only gate the dictionary service")
     args = parser.parse_args(argv)
 
     if not 0.0 <= args.tolerance < 1.0:
@@ -234,10 +300,14 @@ def main(argv: list[str] | None = None) -> int:
     if args.skip_parallel and args.parallel_only:
         parser.error("--skip-parallel and --parallel-only are "
                      "mutually exclusive")
+    if args.skip_dictsvc and args.dictsvc_only:
+        parser.error("--skip-dictsvc and --dictsvc-only are "
+                     "mutually exclusive")
     exclusive = [flag for flag, on in
                  (("--obs-only", args.obs_only),
                   ("--service-only", args.service_only),
-                  ("--parallel-only", args.parallel_only)) if on]
+                  ("--parallel-only", args.parallel_only),
+                  ("--dictsvc-only", args.dictsvc_only)) if on]
     if len(exclusive) > 1:
         parser.error(" and ".join(exclusive) + " are mutually exclusive")
     sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
@@ -245,7 +315,7 @@ def main(argv: list[str] | None = None) -> int:
     failures: list[str] = []
     fresh = None
     only_elsewhere = (args.obs_only or args.service_only
-                      or args.parallel_only)
+                      or args.parallel_only or args.dictsvc_only)
     need_hotpath = (not only_elsewhere
                     or (args.parallel_only and not args.skip_parallel))
     if need_hotpath and args.baseline.exists():
@@ -268,8 +338,8 @@ def main(argv: list[str] | None = None) -> int:
                     print(f"  {key:24s} {value:10.3f} MB/s  "
                           f"(committed {base:.3f})")
 
-    if not args.skip_parallel and not (args.obs_only
-                                       or args.service_only):
+    if not args.skip_parallel and not (args.obs_only or args.service_only
+                                       or args.dictsvc_only):
         if fresh is None:
             print(f"perf gate: no baseline at {args.baseline}; "
                   "execution layer not gated")
@@ -289,8 +359,8 @@ def main(argv: list[str] | None = None) -> int:
                           + ("" if count == "1" else
                              f"  ({cpus} CPU host)"))
 
-    if not args.skip_obs and not (args.service_only
-                                  or args.parallel_only):
+    if not args.skip_obs and not (args.service_only or args.parallel_only
+                                  or args.dictsvc_only):
         if args.fresh_obs is not None:
             fresh_obs = json.loads(args.fresh_obs.read_text())
         else:
@@ -302,8 +372,8 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"  {key:32s} {value:8.3f} %  "
                       f"(ceiling {args.max_obs_overhead:.1f} %)")
 
-    if not args.skip_service and not (args.obs_only
-                                      or args.parallel_only):
+    if not args.skip_service and not (args.obs_only or args.parallel_only
+                                      or args.dictsvc_only):
         if not args.service_baseline.exists():
             print(f"perf gate: no service baseline at "
                   f"{args.service_baseline}; nothing to gate")
@@ -328,6 +398,23 @@ def main(argv: list[str] | None = None) -> int:
                           f"(committed {base:.3f})")
             print(f"  service shed {fresh_service.get('shed', 0)} of "
                   f"{fresh_service.get('offered', 0)} offered")
+
+    if not args.skip_dictsvc and not (args.obs_only or args.service_only
+                                      or args.parallel_only):
+        if args.fresh_dictsvc is not None:
+            fresh_dictsvc = json.loads(args.fresh_dictsvc.read_text())
+        else:
+            from bench_dictsvc import run_bench as run_dictsvc_bench
+            fresh_dictsvc = run_dictsvc_bench(quick=args.quick)
+        failures += gate_dictsvc(fresh_dictsvc, args.min_cache_speedup,
+                                 args.max_ratio_loss)
+        res = fresh_dictsvc.get("results", {})
+        for key in ("cache_hit_speedup", "canned_latency_speedup",
+                    "canned_ratio_loss_pct"):
+            value = res.get(key)
+            if isinstance(value, (int, float)):
+                unit = "%" if key.endswith("_pct") else "x"
+                print(f"  dictsvc {key:26s} {value:10.3f}{unit}")
 
     if failures:
         print("perf gate FAILED:")

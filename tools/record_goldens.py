@@ -8,6 +8,12 @@ levels, strategies, and streaming modes.  ``tests/test_golden_parity.py``
 pins the current codec against this file, so any kernel rewrite that
 changes a single emitted byte (or a single chain probe) fails loudly.
 
+Also writes ``tests/data/golden_dictsvc.json``: fingerprints of every
+dictionary the registry trains from the seeded cloud-like corpus (code
+lengths and priming bytes — training must be byte-identical run to
+run) plus the SHA-256 of canned-DHT bitstreams the engine emits with
+those tables pushed.  ``tests/test_golden_parity.py`` replays both.
+
 Only re-run this when an *intentional* bitstream change lands — the whole
 point of the file is that rewrites keep it byte-identical.
 """
@@ -17,6 +23,7 @@ from __future__ import annotations
 import hashlib
 import json
 import pathlib
+import zlib
 
 from repro.deflate.compress import deflate
 from repro.deflate.inflate import inflate_with_stats
@@ -24,6 +31,11 @@ from repro.workloads.generators import generate
 
 OUT = (pathlib.Path(__file__).resolve().parent.parent
        / "tests" / "data" / "golden_deflate.json")
+OUT_DICTSVC = OUT.parent / "golden_dictsvc.json"
+
+#: Training grid for the dictsvc goldens (mirrors `repro dict train`).
+DICTSVC_TRAIN = {"corpus": "cloud-like", "scale": 0.25, "seed": 7,
+                 "sample_bytes": 4096, "max_clusters": 4}
 
 
 def payloads() -> dict[str, bytes]:
@@ -93,12 +105,91 @@ def record_case(case: dict, data_by_name: dict[str, bytes]) -> dict:
     return entry
 
 
+def train_dictsvc_registry():
+    """Train the golden registry (deterministic under DICTSVC_TRAIN)."""
+    from repro.dictsvc import DictionaryRegistry
+    from repro.workloads.corpus import build_corpus
+
+    cfg = DICTSVC_TRAIN
+    corpus = build_corpus(cfg["corpus"], scale=cfg["scale"])
+    registry = DictionaryRegistry(seed=cfg["seed"],
+                                  sample_bytes=cfg["sample_bytes"],
+                                  max_clusters=cfg["max_clusters"])
+    for family, data in corpus.items():
+        for offset in range(0, len(data), cfg["sample_bytes"]):
+            registry.observe(family,
+                             data[offset:offset + cfg["sample_bytes"]])
+    for family in corpus:
+        registry.train(family)
+    return registry, corpus
+
+
+def dictionary_fingerprints(registry) -> list[dict]:
+    """Byte-level fingerprints of every trained dictionary."""
+    entries = []
+    for dictionary in registry.trained():
+        entries.append({
+            "name": dictionary.name,
+            "tenant": dictionary.tenant,
+            "samples": dictionary.samples,
+            "litlen_sha256": hashlib.sha256(
+                bytes(dictionary.litlen_lengths)).hexdigest(),
+            "dist_sha256": hashlib.sha256(
+                bytes(dictionary.dist_lengths)).hexdigest(),
+            "priming_sha256": hashlib.sha256(
+                dictionary.priming).hexdigest(),
+            "priming_len": len(dictionary.priming),
+        })
+    return entries
+
+
+def record_dictsvc() -> dict:
+    """Golden canned-DHT bitstreams with the trained tables pushed."""
+    from repro.nx.compressor import NxCompressor
+    from repro.nx.dht import DhtStrategy, clear_trained_dhts, select_canned
+    from repro.nx.params import POWER9
+
+    registry, corpus = train_dictsvc_registry()
+    clear_trained_dhts()
+    registry.push()
+    try:
+        engine = NxCompressor(POWER9.engine)
+        streams = []
+        for family, data in sorted(corpus.items()):
+            for offset in (0, 4096):
+                buf = data[offset:offset + 4096]
+                if len(buf) < 4096:
+                    continue
+                result = engine.compress(buf, strategy=DhtStrategy.CANNED)
+                # zlib interop is part of the golden contract.
+                assert zlib.decompress(result.data, wbits=-15) == buf
+                streams.append({
+                    "tenant": family,
+                    "offset": offset,
+                    "length": len(buf),
+                    "pick": select_canned(buf),
+                    "sha256": hashlib.sha256(result.data).hexdigest(),
+                    "compressed_len": len(result.data),
+                })
+    finally:
+        clear_trained_dhts()
+    return {
+        "train": dict(DICTSVC_TRAIN),
+        "dictionaries": dictionary_fingerprints(registry),
+        "streams": streams,
+    }
+
+
 def main() -> int:
     data_by_name = payloads()
     entries = [record_case(case, data_by_name) for case in cases()]
     OUT.parent.mkdir(parents=True, exist_ok=True)
     OUT.write_text(json.dumps(entries, indent=1) + "\n")
     print(f"wrote {OUT} ({len(entries)} cases)")
+    golden = record_dictsvc()
+    OUT_DICTSVC.write_text(json.dumps(golden, indent=1) + "\n")
+    print(f"wrote {OUT_DICTSVC} ({len(golden['dictionaries'])} "
+          f"dictionaries, {len(golden['streams'])} streams)")
     return 0
 
 
